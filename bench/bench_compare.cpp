@@ -1,0 +1,199 @@
+// E11 — InteGrade vs Condor-like vs BOINC-like (the paper's §2 positioning).
+//
+// Three grid middlewares face the same campus and the same two workloads:
+//
+//   workload A: a 40-task bag of sequential jobs (everyone's bread and
+//               butter);
+//   workload B: an 8-process communicating BSP application — the workload
+//               the paper says distinguishes InteGrade: "Differently from
+//               Condor, InteGrade is being built with parallel applications
+//               in mind from the beginning" and "BOINC lacks general
+//               support for parallel applications".
+//
+// The baselines run their authentic architectures: Condor-style central
+// matchmaking over ads with direct claims, BOINC-style worker pull. The
+// expected result is parity-ish on workload A and a categorical difference
+// on workload B (the baselines refuse it; InteGrade completes it).
+#include <cstdio>
+
+#include "asct/asct.hpp"
+#include "baselines/boinc.hpp"
+#include "baselines/condor.hpp"
+#include "bench_util.hpp"
+#include "core/grid.hpp"
+#include "core/workloads.hpp"
+
+using namespace integrade;
+
+namespace {
+
+constexpr int kBagTasks = 40;
+constexpr MInstr kBagWork = 300'000.0;  // ~5 min each
+constexpr std::uint64_t kSeed = 1100;
+
+core::ClusterConfig testbed(std::uint64_t seed) {
+  core::CampusMix mix;
+  mix.office_workers = 12;
+  mix.lab_machines = 12;
+  mix.nocturnal = 3;
+  mix.mostly_idle = 3;
+  mix.busy_servers = 0;
+  return core::campus_cluster(mix, seed);
+}
+
+protocol::ApplicationSpec bag_spec(const orb::ObjectRef& notify) {
+  asct::AppBuilder builder("bag");
+  builder.kind(protocol::AppKind::kParametric)
+      .tasks(kBagTasks, kBagWork)
+      .checkpoint_period(kMinute, 64 * kKiB)
+      .estimated_duration(10 * kMinute);
+  return builder.build(notify);
+}
+
+protocol::ApplicationSpec bsp_spec(const orb::ObjectRef& notify) {
+  asct::AppBuilder builder("bsp");
+  builder.bsp(8, 60, 10'000.0, 512 * kKiB, 6, 2 * kMiB)
+      .estimated_duration(30 * kMinute);
+  return builder.build(notify);
+}
+
+struct Row {
+  const char* system;
+  bool bag_done = false;
+  double bag_minutes = -1;
+  int bag_evictions = 0;
+  std::string bsp_result;
+};
+
+/// All runs start at Sunday 20:00 after one LUPA training week: plenty of
+/// idle capacity, occasional owner returns.
+constexpr SimTime kStart = kWeek + 6 * kDay + 20 * kHour;
+
+Row run_integrade() {
+  core::Grid grid(kSeed);
+  auto& cluster = grid.add_cluster(testbed(kSeed));
+  grid.run_until(kStart);
+
+  Row row{"integrade", false, -1, 0, {}};
+  const SimTime t0 = grid.engine().now();
+  const AppId bag = cluster.asct().submit(cluster.grm_ref(),
+                                          bag_spec(cluster.asct().ref()));
+  const AppId bsp = cluster.asct().submit(cluster.grm_ref(),
+                                          bsp_spec(cluster.asct().ref()));
+  grid.run_until_app_done(cluster, bag, t0 + 24 * kHour);
+  grid.run_until_app_done(cluster, bsp, t0 + 24 * kHour);
+
+  const auto* bag_progress = cluster.asct().progress(bag);
+  row.bag_done = bag_progress->done;
+  row.bag_minutes = bag_progress->done
+                        ? to_seconds(bag_progress->makespan()) / 60.0
+                        : -1;
+  row.bag_evictions = bag_progress->evictions;
+  const auto* stats = cluster.coordinator().stats(bsp);
+  row.bsp_result = (stats != nullptr && stats->completed)
+                       ? bench::fmt("completed (%.0f min)",
+                                    to_seconds(stats->elapsed()) / 60.0)
+                       : "did not finish";
+  return row;
+}
+
+Row run_condor() {
+  core::Grid grid(kSeed);
+  auto& cluster = grid.add_cluster(testbed(kSeed));
+  baselines::CondorScheduler scheduler(grid.engine(), cluster.manager_orb(),
+                                       grid.fork_rng());
+  scheduler.start();
+  grid.run_until(kStart);
+
+  // The matchmaker consumes the same ads the GRM would; feed it fresh ones
+  // periodically (its collector role).
+  auto feed = [&] {
+    for (std::size_t i = 0; i < cluster.size(); ++i) {
+      scheduler.handle_update_status(cluster.lrm(i).current_status());
+    }
+  };
+  feed();
+
+  Row row{"condor-like", false, -1, 0, {}};
+  const SimTime t0 = grid.engine().now();
+  const auto bag_reply = scheduler.handle_submit(bag_spec(orb::ObjectRef{}));
+  const auto bsp_reply = scheduler.handle_submit(bsp_spec(orb::ObjectRef{}));
+  row.bsp_result = bsp_reply.accepted ? "accepted?!" : "refused (no parallel)";
+
+  SimTime done_at = -1;
+  for (int i = 0; i < 24 * 60 && done_at < 0; ++i) {
+    grid.run_for(kMinute);
+    feed();
+    if (scheduler.app_done(bag_reply.app)) done_at = grid.engine().now();
+  }
+  row.bag_done = done_at >= 0;
+  row.bag_minutes = row.bag_done ? to_seconds(done_at - t0) / 60.0 : -1;
+  row.bag_evictions = static_cast<int>(
+      scheduler.metrics().counter_value("jobs_evicted"));
+  return row;
+}
+
+Row run_boinc() {
+  core::Grid grid(kSeed);
+  auto& cluster = grid.add_cluster(testbed(kSeed));
+  baselines::BoincMaster master(grid.engine(), cluster.manager_orb());
+  master.start();
+  std::vector<std::unique_ptr<baselines::BoincWorker>> workers;
+  for (std::size_t i = 0; i < cluster.size(); ++i) {
+    workers.push_back(std::make_unique<baselines::BoincWorker>(
+        grid.engine(), cluster.manager_orb(), cluster.lrm(i)));
+    workers.back()->start(master.ref());
+  }
+  grid.run_until(kStart);
+
+  Row row{"boinc-like", false, -1, 0, {}};
+  const SimTime t0 = grid.engine().now();
+  const auto bag = bag_spec(orb::ObjectRef{});
+  (void)master.enqueue(bag);
+  row.bsp_result = master.enqueue(bsp_spec(orb::ObjectRef{}))
+                       ? "accepted?!"
+                       : "refused (no comm)";
+
+  SimTime done_at = -1;
+  while (grid.engine().now() < t0 + 24 * kHour) {
+    grid.run_for(kMinute);
+    if (master.app_done(bag.id)) {
+      done_at = grid.engine().now();
+      break;
+    }
+  }
+  row.bag_done = done_at >= 0;
+  row.bag_minutes = row.bag_done ? to_seconds(done_at - t0) / 60.0 : -1;
+  row.bag_evictions =
+      static_cast<int>(master.metrics().counter_value("units_evicted"));
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("E11", "InteGrade vs Condor-like vs BOINC-like",
+                "comparable on bags of sequential tasks; categorically "
+                "different on communicating parallel (BSP) applications");
+
+  const Row rows[] = {run_integrade(), run_condor(), run_boinc()};
+
+  bench::Table table({"system", "bag-40x5min", "bag-evict", "bsp-8proc"}, 22);
+  for (const auto& row : rows) {
+    table.row({row.system,
+               row.bag_done ? bench::fmt("%.0f min", row.bag_minutes)
+                            : "unfinished",
+               bench::fmt("%d", row.bag_evictions), row.bsp_result});
+  }
+
+  std::printf("\nexpected shape: all three finish the bag in the same ballpark"
+              " (InteGrade's push scheduling beats BOINC's lazy pull); only "
+              "InteGrade runs the BSP app at all — the paper's central "
+              "positioning claim.\n");
+  const bool ok = rows[0].bag_done && rows[1].bag_done && rows[2].bag_done &&
+                  rows[0].bsp_result.find("completed") == 0 &&
+                  rows[1].bsp_result.find("refused") == 0 &&
+                  rows[2].bsp_result.find("refused") == 0;
+  std::printf("reproduction: %s\n", ok ? "HOLDS" : "CHECK");
+  return ok ? 0 : 1;
+}

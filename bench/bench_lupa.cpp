@@ -1,0 +1,167 @@
+// E4 — LUPA usage-pattern learning and idleness prediction.
+//
+// Paper §3: clustering of day vectors should recover behavioural
+// categories ("lunch-breaks, nights, holidays, working periods"), and the
+// patterns should let the scheduler "forecast if an idle machine will stay
+// idle for a significant amount of time".
+//
+// Protocol: for each canonical owner profile, run a machine with its real
+// stochastic owner for N training weeks, let LUPA cluster, then score
+// predictions over a held-out week against the owner-trace oracle:
+//   * category recovery: does k land near the planted structure
+//     (weekday/weekend split where the profile has one)?
+//   * prediction: at every idle half-hour of the held-out week ask
+//     p = P(idle for 2 more hours) and compare with the oracle truth;
+//     report accuracy (threshold 0.5) and Brier score, against a static
+//     baseline that always predicts the profile's overall idle fraction.
+//   * the GUPA ablation: same question answered from uploaded centroids
+//     only (no partial-day evidence).
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/grid.hpp"
+#include "lupa/gupa.hpp"
+#include "lupa/lupa.hpp"
+#include "node/owner.hpp"
+
+using namespace integrade;
+
+namespace {
+
+struct Score {
+  int k = 0;
+  double lupa_accuracy = 0;
+  double lupa_brier = 0;
+  double gupa_accuracy = 0;
+  double static_accuracy = 0;
+  double static_brier = 0;
+};
+
+Score evaluate(node::WeeklyProfile (*profile_fn)(), int train_weeks,
+               std::uint64_t seed) {
+  sim::Engine engine;
+  node::Machine machine(NodeId(1), node::MachineSpec{});
+  node::OwnerWorkload owner(engine, machine, profile_fn(), Rng(seed));
+  lupa::LupaOptions options;
+  options.recluster_every_days = 7;
+  lupa::Lupa lupa(engine, machine, Rng(seed + 1), options);
+  owner.start();
+  lupa.start();
+
+  engine.run_until(train_weeks * kWeek);
+  lupa.recluster();
+
+  lupa::Gupa gupa;
+  gupa.upload(lupa.build_upload());
+
+  Score score;
+  score.k = static_cast<int>(lupa.categories().size());
+  if (!lupa.has_model()) return score;
+
+  // Static baseline: overall idle fraction from the training history.
+  double busy_sum = 0;
+  double busy_n = 0;
+  for (const auto& day : lupa.history()) {
+    for (double b : day.busy_fraction) {
+      busy_sum += b;
+      busy_n += 1;
+    }
+  }
+  const double static_p_idle = 1.0 - (busy_n > 0 ? busy_sum / busy_n : 0.5);
+
+  // Held-out week: keep simulating; score both predictors at each
+  // half-hour when the machine is idle.
+  const SimDuration horizon = 2 * kHour;
+  int n = 0;
+  int lupa_correct = 0;
+  int gupa_correct = 0;
+  int static_correct = 0;
+  double lupa_brier = 0;
+  double static_brier = 0;
+  const SimTime eval_start = engine.now();
+  for (SimTime t = eval_start; t < eval_start + kWeek; t += 30 * kMinute) {
+    engine.run_until(t);
+    if (machine.owner_load().present) continue;  // ask only about idle nodes
+    const double p_lupa = lupa.p_idle_through(t, horizon);
+    protocol::ForecastRequest request;
+    request.node = machine.id();
+    request.at = t;
+    request.horizon = horizon;
+    const double p_gupa = gupa.forecast(request).p_idle_through;
+
+    // Oracle (resolved after the fact from the recorded trace).
+    engine.run_until(t + horizon);
+    const bool stayed_idle = owner.idle_run_after(t) >= horizon;
+
+    ++n;
+    const double truth = stayed_idle ? 1.0 : 0.0;
+    if ((p_lupa >= 0.5) == stayed_idle) ++lupa_correct;
+    if ((p_gupa >= 0.5) == stayed_idle) ++gupa_correct;
+    if ((static_p_idle >= 0.5) == stayed_idle) ++static_correct;
+    lupa_brier += (p_lupa - truth) * (p_lupa - truth);
+    static_brier += (static_p_idle - truth) * (static_p_idle - truth);
+  }
+  if (n > 0) {
+    score.lupa_accuracy = static_cast<double>(lupa_correct) / n;
+    score.gupa_accuracy = static_cast<double>(gupa_correct) / n;
+    score.static_accuracy = static_cast<double>(static_correct) / n;
+    score.lupa_brier = lupa_brier / n;
+    score.static_brier = static_brier / n;
+  }
+  return score;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("E4", "LUPA: category discovery & idleness forecasting",
+                "clustering day vectors recovers behavioural categories; "
+                "patterns forecast whether an idle machine stays idle");
+
+  struct Profile {
+    const char* name;
+    node::WeeklyProfile (*fn)();
+  };
+  const Profile profiles[] = {
+      {"office_worker", &node::office_worker_profile},
+      {"office+holiday", +[] {
+         auto profile = node::office_worker_profile();
+         profile.holiday_rate = 0.08;  // the paper's "holidays" category
+         return profile;
+       }},
+      {"student_lab", &node::student_lab_profile},
+      {"nocturnal", &node::nocturnal_profile},
+      {"mostly_idle", &node::mostly_idle_profile},
+  };
+
+  std::printf("\n-- prediction quality vs training length (2h horizon, "
+              "idle-now conditioning) --\n");
+  bench::Table table({"profile", "weeks", "k", "lupa-acc", "gupa-acc",
+                      "static-acc", "lupa-brier", "static-brier"},
+                     13);
+  double office_4w_acc = 0;
+  double office_4w_static = 0;
+  for (const auto& profile : profiles) {
+    for (int weeks : {1, 2, 4, 8}) {
+      const auto s = evaluate(profile.fn, weeks, 404 + weeks);
+      if (std::string(profile.name) == "office_worker" && weeks == 4) {
+        office_4w_acc = s.lupa_accuracy;
+        office_4w_static = s.static_accuracy;
+      }
+      table.row({profile.name, bench::fmt("%d", weeks), bench::fmt("%d", s.k),
+                 bench::fmt("%.3f", s.lupa_accuracy),
+                 bench::fmt("%.3f", s.gupa_accuracy),
+                 bench::fmt("%.3f", s.static_accuracy),
+                 bench::fmt("%.3f", s.lupa_brier),
+                 bench::fmt("%.3f", s.static_brier)});
+    }
+  }
+
+  std::printf("\nexpected shape: accuracy grows with training weeks and beats "
+              "the static baseline on structured profiles; the GUPA "
+              "(centroid-only) prediction tracks the node-local one closely; "
+              "k stays small (the day-shape categories are few).\n");
+  const bool ok = office_4w_acc > office_4w_static;
+  std::printf("reproduction: %s\n", ok ? "HOLDS" : "CHECK");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,266 @@
+// E8 — Lightweight ORB microbenchmarks (google-benchmark).
+//
+// The paper builds the LRM on UIC-CORBA, "a very small memory footprint
+// CORBA-compatible implementation (90 KB)", because resource-provider
+// machines must pay almost nothing for grid membership. Our ORB's cost
+// centres are measured here: CDR marshaling of the protocol's hot
+// messages, request framing/parsing, end-to-end request dispatch, Trader
+// constraint matching, and the wire sizes of every periodic message (the
+// per-node steady-state cost of belonging to the grid).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include <map>
+
+#include "orb/message.hpp"
+#include "orb/orb.hpp"
+#include "orb/transport.hpp"
+#include "protocol/messages.hpp"
+#include "protocol/properties.hpp"
+#include "security/auth.hpp"
+#include "services/trader.hpp"
+
+using namespace integrade;
+
+namespace {
+
+protocol::NodeStatus sample_status() {
+  protocol::NodeStatus s;
+  s.node = NodeId(5);
+  s.lrm.host = 42;
+  s.lrm.key = ObjectId(17);
+  s.lrm.type_id = "IDL:integrade/Lrm:1.0";
+  s.hostname = "lab-n5";
+  s.cpu_mips = 1400.5;
+  s.ram_total = 256 * kMiB;
+  s.disk_total = 20 * kGiB;
+  s.os = "linux";
+  s.arch = "x86";
+  s.platforms = {"linux-x86", "java"};
+  s.owner_cpu = 0.25;
+  s.exportable_cpu = 0.75;
+  s.free_ram = 100 * kMiB;
+  s.shareable = true;
+  s.timestamp = 123456789;
+  return s;
+}
+
+void BM_EncodeNodeStatus(benchmark::State& state) {
+  const auto status = sample_status();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cdr::encode_message(status));
+  }
+}
+BENCHMARK(BM_EncodeNodeStatus);
+
+void BM_DecodeNodeStatus(benchmark::State& state) {
+  const auto bytes = cdr::encode_message(sample_status());
+  for (auto _ : state) {
+    auto decoded = cdr::decode_message<protocol::NodeStatus>(bytes);
+    benchmark::DoNotOptimize(decoded);
+  }
+}
+BENCHMARK(BM_DecodeNodeStatus);
+
+void BM_DecodeNodeStatusSwappedOrder(benchmark::State& state) {
+  const auto order = cdr::native_byte_order() == cdr::ByteOrder::kLittleEndian
+                         ? cdr::ByteOrder::kBigEndian
+                         : cdr::ByteOrder::kLittleEndian;
+  const auto bytes = cdr::encode_message(sample_status(), order);
+  for (auto _ : state) {
+    auto decoded = cdr::decode_message<protocol::NodeStatus>(bytes, order);
+    benchmark::DoNotOptimize(decoded);
+  }
+}
+BENCHMARK(BM_DecodeNodeStatusSwappedOrder);
+
+void BM_FrameAndParseRequest(benchmark::State& state) {
+  orb::RequestHeader header;
+  header.request_id = RequestId(42);
+  header.object_key = ObjectId(7);
+  header.operation = "update_status";
+  const auto payload = cdr::encode_message(sample_status());
+  for (auto _ : state) {
+    auto wire = orb::frame_request(header, payload);
+    auto parsed = orb::parse_frame(wire);
+    benchmark::DoNotOptimize(parsed);
+  }
+}
+BENCHMARK(BM_FrameAndParseRequest);
+
+class EchoServant final : public orb::SkeletonBase {
+ public:
+  EchoServant() {
+    register_op<protocol::NodeStatus, cdr::Empty>(
+        "update_status",
+        [](const protocol::NodeStatus&) -> Result<cdr::Empty> {
+          return cdr::Empty{};
+        });
+  }
+  [[nodiscard]] const char* type_id() const override { return "IDL:test/E:1.0"; }
+};
+
+void BM_EndToEndRequestDispatch(benchmark::State& state) {
+  orb::DirectTransport transport;
+  orb::Orb client(1, transport, nullptr);
+  orb::Orb server(2, transport, nullptr);
+  auto ref = server.activate(std::make_shared<EchoServant>());
+  const auto status = sample_status();
+  for (auto _ : state) {
+    bool done = false;
+    orb::call<protocol::NodeStatus, cdr::Empty>(
+        client, ref, "update_status", status,
+        [&](Result<cdr::Empty> reply) { done = reply.is_ok(); });
+    benchmark::DoNotOptimize(done);
+  }
+}
+BENCHMARK(BM_EndToEndRequestDispatch);
+
+void BM_ConstraintParse(benchmark::State& state) {
+  const std::string source =
+      "shareable == true and exportable_cpu > 0 and free_ram_mb >= 64 and "
+      "'linux-x86' in platforms and (cpu_mips >= 500 or dedicated == true)";
+  for (auto _ : state) {
+    auto parsed = services::Constraint::parse(source);
+    benchmark::DoNotOptimize(parsed);
+  }
+}
+BENCHMARK(BM_ConstraintParse);
+
+void BM_ConstraintEval(benchmark::State& state) {
+  auto constraint = services::Constraint::parse(
+                        "shareable == true and exportable_cpu > 0 and "
+                        "free_ram_mb >= 64 and 'linux-x86' in platforms")
+                        .value();
+  const auto props = protocol::to_properties(sample_status());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(constraint.matches(props));
+  }
+}
+BENCHMARK(BM_ConstraintEval);
+
+void BM_TraderQuery(benchmark::State& state) {
+  services::Trader trader;
+  const auto n = state.range(0);
+  for (std::int64_t i = 0; i < n; ++i) {
+    auto status = sample_status();
+    status.node = NodeId(static_cast<std::uint64_t>(i));
+    status.cpu_mips = 500.0 + static_cast<double>(i % 1500);
+    status.lrm.host = static_cast<orb::NodeAddress>(i + 1);
+    trader.export_offer(protocol::kNodeServiceType, status.lrm,
+                        protocol::to_properties(status));
+  }
+  auto constraint =
+      services::Constraint::parse("shareable == true and cpu_mips >= 1000")
+          .value();
+  auto preference = services::Preference::parse("max exportable_mips").value();
+  for (auto _ : state) {
+    auto result = trader.query_compiled(protocol::kNodeServiceType, constraint,
+                                        preference, 8);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_TraderQuery)->Arg(10)->Arg(100)->Arg(1000)->Complexity();
+
+// Ablation (DESIGN.md #1): the Trader's expressive matching vs a bare map
+// scan with hard-coded predicates. The gap is the price of the constraint
+// language's generality.
+void BM_DirectMapScan(benchmark::State& state) {
+  std::map<NodeId, protocol::NodeStatus> nodes;
+  const auto n = state.range(0);
+  for (std::int64_t i = 0; i < n; ++i) {
+    auto status = sample_status();
+    status.node = NodeId(static_cast<std::uint64_t>(i));
+    status.cpu_mips = 500.0 + static_cast<double>(i % 1500);
+    nodes.emplace(status.node, status);
+  }
+  for (auto _ : state) {
+    const protocol::NodeStatus* best = nullptr;
+    for (const auto& [_, status] : nodes) {
+      if (!status.shareable || status.cpu_mips < 1000) continue;
+      if (best == nullptr || status.exportable_cpu * status.cpu_mips >
+                                 best->exportable_cpu * best->cpu_mips) {
+        best = &status;
+      }
+    }
+    benchmark::DoNotOptimize(best);
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_DirectMapScan)->Arg(10)->Arg(100)->Arg(1000)->Complexity();
+
+// Security ablation: HMAC-SHA256 sign + verify per status-update frame —
+// the per-message cost of turning the realm key on (paper §3).
+void BM_SecureSignVerify(benchmark::State& state) {
+  const auto key = security::Key::from_passphrase("realm");
+  orb::RequestHeader header;
+  header.request_id = RequestId(1);
+  header.object_key = ObjectId(1);
+  header.operation = "update_status";
+  const auto frame = orb::frame_request(header, cdr::encode_message(sample_status()));
+  for (auto _ : state) {
+    const auto tag = security::hmac_sha256(key, frame);
+    benchmark::DoNotOptimize(security::digests_equal(
+        tag, security::hmac_sha256(key, frame)));
+  }
+}
+BENCHMARK(BM_SecureSignVerify);
+
+void BM_EndToEndSecureDispatch(benchmark::State& state) {
+  orb::DirectTransport wire;
+  security::SecureTransport secure(wire, security::Key::from_passphrase("realm"));
+  orb::Orb client(1, secure, nullptr);
+  orb::Orb server(2, secure, nullptr);
+  auto ref = server.activate(std::make_shared<EchoServant>());
+  const auto status = sample_status();
+  for (auto _ : state) {
+    bool done = false;
+    orb::call<protocol::NodeStatus, cdr::Empty>(
+        client, ref, "update_status", status,
+        [&](Result<cdr::Empty> reply) { done = reply.is_ok(); });
+    benchmark::DoNotOptimize(done);
+  }
+}
+BENCHMARK(BM_EndToEndSecureDispatch);
+
+void print_wire_sizes() {
+  std::printf("\n-- steady-state wire sizes (bytes, payload + 12B header) --\n");
+  auto show = [](const char* name, std::size_t payload) {
+    std::printf("  %-28s %5zu\n", name, payload + 12);
+  };
+  show("NodeStatus update", cdr::encode_message(sample_status()).size());
+  protocol::ReservationRequest reserve;
+  show("ReservationRequest", cdr::encode_message(reserve).size());
+  protocol::ReservationReply reply;
+  reply.reason = "owner present";
+  show("ReservationReply", cdr::encode_message(reply).size());
+  protocol::TaskReport report;
+  report.detail = "completed";
+  show("TaskReport", cdr::encode_message(report).size());
+  protocol::UsagePatternUpload upload;
+  upload.categories.resize(3);
+  for (auto& cat : upload.categories) cat.centroid.assign(48, 0.1);
+  show("UsagePatternUpload (3 cat)", cdr::encode_message(upload).size());
+  protocol::ForecastRequest forecast;
+  show("ForecastRequest", cdr::encode_message(forecast).size());
+  std::printf("\nat a 30 s update period a provider node costs ~%.1f B/s of\n"
+              "control traffic — negligible beside any LAN (paper: the\n"
+              "provider-side footprint must be tiny).\n",
+              static_cast<double>(cdr::encode_message(sample_status()).size() +
+                                  12) /
+                  30.0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("================================================================\n");
+  std::printf("E8: ORB & Trader microbenchmarks (lightweight-ORB claim)\n");
+  std::printf("================================================================\n");
+  print_wire_sizes();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

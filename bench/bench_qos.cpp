@@ -1,0 +1,161 @@
+// E6 — Owner quality of service under resource sharing.
+//
+// "An important requirement for InteGrade is that users who decide to
+// share their machines with the Grid shall not perceive any drop in the
+// quality of service provided by their applications" (§1). InteGrade
+// enforces this with strict owner priority: grid tasks run in the CPU the
+// owner leaves free (partial-share) or are evicted the moment the owner
+// returns (strict). A naive harvester that pins a fixed share of the CPU —
+// the strawman the NCC exists to prevent — steals from the owner instead.
+//
+// Model: the owner demands d of the CPU; the grid is configured with cap c.
+//   yielding  : grid gets min(c, 1 - d)            -> owner slowdown 1.0
+//   naive     : grid takes c regardless            -> slowdown d / min(d, 1-c)
+// The yielding rows are *measured* on the real LRM against a replayed
+// owner session; the naive rows apply the same trace to the fixed-share
+// model. Harvest = grid MInstr per owner-hour.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "lrm/lrm.hpp"
+#include "node/owner.hpp"
+#include "orb/transport.hpp"
+
+using namespace integrade;
+
+namespace {
+
+struct Outcome {
+  double owner_slowdown;   // mean over owner-active samples
+  double harvested_minstr; // grid work over the experiment
+};
+
+/// Replay a fixed owner demand trace against a real LRM in partial-share
+/// mode with CPU cap `cap`; measure grid throughput and (by construction of
+/// the LRM's strict priority) owner slowdown.
+Outcome run_yielding(double cap, const std::vector<double>& demand_trace) {
+  sim::Engine engine;
+  sim::Network network(engine, Rng(1));
+  network.set_jitter(0.0);
+  const auto lan = network.add_segment(sim::SegmentSpec{});
+  network.attach(1, lan);
+  network.attach(2, lan);
+  orb::SimNetworkTransport transport(network);
+  orb::Orb manager(1, transport, &engine);
+  orb::Orb node_orb(2, transport, &engine);
+
+  node::MachineSpec spec;
+  spec.cpu_mips = 1000.0;
+  node::Machine machine(NodeId(1), spec);
+
+  ncc::SharingPolicy policy;
+  policy.require_owner_away = false;  // partial-share: throttle, don't evict
+  policy.cpu_export_cap = cap;
+  lrm::LrmOptions options;
+  options.run_lupa = false;
+  lrm::Lrm lrm(engine, node_orb, machine, ncc::Ncc(policy), Rng(2), options);
+  lrm.start(orb::ObjectRef{}, orb::ObjectRef{});
+
+  // A grid task with effectively infinite work keeps the node saturated.
+  protocol::ReservationRequest reserve;
+  reserve.id = ReservationId(1);
+  reserve.task = TaskId(1);
+  reserve.cpu_fraction = 1.0;
+  reserve.ram = 0;
+  (void)lrm.handle_reserve(reserve);
+  protocol::ExecuteRequest execute;
+  execute.reservation = ReservationId(1);
+  execute.task.id = TaskId(1);
+  execute.task.app = AppId(1);
+  execute.task.work = 1e12;
+  (void)lrm.handle_execute(execute);
+
+  // Replay the demand trace in 1-minute steps.
+  double slowdown_sum = 0;
+  int active_samples = 0;
+  for (double demand : demand_trace) {
+    node::OwnerLoad load;
+    load.present = demand > 0.05;
+    load.cpu_fraction = demand;
+    machine.set_owner_load(load);
+    engine.run_until(engine.now() + kMinute);
+    if (demand > 0.05) {
+      // The LRM's allocator gives the grid min(cap, 1 - demand): the owner
+      // keeps exactly its demand, so effective slowdown is 1. Measure it
+      // from the machine's accounting to prove the implementation agrees.
+      const double grid_share = lrm.current_status().grid_cpu;
+      const double owner_effective = std::min(demand, 1.0 - grid_share);
+      slowdown_sum += demand / std::max(1e-9, owner_effective);
+      ++active_samples;
+    }
+  }
+
+  Outcome out;
+  out.owner_slowdown = active_samples > 0 ? slowdown_sum / active_samples : 1.0;
+  out.harvested_minstr = lrm.total_work_done();
+  return out;
+}
+
+/// The strawman: grid pins `cap` of the CPU; the owner gets the rest.
+Outcome run_naive(double cap, const std::vector<double>& demand_trace) {
+  double slowdown_sum = 0;
+  int active_samples = 0;
+  double harvested = 0;
+  for (double demand : demand_trace) {
+    harvested += cap * 1000.0 * 60.0;  // cap × MIPS × seconds
+    if (demand > 0.05) {
+      const double owner_effective = std::min(demand, 1.0 - cap);
+      slowdown_sum += demand / std::max(1e-9, owner_effective);
+      ++active_samples;
+    }
+  }
+  Outcome out;
+  out.owner_slowdown = active_samples > 0 ? slowdown_sum / active_samples : 1.0;
+  out.harvested_minstr = harvested;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("E6", "owner QoS: yielding LRM vs naive fixed-share harvester",
+                "owners sharing their machines perceive no drop in quality "
+                "of service");
+
+  // A replayed 8-hour office session: bursts of 30-80% demand with idle
+  // valleys — one sample per minute.
+  sim::Engine trace_engine;
+  node::Machine trace_machine(NodeId(9), node::MachineSpec{});
+  node::OwnerWorkload trace_owner(trace_engine, trace_machine,
+                                  node::office_worker_profile(), Rng(606));
+  trace_owner.start();
+  std::vector<double> demand;
+  for (SimTime t = 9 * kHour; t < 17 * kHour; t += kMinute) {
+    trace_engine.run_until(t);
+    demand.push_back(trace_machine.owner_load().cpu_fraction);
+  }
+
+  bench::Table table({"cpu-cap", "yield-slowdn", "yield-harvest",
+                      "naive-slowdn", "naive-harvest"});
+  double worst_yield = 0;
+  double naive_at_half = 0;
+  for (double cap : {0.2, 0.4, 0.6, 0.8, 1.0}) {
+    const auto yielding = run_yielding(cap, demand);
+    const auto naive = run_naive(cap, demand);
+    worst_yield = std::max(worst_yield, yielding.owner_slowdown);
+    if (cap == 0.6) naive_at_half = naive.owner_slowdown;
+    table.row({bench::fmt("%.0f%%", cap * 100),
+               bench::fmt("%.3f", yielding.owner_slowdown),
+               bench::fmt("%.0f", yielding.harvested_minstr),
+               bench::fmt("%.3f", naive.owner_slowdown),
+               bench::fmt("%.0f", naive.harvested_minstr)});
+  }
+
+  std::printf("\nexpected shape: the yielding LRM holds owner slowdown at "
+              "~1.0 at every cap while still harvesting the idle valleys; "
+              "the naive fixed-share harvester degrades the owner more the "
+              "higher its cap.\n");
+  const bool ok = worst_yield < 1.02 && naive_at_half > 1.2;
+  std::printf("reproduction: %s\n", ok ? "HOLDS" : "CHECK");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,102 @@
+// E3 — Reservation & Execution Protocol under load.
+//
+// Paper §4: "In case the resources are not available in a certain node, the
+// GRM selects another candidate node and repeats the process." This bench
+// sweeps offered load (demand as a fraction of cluster capacity) and
+// reports how hard the negotiation has to work — rounds per placement —
+// plus the ablation column: how often the *first* hint would have failed if
+// trusted blindly (what a hint-trusting scheduler like the Condor baseline
+// experiences as a failed claim).
+#include <cstdio>
+
+#include "asct/asct.hpp"
+#include "bench_util.hpp"
+#include "core/grid.hpp"
+#include "core/workloads.hpp"
+
+using namespace integrade;
+
+namespace {
+
+struct Outcome {
+  double rounds_per_placement;
+  double first_try_failure;  // fraction of waves whose first candidate refused
+  double placed;
+  double wave_failures;
+};
+
+Outcome run(double load_fraction) {
+  core::Grid grid(/*seed=*/303);
+  const int kNodes = 40;
+  auto config = core::quiet_cluster(kNodes, 303);
+  auto& cluster = grid.add_cluster(config);
+  grid.run_for(2 * kMinute);
+
+  // Demand: tasks sized one-per-node; submit load_fraction * nodes tasks in
+  // waves, re-submitting as they complete for 4 hours. Each task occupies
+  // its node ~5 minutes.
+  const int concurrent = std::max(1, static_cast<int>(load_fraction * kNodes));
+  std::vector<AppId> apps;
+  asct::Asct& asct = cluster.asct();
+
+  const SimTime end = grid.engine().now() + 4 * kHour;
+  int launched = 0;
+  while (grid.engine().now() < end) {
+    int running = cluster.grm().running_tasks() + cluster.grm().pending_tasks();
+    while (running < concurrent) {
+      asct::AppBuilder builder(bench::fmt("load-%d", launched++));
+      builder.tasks(1, 300'000.0);  // ~5 min
+      apps.push_back(
+          asct.submit(cluster.grm_ref(), builder.build(asct.ref())));
+      ++running;
+    }
+    grid.run_for(30 * kSecond);
+  }
+
+  Outcome out{};
+  auto& gm = cluster.grm().metrics();
+  out.placed = static_cast<double>(gm.counter_value("tasks_placed"));
+  out.rounds_per_placement =
+      out.placed > 0
+          ? static_cast<double>(gm.counter_value("negotiation_rounds")) / out.placed
+          : 0;
+  const auto refused = gm.counter_value("reservations_refused_remote");
+  const auto rounds = gm.counter_value("negotiation_rounds");
+  out.first_try_failure =
+      rounds > 0 ? static_cast<double>(refused) / static_cast<double>(rounds) : 0;
+  out.wave_failures = static_cast<double>(gm.counter_value("waves_exhausted") +
+                                          gm.counter_value("waves_no_candidates"));
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("E3", "reservation negotiation vs offered load",
+                "the GRM's view is a hint; negotiation retries absorb "
+                "staleness, at a cost that grows with load");
+
+  bench::Table table({"load", "rounds/place", "refusal-rate", "placed",
+                      "failed-waves"});
+  const double loads[] = {0.1, 0.3, 0.5, 0.7, 0.85, 0.95};
+  double low_rounds = 0;
+  double high_rounds = 0;
+  for (const double load : loads) {
+    const auto out = run(load);
+    if (load == loads[0]) low_rounds = out.rounds_per_placement;
+    high_rounds = out.rounds_per_placement;
+    table.row({bench::fmt("%.0f%%", load * 100),
+               bench::fmt("%.2f", out.rounds_per_placement),
+               bench::fmt("%.3f", out.first_try_failure),
+               bench::fmt("%.0f", out.placed),
+               bench::fmt("%.0f", out.wave_failures)});
+  }
+
+  std::printf("\nexpected shape: ~1 round per placement when the cluster is "
+              "lightly loaded; rounds and refusals climb steeply past ~80%% "
+              "load (the retries a hint-truster would instead surface as "
+              "failed claims).\n");
+  const bool ok = low_rounds <= 1.5 && high_rounds > low_rounds;
+  std::printf("reproduction: %s\n", ok ? "HOLDS" : "CHECK");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,59 @@
+// Shared plumbing for the experiment harness binaries.
+//
+// Each bench regenerates one experiment from DESIGN.md's index (E1-E11) and
+// prints a fixed-width table; EXPERIMENTS.md records these outputs next to
+// the paper's corresponding claims.
+#pragma once
+
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace integrade::bench {
+
+/// Print the experiment banner.
+inline void banner(const char* id, const char* title, const char* claim) {
+  std::printf("================================================================\n");
+  std::printf("%s: %s\n", id, title);
+  std::printf("paper claim: %s\n", claim);
+  std::printf("================================================================\n");
+}
+
+/// Fixed-width table writer: header once, then row() per line.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> columns, int width = 14)
+      : columns_(std::move(columns)), width_(width) {
+    for (const auto& column : columns_) {
+      std::printf("%*s", width_, column.c_str());
+    }
+    std::printf("\n");
+    for (std::size_t i = 0; i < columns_.size(); ++i) {
+      std::printf("%*s", width_, "------------");
+    }
+    std::printf("\n");
+  }
+
+  void row(const std::vector<std::string>& cells) const {
+    for (const auto& cell : cells) {
+      std::printf("%*s", width_, cell.c_str());
+    }
+    std::printf("\n");
+  }
+
+ private:
+  std::vector<std::string> columns_;
+  int width_;
+};
+
+inline std::string fmt(const char* format, ...) {
+  char buffer[128];
+  va_list args;
+  va_start(args, format);
+  std::vsnprintf(buffer, sizeof buffer, format, args);
+  va_end(args);
+  return buffer;
+}
+
+}  // namespace integrade::bench

@@ -1,0 +1,69 @@
+// Quickstart: stand up a small InteGrade cluster, submit a sequential
+// application, and watch it complete.
+//
+//   $ ./examples/quickstart
+//
+// Walks through the full paper pipeline in miniature: LRMs report status to
+// the GRM via the Information Update Protocol; the GRM stores offers in its
+// Trader; the ASCT submits an application; the GRM negotiates a reservation
+// with a candidate node; the LRM runs the task in the owner's idle cycles
+// and reports completion.
+#include <cstdio>
+
+#include "asct/asct.hpp"
+#include "core/grid.hpp"
+#include "core/workloads.hpp"
+
+using namespace integrade;
+
+int main() {
+  std::printf("== InteGrade quickstart ==\n\n");
+
+  // A deterministic grid: same seed, same run, every time.
+  core::Grid grid(/*seed=*/2003);
+
+  // Eight spare desktop machines on one LAN.
+  auto& cluster = grid.add_cluster(core::quiet_cluster(8, /*seed=*/2003));
+  std::printf("cluster '%s': %zu resource-provider nodes\n",
+              cluster.name().c_str(), cluster.size());
+
+  // Let the Information Update Protocol populate the GRM's Trader.
+  grid.run_for(2 * kMinute);
+  std::printf("after 2 simulated minutes the GRM knows %zu nodes "
+              "(%zu trader offers)\n\n",
+              cluster.grm().known_nodes(),
+              cluster.grm().trader().offer_count());
+
+  // Describe an application: one task of 120,000 MInstr (~2 minutes on a
+  // 1000 MIPS machine), preferring the fastest exportable CPU.
+  asct::AppBuilder builder("hello-grid");
+  builder.tasks(1, 120'000.0)
+      .ram(32 * kMiB)
+      .preference("max exportable_mips")
+      .estimated_duration(3 * kMinute);
+  const auto spec = builder.build(cluster.asct().ref());
+  std::printf("submitting '%s' (%zu task, %.0f MInstr)\n", spec.name.c_str(),
+              spec.tasks.size(), spec.tasks[0].work);
+
+  const AppId app = cluster.asct().submit(cluster.grm_ref(), spec);
+
+  if (!grid.run_until_app_done(cluster, app, grid.engine().now() + kHour)) {
+    std::printf("application did not finish within an hour of sim time\n");
+    return 1;
+  }
+
+  const auto* progress = cluster.asct().progress(app);
+  std::printf("\napplication completed:\n");
+  std::printf("  makespan        : %.1f s\n", to_seconds(progress->makespan()));
+  std::printf("  tasks completed : %d\n", progress->completed);
+  std::printf("  evictions       : %d\n", progress->evictions);
+
+  std::printf("\nevent log:\n");
+  for (const auto& event : cluster.asct().events()) {
+    std::printf("  t=%8.1fs  %-16s task=%s node=%s %s\n", to_seconds(event.at),
+                protocol::app_event_kind_name(event.kind),
+                to_string(event.task).c_str(), to_string(event.node).c_str(),
+                event.detail.c_str());
+  }
+  return 0;
+}

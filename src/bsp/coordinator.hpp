@@ -1,0 +1,135 @@
+// The BSP runtime (paper §3).
+//
+// "InteGrade adopts BSP as the model for parallel computation; imposing
+// frequent synchronizations among application nodes." A BSP application is
+// P processes advancing through supersteps; each superstep is
+//
+//     compute(w) -> exchange(h) -> barrier
+//
+// and the barrier is exactly where a *globally consistent* checkpoint is
+// free: no messages are in flight, so saving every process's state yields a
+// recovery line without message logging — the design answer to the paper's
+// "what should [checkpointing] do with ongoing communications?" question.
+//
+// The coordinator runs on the Cluster Manager. It drives compute chunks on
+// the ranks' LRMs, models the h-relation exchange on the simulated network
+// (ring pattern), applies Valiant's barrier latency, ships checkpoint state
+// to the repository every k supersteps, and — when the GRM reports a rank
+// evicted — suspends the app, waits for the replacement placement, and
+// rolls every rank back to the last complete checkpoint version.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "ckpt/repository.hpp"
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "grm/grm.hpp"
+#include "orb/orb.hpp"
+#include "protocol/messages.hpp"
+#include "sim/engine.hpp"
+#include "sim/network.hpp"
+
+namespace integrade::bsp {
+
+struct BspOptions {
+  /// Valiant's `l`: fixed barrier synchronization latency per superstep.
+  SimDuration barrier_latency = 5 * kMillisecond;
+};
+
+struct AppStats {
+  SimTime started_at = 0;
+  SimTime finished_at = kTimeNever;
+  std::int64_t supersteps_completed = 0;
+  std::int64_t chunks_issued = 0;
+  int rollbacks = 0;
+  std::int64_t supersteps_replayed = 0;  // lost to rollback
+  int checkpoints_committed = 0;
+  bool completed = false;
+
+  [[nodiscard]] SimDuration elapsed() const {
+    return completed ? finished_at - started_at : -1;
+  }
+};
+
+class BspCoordinator {
+ public:
+  BspCoordinator(sim::Engine& engine, orb::Orb& orb, grm::Grm& grm,
+                 ckpt::CheckpointRepository* repository, sim::Network* network,
+                 BspOptions options = {});
+  ~BspCoordinator();
+  BspCoordinator(const BspCoordinator&) = delete;
+  BspCoordinator& operator=(const BspCoordinator&) = delete;
+
+  /// Activates the chunk_done servant and hooks the GRM's BSP handlers.
+  void start();
+  void stop();
+
+  void set_on_app_complete(std::function<void(AppId, const AppStats&)> callback) {
+    on_complete_ = std::move(callback);
+  }
+
+  [[nodiscard]] const AppStats* stats(AppId app) const;
+
+  // --- GRM hook entry points (public for tests) ---
+  void app_ready(AppId app);
+  void rank_placed(AppId app, std::int32_t rank, const grm::Grm::Placement& p);
+  void rank_lost(AppId app, std::int32_t rank);
+  void app_cancelled(AppId app);
+  void handle_chunk_done(const protocol::BspChunkDone& done);
+
+ private:
+  enum class Phase { kComputing, kExchanging, kBarrier, kCheckpointing, kSuspended };
+
+  struct App {
+    protocol::ApplicationSpec spec;
+    std::vector<grm::Grm::Placement> placement;  // by rank
+    std::vector<bool> rank_up;
+    Phase phase = Phase::kSuspended;
+    std::int64_t superstep = 0;           // currently executing
+    std::int64_t committed_superstep = -1; // last complete checkpoint line
+    std::uint64_t epoch = 0;  // bumped on every suspend; stales old events
+    std::set<std::int32_t> awaiting;      // ranks not yet done with phase
+    AppStats stats;
+
+    [[nodiscard]] std::int32_t processes() const {
+      return static_cast<std::int32_t>(spec.tasks.size());
+    }
+    [[nodiscard]] const protocol::TaskDescriptor& task(std::int32_t rank) const {
+      return spec.tasks[static_cast<std::size_t>(rank)];
+    }
+    [[nodiscard]] bool all_up() const {
+      for (bool up : rank_up) {
+        if (!up) return false;
+      }
+      return true;
+    }
+  };
+
+  void begin_superstep(App& app);
+  void begin_exchange(App& app);
+  void begin_barrier(App& app);
+  void after_barrier(App& app);
+  void begin_checkpoint(App& app);
+  void resume(App& app);
+  void finish(App& app);
+  void suspend(App& app);
+
+  sim::Engine& engine_;
+  orb::Orb& orb_;
+  grm::Grm& grm_;
+  ckpt::CheckpointRepository* repository_;
+  sim::Network* network_;
+  BspOptions options_;
+
+  orb::ObjectRef self_ref_;
+  std::map<AppId, App> apps_;
+  std::function<void(AppId, const AppStats&)> on_complete_;
+  bool started_ = false;
+};
+
+}  // namespace integrade::bsp

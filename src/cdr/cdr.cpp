@@ -1,0 +1,137 @@
+#include "cdr/cdr.hpp"
+
+#include <bit>
+
+namespace integrade::cdr {
+
+ByteOrder native_byte_order() {
+  return std::endian::native == std::endian::little ? ByteOrder::kLittleEndian
+                                                    : ByteOrder::kBigEndian;
+}
+
+Writer::Writer(ByteOrder order) : order_(order) { buf_.reserve(64); }
+
+void Writer::align(std::size_t alignment) {
+  const std::size_t rem = buf_.size() % alignment;
+  if (rem != 0) buf_.insert(buf_.end(), alignment - rem, 0);
+}
+
+template <class T>
+void Writer::write_scalar(T v) {
+  align(sizeof(T));
+  std::uint8_t bytes[sizeof(T)];
+  std::memcpy(bytes, &v, sizeof(T));
+  const bool swap = order_ != native_byte_order();
+  if (swap) {
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      buf_.push_back(bytes[sizeof(T) - 1 - i]);
+    }
+  } else {
+    buf_.insert(buf_.end(), bytes, bytes + sizeof(T));
+  }
+}
+
+void Writer::write_bool(bool v) { buf_.push_back(v ? 1 : 0); }
+void Writer::write_u8(std::uint8_t v) { buf_.push_back(v); }
+void Writer::write_i16(std::int16_t v) { write_scalar(v); }
+void Writer::write_u16(std::uint16_t v) { write_scalar(v); }
+void Writer::write_i32(std::int32_t v) { write_scalar(v); }
+void Writer::write_u32(std::uint32_t v) { write_scalar(v); }
+void Writer::write_i64(std::int64_t v) { write_scalar(v); }
+void Writer::write_u64(std::uint64_t v) { write_scalar(v); }
+void Writer::write_f32(float v) { write_scalar(v); }
+void Writer::write_f64(double v) { write_scalar(v); }
+
+void Writer::write_string(const std::string& v) {
+  write_u32(static_cast<std::uint32_t>(v.size() + 1));
+  buf_.insert(buf_.end(), v.begin(), v.end());
+  buf_.push_back(0);
+}
+
+void Writer::write_octets(const std::vector<std::uint8_t>& v) {
+  write_u32(static_cast<std::uint32_t>(v.size()));
+  buf_.insert(buf_.end(), v.begin(), v.end());
+}
+
+Reader::Reader(const std::uint8_t* data, std::size_t size, ByteOrder order)
+    : data_(data), size_(size), order_(order) {}
+
+Reader::Reader(const std::vector<std::uint8_t>& data, ByteOrder order)
+    : Reader(data.data(), data.size(), order) {}
+
+bool Reader::ensure(std::size_t n) {
+  if (!ok_ || size_ - pos_ < n) {
+    ok_ = false;
+    return false;
+  }
+  return true;
+}
+
+void Reader::align(std::size_t alignment) {
+  const std::size_t rem = pos_ % alignment;
+  if (rem == 0) return;
+  const std::size_t pad = alignment - rem;
+  if (!ensure(pad)) return;
+  pos_ += pad;
+}
+
+template <class T>
+T Reader::read_scalar() {
+  align(sizeof(T));
+  if (!ensure(sizeof(T))) return T{};
+  std::uint8_t bytes[sizeof(T)];
+  const bool swap = order_ != native_byte_order();
+  if (swap) {
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      bytes[i] = data_[pos_ + sizeof(T) - 1 - i];
+    }
+  } else {
+    std::memcpy(bytes, data_ + pos_, sizeof(T));
+  }
+  pos_ += sizeof(T);
+  T v;
+  std::memcpy(&v, bytes, sizeof(T));
+  return v;
+}
+
+bool Reader::read_bool() {
+  if (!ensure(1)) return false;
+  return data_[pos_++] != 0;
+}
+
+std::uint8_t Reader::read_u8() {
+  if (!ensure(1)) return 0;
+  return data_[pos_++];
+}
+
+std::int16_t Reader::read_i16() { return read_scalar<std::int16_t>(); }
+std::uint16_t Reader::read_u16() { return read_scalar<std::uint16_t>(); }
+std::int32_t Reader::read_i32() { return read_scalar<std::int32_t>(); }
+std::uint32_t Reader::read_u32() { return read_scalar<std::uint32_t>(); }
+std::int64_t Reader::read_i64() { return read_scalar<std::int64_t>(); }
+std::uint64_t Reader::read_u64() { return read_scalar<std::uint64_t>(); }
+float Reader::read_f32() { return read_scalar<float>(); }
+double Reader::read_f64() { return read_scalar<double>(); }
+
+std::string Reader::read_string() {
+  const std::uint32_t len = read_u32();
+  if (len == 0 || !ensure(len)) {
+    ok_ = false;
+    return {};
+  }
+  // len includes the trailing NUL.
+  std::string s(reinterpret_cast<const char*>(data_ + pos_), len - 1);
+  if (data_[pos_ + len - 1] != 0) ok_ = false;  // malformed: missing NUL
+  pos_ += len;
+  return s;
+}
+
+std::vector<std::uint8_t> Reader::read_octets() {
+  const std::uint32_t len = read_u32();
+  if (!ensure(len)) return {};
+  std::vector<std::uint8_t> v(data_ + pos_, data_ + pos_ + len);
+  pos_ += len;
+  return v;
+}
+
+}  // namespace integrade::cdr

@@ -1,0 +1,180 @@
+// CORBA Common Data Representation (CDR) marshaling.
+//
+// InteGrade exports all of its services as CORBA interfaces (paper §1); the
+// LRM runs on a tiny ORB (UIC-CORBA) precisely so that resource-provider
+// machines pay almost nothing for grid membership. This module implements
+// the CDR encoding those ORBs speak: primitive types aligned to their
+// natural boundary, strings as length-prefixed NUL-terminated octets,
+// sequences as length-prefixed element runs, and a byte-order flag so a
+// little-endian sender never forces a same-endian receiver to swap
+// ("receiver makes it right").
+//
+// The encoding here is faithful enough that bench_orb's bytes-per-message
+// numbers are meaningful proxies for the real protocol cost.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+#include "common/types.hpp"
+
+namespace integrade::cdr {
+
+enum class ByteOrder : std::uint8_t { kBigEndian = 0, kLittleEndian = 1 };
+
+/// Native byte order of this process.
+ByteOrder native_byte_order();
+
+class Writer {
+ public:
+  explicit Writer(ByteOrder order = native_byte_order());
+
+  void write_bool(bool v);
+  void write_u8(std::uint8_t v);
+  void write_i16(std::int16_t v);
+  void write_u16(std::uint16_t v);
+  void write_i32(std::int32_t v);
+  void write_u32(std::uint32_t v);
+  void write_i64(std::int64_t v);
+  void write_u64(std::uint64_t v);
+  void write_f32(float v);
+  void write_f64(double v);
+  /// CORBA string: u32 length including terminating NUL, then bytes, then NUL.
+  void write_string(const std::string& v);
+  /// Raw octet sequence: u32 length then bytes (no NUL).
+  void write_octets(const std::vector<std::uint8_t>& v);
+
+  template <class Tag>
+  void write_id(Id<Tag> id) {
+    write_u64(id.value);
+  }
+
+  /// Pad so the next value of size `alignment` lands on its natural boundary.
+  void align(std::size_t alignment);
+
+  [[nodiscard]] const std::vector<std::uint8_t>& buffer() const { return buf_; }
+  [[nodiscard]] std::vector<std::uint8_t> take_buffer() { return std::move(buf_); }
+  [[nodiscard]] std::size_t size() const { return buf_.size(); }
+  [[nodiscard]] ByteOrder byte_order() const { return order_; }
+
+ private:
+  template <class T>
+  void write_scalar(T v);
+
+  std::vector<std::uint8_t> buf_;
+  ByteOrder order_;
+};
+
+/// Reader mirrors Writer. Errors (truncated buffer) latch a failure flag;
+/// after a failure every read returns a zero value. Callers check ok() once
+/// after decoding a whole message, which keeps decode functions linear.
+class Reader {
+ public:
+  Reader(const std::uint8_t* data, std::size_t size,
+         ByteOrder order = native_byte_order());
+  explicit Reader(const std::vector<std::uint8_t>& data,
+                  ByteOrder order = native_byte_order());
+
+  bool read_bool();
+  std::uint8_t read_u8();
+  std::int16_t read_i16();
+  std::uint16_t read_u16();
+  std::int32_t read_i32();
+  std::uint32_t read_u32();
+  std::int64_t read_i64();
+  std::uint64_t read_u64();
+  float read_f32();
+  double read_f64();
+  std::string read_string();
+  std::vector<std::uint8_t> read_octets();
+
+  template <class Tag>
+  Id<Tag> read_id() {
+    return Id<Tag>(read_u64());
+  }
+
+  void align(std::size_t alignment);
+
+  [[nodiscard]] bool ok() const { return ok_; }
+  [[nodiscard]] std::size_t position() const { return pos_; }
+  [[nodiscard]] std::size_t remaining() const { return size_ - pos_; }
+  /// True when the whole buffer was consumed without error.
+  [[nodiscard]] bool exhausted() const { return ok_ && pos_ == size_; }
+
+ private:
+  template <class T>
+  T read_scalar();
+  bool ensure(std::size_t n);
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+  ByteOrder order_;
+  bool ok_ = true;
+};
+
+// ---------------------------------------------------------------------------
+// Codec<T>: the extension point protocol structs specialize. A struct's
+// encode/decode must be exact mirrors; tests/cdr_test.cpp round-trips every
+// protocol message through both byte orders to enforce that.
+// ---------------------------------------------------------------------------
+template <class T>
+struct Codec;  // specialize: static void encode(Writer&, const T&);
+               //             static T decode(Reader&);
+
+/// Empty request/ack payload for operations that need no arguments.
+struct Empty {
+  bool operator==(const Empty&) const = default;
+};
+template <>
+struct Codec<Empty> {
+  static void encode(Writer&, const Empty&) {}
+  static Empty decode(Reader&) { return {}; }
+};
+
+template <class T>
+std::vector<std::uint8_t> encode_message(const T& value,
+                                         ByteOrder order = native_byte_order()) {
+  Writer w(order);
+  Codec<T>::encode(w, value);
+  return w.take_buffer();
+}
+
+template <class T>
+Result<T> decode_message(const std::vector<std::uint8_t>& bytes,
+                         ByteOrder order = native_byte_order()) {
+  Reader r(bytes, order);
+  T value = Codec<T>::decode(r);
+  if (!r.ok()) return Status(ErrorCode::kInternal, "truncated CDR message");
+  return value;
+}
+
+/// Encode a sequence as u32 count + elements.
+template <class T>
+void encode_sequence(Writer& w, const std::vector<T>& items) {
+  w.write_u32(static_cast<std::uint32_t>(items.size()));
+  for (const auto& item : items) Codec<T>::encode(w, item);
+}
+
+template <class T>
+std::vector<T> decode_sequence(Reader& r) {
+  const std::uint32_t n = r.read_u32();
+  std::vector<T> items;
+  // Guard against hostile/corrupt lengths: never reserve more elements than
+  // bytes remaining (each element costs at least one byte on the wire).
+  if (n > r.remaining() && n > 0) {
+    // Still attempt to decode; the reader will latch an error on underrun.
+    items.reserve(r.remaining());
+  } else {
+    items.reserve(n);
+  }
+  for (std::uint32_t i = 0; i < n && r.ok(); ++i) {
+    items.push_back(Codec<T>::decode(r));
+  }
+  return items;
+}
+
+}  // namespace integrade::cdr

@@ -1,0 +1,93 @@
+#include "ckpt/repository.hpp"
+
+#include <algorithm>
+
+namespace integrade::ckpt {
+
+Status CheckpointRepository::store(Checkpoint checkpoint) {
+  const RankKey key{checkpoint.app, checkpoint.rank};
+  auto& versions = data_[key];
+  if (!versions.empty() && checkpoint.version <= versions.rbegin()->first) {
+    return Status(ErrorCode::kFailedPrecondition,
+                  "checkpoint version regression: have " +
+                      std::to_string(versions.rbegin()->first) + ", got " +
+                      std::to_string(checkpoint.version));
+  }
+  total_bytes_ += static_cast<Bytes>(checkpoint.state.size());
+  ++stores_;
+  versions.emplace(checkpoint.version, std::move(checkpoint));
+  return Status::ok();
+}
+
+const Checkpoint* CheckpointRepository::latest(AppId app,
+                                               std::int32_t rank) const {
+  auto it = data_.find(RankKey{app, rank});
+  if (it == data_.end() || it->second.empty()) return nullptr;
+  return &it->second.rbegin()->second;
+}
+
+const Checkpoint* CheckpointRepository::at_version(AppId app, std::int32_t rank,
+                                                   std::int64_t version) const {
+  auto it = data_.find(RankKey{app, rank});
+  if (it == data_.end()) return nullptr;
+  auto vit = it->second.find(version);
+  return vit == it->second.end() ? nullptr : &vit->second;
+}
+
+std::optional<std::int64_t> CheckpointRepository::latest_complete_version(
+    AppId app, std::int32_t processes) const {
+  std::optional<std::int64_t> complete;
+  if (processes <= 0) return complete;
+
+  // Candidate versions are those stored by rank 0; a version is complete
+  // when all other ranks have it too.
+  auto it0 = data_.find(RankKey{app, 0});
+  if (it0 == data_.end()) return complete;
+  for (auto vit = it0->second.rbegin(); vit != it0->second.rend(); ++vit) {
+    const std::int64_t version = vit->first;
+    bool all = true;
+    for (std::int32_t rank = 1; rank < processes; ++rank) {
+      if (at_version(app, rank, version) == nullptr) {
+        all = false;
+        break;
+      }
+    }
+    if (all) return version;
+  }
+  return complete;
+}
+
+void CheckpointRepository::prune(AppId app, std::int64_t keep_from) {
+  for (auto& [key, versions] : data_) {
+    if (key.app != app) continue;
+    for (auto it = versions.begin(); it != versions.end();) {
+      if (it->first < keep_from) {
+        total_bytes_ -= static_cast<Bytes>(it->second.state.size());
+        it = versions.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+}
+
+void CheckpointRepository::drop_app(AppId app) {
+  for (auto it = data_.begin(); it != data_.end();) {
+    if (it->first.app == app) {
+      for (const auto& [_, c] : it->second) {
+        total_bytes_ -= static_cast<Bytes>(c.state.size());
+      }
+      it = data_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::size_t CheckpointRepository::checkpoint_count() const {
+  std::size_t n = 0;
+  for (const auto& [_, versions] : data_) n += versions.size();
+  return n;
+}
+
+}  // namespace integrade::ckpt

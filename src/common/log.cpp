@@ -1,0 +1,44 @@
+#include "common/log.hpp"
+
+#include <cstdio>
+
+namespace integrade {
+namespace {
+
+LogLevel g_level = LogLevel::kWarn;
+std::function<void(LogLevel, const std::string&)> g_sink;
+
+const char* level_name(LogLevel l) {
+  switch (l) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level = level; }
+LogLevel log_level() { return g_level; }
+
+void set_log_sink(std::function<void(LogLevel, const std::string&)> sink) {
+  g_sink = std::move(sink);
+}
+
+namespace log_internal {
+
+void emit(LogLevel level, const std::string& component, const std::string& message) {
+  if (level < g_level) return;
+  if (g_sink) {
+    g_sink(level, "[" + component + "] " + message);
+    return;
+  }
+  std::fprintf(stderr, "%-5s [%s] %s\n", level_name(level), component.c_str(),
+               message.c_str());
+}
+
+}  // namespace log_internal
+}  // namespace integrade

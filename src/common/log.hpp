@@ -1,0 +1,39 @@
+// Minimal leveled logger.
+//
+// Components log through here so examples can run verbose while tests and
+// benches stay silent. The sink is a plain function to keep the dependency
+// surface tiny (no iostream in headers that don't need it).
+#pragma once
+
+#include <functional>
+#include <string>
+
+namespace integrade {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+namespace log_internal {
+void emit(LogLevel level, const std::string& component, const std::string& message);
+}
+
+/// Global threshold; messages below it are dropped. Defaults to kWarn.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Replace the sink (default writes to stderr). Pass nullptr to restore.
+void set_log_sink(std::function<void(LogLevel, const std::string&)> sink);
+
+inline void log_debug(const std::string& component, const std::string& message) {
+  log_internal::emit(LogLevel::kDebug, component, message);
+}
+inline void log_info(const std::string& component, const std::string& message) {
+  log_internal::emit(LogLevel::kInfo, component, message);
+}
+inline void log_warn(const std::string& component, const std::string& message) {
+  log_internal::emit(LogLevel::kWarn, component, message);
+}
+inline void log_error(const std::string& component, const std::string& message) {
+  log_internal::emit(LogLevel::kError, component, message);
+}
+
+}  // namespace integrade

@@ -1,0 +1,112 @@
+// Error handling across protocol boundaries.
+//
+// Remote invocations and scheduling decisions fail routinely (a node went
+// busy, a reservation expired); those are ordinary outcomes, not exceptions.
+// Result<T> carries either a value or a Status, in the style of
+// std::expected (which the toolchain here may not ship in <expected>).
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace integrade {
+
+enum class ErrorCode {
+  kOk = 0,
+  kNotFound,          // no such object / node / offer
+  kUnavailable,       // target exists but cannot serve now (node busy, down)
+  kResourceExhausted, // not enough CPU / RAM / slots
+  kDeadlineExceeded,  // request or reservation timed out
+  kInvalidArgument,   // malformed request, bad constraint expression
+  kFailedPrecondition,// protocol state does not allow the operation
+  kAborted,           // reservation/negotiation cancelled by peer
+  kInternal,          // bug or unmarshalable payload
+};
+
+const char* error_code_name(ErrorCode c);
+
+class Status {
+ public:
+  Status() = default;  // ok
+  Status(ErrorCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status ok() { return Status(); }
+
+  [[nodiscard]] bool is_ok() const { return code_ == ErrorCode::kOk; }
+  [[nodiscard]] ErrorCode code() const { return code_; }
+  [[nodiscard]] const std::string& message() const { return message_; }
+
+  [[nodiscard]] std::string to_string() const {
+    if (is_ok()) return "OK";
+    std::string s = error_code_name(code_);
+    if (!message_.empty()) {
+      s += ": ";
+      s += message_;
+    }
+    return s;
+  }
+
+  bool operator==(const Status& other) const { return code_ == other.code_; }
+
+ private:
+  ErrorCode code_ = ErrorCode::kOk;
+  std::string message_;
+};
+
+inline const char* error_code_name(ErrorCode c) {
+  switch (c) {
+    case ErrorCode::kOk: return "OK";
+    case ErrorCode::kNotFound: return "NOT_FOUND";
+    case ErrorCode::kUnavailable: return "UNAVAILABLE";
+    case ErrorCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
+    case ErrorCode::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
+    case ErrorCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case ErrorCode::kFailedPrecondition: return "FAILED_PRECONDITION";
+    case ErrorCode::kAborted: return "ABORTED";
+    case ErrorCode::kInternal: return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+template <class T>
+class Result {
+ public:
+  // Intentionally implicit: lets functions `return value;` / `return status;`.
+  Result(T value) : value_(std::move(value)) {}                    // NOLINT
+  Result(Status status) : status_(std::move(status)) {             // NOLINT
+    assert(!status_.is_ok() && "Result from status requires an error");
+  }
+  Result(ErrorCode code, std::string message)
+      : status_(code, std::move(message)) {}
+
+  [[nodiscard]] bool is_ok() const { return value_.has_value(); }
+  explicit operator bool() const { return is_ok(); }
+
+  [[nodiscard]] const Status& status() const { return status_; }
+
+  [[nodiscard]] T& value() & {
+    assert(is_ok());
+    return *value_;
+  }
+  [[nodiscard]] const T& value() const& {
+    assert(is_ok());
+    return *value_;
+  }
+  [[nodiscard]] T&& value() && {
+    assert(is_ok());
+    return std::move(*value_);
+  }
+
+  [[nodiscard]] T value_or(T fallback) const {
+    return is_ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace integrade

@@ -1,0 +1,108 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <sstream>
+
+namespace integrade {
+
+void Summary::observe(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+  samples_.push_back(x);
+  sorted_ = false;
+}
+
+double Summary::mean() const { return count_ == 0 ? 0.0 : mean_; }
+
+double Summary::variance() const {
+  return count_ == 0 ? 0.0 : m2_ / static_cast<double>(count_);
+}
+
+double Summary::stddev() const { return std::sqrt(variance()); }
+
+double Summary::percentile(double q) const {
+  if (samples_.empty()) return 0.0;
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(samples_.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, samples_.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+}
+
+void Summary::reset() {
+  count_ = 0;
+  sum_ = mean_ = m2_ = min_ = max_ = 0.0;
+  samples_.clear();
+  sorted_ = true;
+}
+
+Histogram::Histogram(double lo, double hi, int buckets) {
+  assert(lo > 0.0 && hi > lo && buckets > 0);
+  log_lo_ = std::log(lo);
+  log_hi_ = std::log(hi);
+  counts_.assign(static_cast<std::size_t>(buckets) + 2, 0);
+}
+
+void Histogram::observe(double x) {
+  ++total_;
+  const int inner = static_cast<int>(counts_.size()) - 2;
+  if (x <= 0.0 || std::log(x) < log_lo_) {
+    ++counts_.front();
+    return;
+  }
+  if (std::log(x) >= log_hi_) {
+    ++counts_.back();
+    return;
+  }
+  const double frac = (std::log(x) - log_lo_) / (log_hi_ - log_lo_);
+  int idx = static_cast<int>(frac * inner);
+  idx = std::clamp(idx, 0, inner - 1);
+  ++counts_[static_cast<std::size_t>(idx) + 1];
+}
+
+double Histogram::bucket_lower_bound(int i) const {
+  const int inner = static_cast<int>(counts_.size()) - 2;
+  assert(i >= 0 && i < inner);
+  const double frac = static_cast<double>(i) / inner;
+  return std::exp(log_lo_ + frac * (log_hi_ - log_lo_));
+}
+
+std::string Histogram::to_string() const {
+  std::ostringstream os;
+  const int inner = static_cast<int>(counts_.size()) - 2;
+  os << "hist(n=" << total_ << ") under=" << counts_.front();
+  for (int i = 0; i < inner; ++i) {
+    if (counts_[static_cast<std::size_t>(i) + 1] == 0) continue;
+    os << " [" << bucket_lower_bound(i) << ")=" << counts_[static_cast<std::size_t>(i) + 1];
+  }
+  os << " over=" << counts_.back();
+  return os.str();
+}
+
+std::int64_t MetricRegistry::counter_value(const std::string& name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second.value();
+}
+
+void MetricRegistry::reset() {
+  for (auto& [_, c] : counters_) c.reset();
+  for (auto& [_, s] : summaries_) s.reset();
+}
+
+}  // namespace integrade

@@ -1,0 +1,92 @@
+// Lightweight metrics used by every subsystem and printed by the benches.
+//
+// Counter: monotonically increasing event count.
+// Summary: streaming mean/variance (Welford) + min/max + retained samples
+//          for exact percentiles (experiments here are small enough that
+//          retaining samples is cheaper than quantile sketches).
+// Histogram: fixed log-spaced buckets for latency-like quantities.
+// MetricRegistry: named metrics, so a component can expose its counters
+//          without the caller knowing its internals.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace integrade {
+
+class Counter {
+ public:
+  void add(std::int64_t n = 1) { value_ += n; }
+  [[nodiscard]] std::int64_t value() const { return value_; }
+  void reset() { value_ = 0; }
+
+ private:
+  std::int64_t value_ = 0;
+};
+
+class Summary {
+ public:
+  void observe(double x);
+
+  [[nodiscard]] std::int64_t count() const { return count_; }
+  [[nodiscard]] double sum() const { return sum_; }
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double variance() const;  // population variance
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return min_; }
+  [[nodiscard]] double max() const { return max_; }
+
+  /// Exact percentile over retained samples, q in [0, 1]. Returns 0 if empty.
+  [[nodiscard]] double percentile(double q) const;
+
+  void reset();
+
+ private:
+  std::int64_t count_ = 0;
+  double sum_ = 0.0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+};
+
+class Histogram {
+ public:
+  /// Log-spaced buckets covering [lo, hi] with `buckets` divisions.
+  Histogram(double lo, double hi, int buckets);
+
+  void observe(double x);
+  [[nodiscard]] std::int64_t count() const { return total_; }
+  [[nodiscard]] const std::vector<std::int64_t>& bucket_counts() const { return counts_; }
+  [[nodiscard]] double bucket_lower_bound(int i) const;
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  double log_lo_;
+  double log_hi_;
+  std::vector<std::int64_t> counts_;  // [under, b0..bn-1, over]
+  std::int64_t total_ = 0;
+};
+
+class MetricRegistry {
+ public:
+  Counter& counter(const std::string& name) { return counters_[name]; }
+  Summary& summary(const std::string& name) { return summaries_[name]; }
+
+  [[nodiscard]] std::int64_t counter_value(const std::string& name) const;
+  [[nodiscard]] const std::map<std::string, Counter>& counters() const { return counters_; }
+  [[nodiscard]] const std::map<std::string, Summary>& summaries() const { return summaries_; }
+
+  void reset();
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Summary> summaries_;
+};
+
+}  // namespace integrade

@@ -1,0 +1,184 @@
+#include "core/grid.hpp"
+
+#include <cassert>
+
+namespace integrade::core {
+
+namespace {
+
+/// GUPA as a CORBA object: LRMs push pattern uploads; anyone may ask for
+/// forecasts over the wire (the local GRM short-circuits in-process).
+class GupaServant final : public orb::SkeletonBase {
+ public:
+  explicit GupaServant(lupa::Gupa& gupa) {
+    register_op<protocol::UsagePatternUpload, cdr::Empty>(
+        "upload_pattern",
+        [&gupa](const protocol::UsagePatternUpload& upload) -> Result<cdr::Empty> {
+          gupa.upload(upload);
+          return cdr::Empty{};
+        });
+    register_op<protocol::ForecastRequest, protocol::ForecastReply>(
+        "forecast", [&gupa](const protocol::ForecastRequest& request)
+                        -> Result<protocol::ForecastReply> {
+          return gupa.forecast(request);
+        });
+  }
+  [[nodiscard]] const char* type_id() const override {
+    return "IDL:integrade/Gupa:1.0";
+  }
+};
+
+/// Checkpoint repository as a CORBA object: LRMs store sequential-task
+/// checkpoints here (BSP checkpoints are stored by the coordinator, which
+/// is co-located with the repository).
+class CheckpointServant final : public orb::SkeletonBase {
+ public:
+  explicit CheckpointServant(ckpt::CheckpointRepository& repository) {
+    register_op<ckpt::Checkpoint, cdr::Empty>(
+        "store_checkpoint",
+        [&repository](const ckpt::Checkpoint& checkpoint) -> Result<cdr::Empty> {
+          // A version regression means a stale writer raced a recovery;
+          // dropping it is the correct resolution.
+          (void)repository.store(checkpoint);
+          return cdr::Empty{};
+        });
+  }
+  [[nodiscard]] const char* type_id() const override {
+    return "IDL:integrade/CheckpointRepository:1.0";
+  }
+};
+
+}  // namespace
+
+Cluster::Cluster(Grid& grid, ClusterId id, ClusterConfig config)
+    : grid_(grid), id_(id), config_(std::move(config)) {
+  assert(!config_.segments.empty());
+  for (const auto& segment : config_.segments) {
+    segment_ids_.push_back(grid_.network().add_segment(segment));
+  }
+
+  // --- Cluster Manager node ---
+  const auto manager_addr = grid_.allocate_endpoint(segment_ids_.front());
+  manager_orb_ = std::make_unique<orb::Orb>(manager_addr, grid_.transport(),
+                                            &grid_.engine());
+  gupa_ref_ = manager_orb_->activate(std::make_shared<GupaServant>(gupa_));
+  ckpt_ref_ =
+      manager_orb_->activate(std::make_shared<CheckpointServant>(repository_));
+  grm_ = std::make_unique<grm::Grm>(grid_.engine(), *manager_orb_, id_,
+                                    grid_.fork_rng(), config_.grm);
+  grm_->start(&gupa_, &repository_, &grid_.network());
+  coordinator_ = std::make_unique<bsp::BspCoordinator>(
+      grid_.engine(), *manager_orb_, *grm_, &repository_, &grid_.network(),
+      config_.bsp);
+  coordinator_->start();
+
+  // --- User node ---
+  const auto user_addr = grid_.allocate_endpoint(segment_ids_.front());
+  user_orb_ =
+      std::make_unique<orb::Orb>(user_addr, grid_.transport(), &grid_.engine());
+  asct_ = std::make_unique<asct::Asct>(grid_.engine(), *user_orb_);
+
+  // Publish the cluster's well-known objects in the grid Naming service so
+  // any component can bootstrap by name (the CosNaming pattern).
+  const std::string prefix = "clusters/" + config_.name;
+  grid_.naming().rebind(prefix + "/grm", grm_->ref());
+  grid_.naming().rebind(prefix + "/gupa", gupa_ref_);
+  grid_.naming().rebind(prefix + "/checkpoints", ckpt_ref_);
+  grid_.naming().rebind(prefix + "/asct", asct_->ref());
+
+  // --- Resource provider / dedicated nodes ---
+  NodeId next_node{id_.value * 1'000'000 + 1};
+  for (const auto& node_config : config_.nodes) {
+    auto worker = std::make_unique<Worker>();
+    auto spec = node_config.spec;
+    if (spec.hostname.empty()) {
+      spec.hostname =
+          config_.name + "-n" + std::to_string(next_node.value % 1'000'000);
+    }
+    worker->machine = std::make_unique<node::Machine>(next_node, spec);
+    next_node = NodeId(next_node.value + 1);
+
+    const auto segment =
+        segment_ids_.at(static_cast<std::size_t>(node_config.segment));
+    const auto addr = grid_.allocate_endpoint(segment);
+    worker->orb =
+        std::make_unique<orb::Orb>(addr, grid_.transport(), &grid_.engine());
+
+    lrm::LrmOptions lrm_options = config_.lrm;
+    ncc::SharingPolicy policy = node_config.policy;
+    if (node_config.dedicated) {
+      lrm_options.run_lupa = false;  // paper: "LUPA is not executed in
+                                     // dedicated nodes"
+      policy = ncc::dedicated_policy();
+    } else {
+      worker->owner = std::make_unique<node::OwnerWorkload>(
+          grid_.engine(), *worker->machine, node_config.profile,
+          grid_.fork_rng());
+      worker->owner->start();
+    }
+    worker->lrm = std::make_unique<lrm::Lrm>(grid_.engine(), *worker->orb,
+                                             *worker->machine,
+                                             ncc::Ncc(policy),
+                                             grid_.fork_rng(), lrm_options);
+    worker->lrm->start(grm_->ref(), gupa_ref_, ckpt_ref_, &grid_.network());
+    workers_.push_back(std::move(worker));
+  }
+}
+
+Cluster::~Cluster() {
+  // Stop protocol actors before their ORBs die underneath them.
+  for (auto& worker : workers_) {
+    if (worker->owner) worker->owner->stop();
+    worker->lrm->stop();
+  }
+  coordinator_->stop();
+  grm_->stop();
+}
+
+MInstr Cluster::total_work_done() const {
+  MInstr total = 0;
+  for (const auto& worker : workers_) total += worker->lrm->total_work_done();
+  return total;
+}
+
+Grid::Grid(std::uint64_t seed, GridOptions options)
+    : rng_(seed), network_(engine_, Rng(seed ^ 0x9e3779b97f4a7c15ULL)),
+      transport_(network_) {
+  if (!options.realm_passphrase.empty()) {
+    secure_transport_ = std::make_unique<security::SecureTransport>(
+        transport_, security::Key::from_passphrase(options.realm_passphrase));
+  }
+}
+
+Grid::~Grid() = default;
+
+orb::Transport& Grid::transport() {
+  if (secure_transport_) return *secure_transport_;
+  return transport_;
+}
+
+Cluster& Grid::add_cluster(ClusterConfig config) {
+  const ClusterId id(clusters_.size() + 1);
+  clusters_.push_back(std::make_unique<Cluster>(*this, id, std::move(config)));
+  return *clusters_.back();
+}
+
+void Grid::connect(Cluster& parent, Cluster& child) {
+  child.grm().set_parent(parent.grm_ref());
+  parent.grm().add_child(child.grm_ref());
+}
+
+bool Grid::run_until_app_done(Cluster& cluster, AppId app, SimTime deadline) {
+  while (engine_.now() < deadline && !cluster.asct().done(app)) {
+    if (!engine_.step(deadline)) break;
+  }
+  return cluster.asct().done(app);
+}
+
+orb::NodeAddress Grid::allocate_endpoint(sim::SegmentId segment) {
+  const orb::NodeAddress address = next_endpoint_++;
+  network_.attach(address, segment);
+  return address;
+}
+
+}  // namespace integrade::core

@@ -1,0 +1,191 @@
+// The InteGrade grid facade: the library's top-level public API.
+//
+// A Grid owns one simulation (engine + network + seeded randomness) and any
+// number of Clusters, each matching Figure 1 of the paper:
+//
+//   Cluster Manager node : GRM + GUPA + checkpoint repository + BSP
+//                          coordinator, one ORB
+//   User node            : ASCT, one ORB
+//   Resource providers   : Machine + OwnerWorkload + NCC + LRM (+LUPA),
+//                          one lightweight ORB each
+//   Dedicated nodes      : like providers but ownerless, dedicated policy
+//
+// Clusters are wired into a hierarchy with connect(); everything runs when
+// the caller advances the simulation clock.
+//
+//   core::Grid grid(/*seed=*/42);
+//   auto& cluster = grid.add_cluster(core::campus_cluster(50));
+//   grid.run_for(2 * kWeek);                       // let LUPA learn
+//   asct::AppBuilder app("render");
+//   app.tasks(100, 60'000.0).estimated_duration(30 * kMinute);
+//   const AppId id = cluster.asct().submit(cluster.grm_ref(),
+//                                          app.build(cluster.asct().ref()));
+//   grid.run_until_app_done(cluster, id);
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "asct/asct.hpp"
+#include "bsp/coordinator.hpp"
+#include "ckpt/repository.hpp"
+#include "common/rng.hpp"
+#include "grm/grm.hpp"
+#include "lrm/lrm.hpp"
+#include "lupa/gupa.hpp"
+#include "ncc/ncc.hpp"
+#include "node/machine.hpp"
+#include "node/owner.hpp"
+#include "orb/orb.hpp"
+#include "orb/transport.hpp"
+#include "security/auth.hpp"
+#include "services/naming.hpp"
+#include "sim/engine.hpp"
+#include "sim/network.hpp"
+
+namespace integrade::core {
+
+struct NodeConfig {
+  node::MachineSpec spec;
+  node::WeeklyProfile profile;  // ignored for dedicated nodes
+  ncc::SharingPolicy policy;
+  bool dedicated = false;
+  int segment = 0;  // index into ClusterConfig::segments
+};
+
+struct ClusterConfig {
+  std::string name = "cluster";
+  std::vector<sim::SegmentSpec> segments = {sim::SegmentSpec{}};
+  std::vector<NodeConfig> nodes;
+  grm::GrmOptions grm;
+  lrm::LrmOptions lrm;
+  bsp::BspOptions bsp;
+};
+
+class Grid;
+
+class Cluster {
+ public:
+  Cluster(Grid& grid, ClusterId id, ClusterConfig config);
+  ~Cluster();
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  [[nodiscard]] ClusterId id() const { return id_; }
+  [[nodiscard]] const std::string& name() const { return config_.name; }
+  [[nodiscard]] std::size_t size() const { return workers_.size(); }
+
+  [[nodiscard]] grm::Grm& grm() { return *grm_; }
+  [[nodiscard]] const orb::ObjectRef& grm_ref() const { return grm_->ref(); }
+  [[nodiscard]] lupa::Gupa& gupa() { return gupa_; }
+  [[nodiscard]] ckpt::CheckpointRepository& repository() { return repository_; }
+  [[nodiscard]] bsp::BspCoordinator& coordinator() { return *coordinator_; }
+  [[nodiscard]] asct::Asct& asct() { return *asct_; }
+  [[nodiscard]] orb::Orb& manager_orb() { return *manager_orb_; }
+  [[nodiscard]] orb::Orb& user_orb() { return *user_orb_; }
+
+  [[nodiscard]] lrm::Lrm& lrm(std::size_t i) { return *workers_[i]->lrm; }
+  [[nodiscard]] node::Machine& machine(std::size_t i) {
+    return *workers_[i]->machine;
+  }
+  /// Null for dedicated nodes (no owner process).
+  [[nodiscard]] node::OwnerWorkload* owner(std::size_t i) {
+    return workers_[i]->owner.get();
+  }
+
+  /// Network segment id (grid-wide) of the cluster's local segment index.
+  [[nodiscard]] sim::SegmentId segment_id(int local_index) const {
+    return segment_ids_.at(static_cast<std::size_t>(local_index));
+  }
+
+  /// Total grid work (MInstr) completed across all provider nodes.
+  [[nodiscard]] MInstr total_work_done() const;
+
+ private:
+  struct Worker {
+    std::unique_ptr<node::Machine> machine;
+    std::unique_ptr<node::OwnerWorkload> owner;
+    std::unique_ptr<orb::Orb> orb;
+    std::unique_ptr<lrm::Lrm> lrm;
+  };
+
+  Grid& grid_;
+  ClusterId id_;
+  ClusterConfig config_;
+  std::vector<sim::SegmentId> segment_ids_;
+
+  // Cluster Manager node.
+  std::unique_ptr<orb::Orb> manager_orb_;
+  lupa::Gupa gupa_;
+  ckpt::CheckpointRepository repository_;
+  orb::ObjectRef gupa_ref_;
+  orb::ObjectRef ckpt_ref_;
+  std::unique_ptr<grm::Grm> grm_;
+  std::unique_ptr<bsp::BspCoordinator> coordinator_;
+
+  // User node.
+  std::unique_ptr<orb::Orb> user_orb_;
+  std::unique_ptr<asct::Asct> asct_;
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+};
+
+struct GridOptions {
+  /// When set, every frame on the grid is HMAC-authenticated under the
+  /// realm key derived from this passphrase (paper §3's authentication
+  /// requirement). Unkeyed or tampered traffic is dropped at the transport.
+  std::string realm_passphrase;
+};
+
+class Grid {
+ public:
+  explicit Grid(std::uint64_t seed, GridOptions options = {});
+  ~Grid();
+  Grid(const Grid&) = delete;
+  Grid& operator=(const Grid&) = delete;
+
+  [[nodiscard]] sim::Engine& engine() { return engine_; }
+  [[nodiscard]] sim::Network& network() { return network_; }
+  /// The transport ORBs bind to (the secure decorator when enabled).
+  [[nodiscard]] orb::Transport& transport();
+  [[nodiscard]] security::SecureTransport* secure_transport() {
+    return secure_transport_ ? secure_transport_.get() : nullptr;
+  }
+  /// The undecorated network transport. Components must bind through
+  /// transport(); this exists so tests can model an attacker who injects
+  /// raw (unauthenticated) frames beneath the secure layer.
+  [[nodiscard]] orb::SimNetworkTransport& raw_transport() { return transport_; }
+  /// Grid-wide Naming service: every cluster binds its well-known objects
+  /// under "clusters/<name>/..." at construction.
+  [[nodiscard]] services::NamingService& naming() { return naming_; }
+  [[nodiscard]] Rng fork_rng() { return rng_.fork(); }
+
+  Cluster& add_cluster(ClusterConfig config);
+  [[nodiscard]] Cluster& cluster(std::size_t i) { return *clusters_[i]; }
+  [[nodiscard]] std::size_t cluster_count() const { return clusters_.size(); }
+
+  /// Wire `child`'s GRM under `parent`'s GRM in the wide-area hierarchy.
+  void connect(Cluster& parent, Cluster& child);
+
+  void run_for(SimDuration d) { engine_.run_until(engine_.now() + d); }
+  void run_until(SimTime t) { engine_.run_until(t); }
+  /// Advance until the app completes at `cluster`'s ASCT or `deadline`
+  /// passes; returns true on completion.
+  bool run_until_app_done(Cluster& cluster, AppId app, SimTime deadline);
+
+  /// Fresh endpoint attached to `segment` (internal, used by Cluster).
+  orb::NodeAddress allocate_endpoint(sim::SegmentId segment);
+
+ private:
+  sim::Engine engine_;
+  Rng rng_;
+  sim::Network network_;
+  orb::SimNetworkTransport transport_;
+  std::unique_ptr<security::SecureTransport> secure_transport_;
+  services::NamingService naming_;
+  std::vector<std::unique_ptr<Cluster>> clusters_;
+  std::uint64_t next_endpoint_ = 1;
+};
+
+}  // namespace integrade::core

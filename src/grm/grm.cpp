@@ -1,0 +1,917 @@
+#include "grm/grm.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/log.hpp"
+
+namespace integrade::grm {
+
+using protocol::AppEventKind;
+using protocol::AppKind;
+using protocol::TaskOutcome;
+
+namespace {
+
+constexpr const char* kOpUpdateStatus = "update_status";
+constexpr const char* kOpSubmit = "submit";
+constexpr const char* kOpReport = "report";
+constexpr const char* kOpRemoteSubmit = "remote_submit";
+constexpr const char* kOpRemoteAdopted = "remote_adopted";
+constexpr const char* kOpClusterSummary = "cluster_summary";
+
+class GrmServant final : public orb::SkeletonBase {
+ public:
+  explicit GrmServant(Grm& grm) {
+    register_op<protocol::NodeStatus, cdr::Empty>(
+        kOpUpdateStatus,
+        [&grm](const protocol::NodeStatus& status) -> Result<cdr::Empty> {
+          grm.handle_update_status(status);
+          return cdr::Empty{};
+        });
+    register_op<protocol::ApplicationSpec, protocol::SubmitReply>(
+        kOpSubmit, [&grm](const protocol::ApplicationSpec& spec)
+                       -> Result<protocol::SubmitReply> {
+          return grm.handle_submit(spec);
+        });
+    register_op<protocol::TaskReport, cdr::Empty>(
+        kOpReport, [&grm](const protocol::TaskReport& report) -> Result<cdr::Empty> {
+          grm.handle_report(report);
+          return cdr::Empty{};
+        });
+    register_op<protocol::RemoteSubmit, cdr::Empty>(
+        kOpRemoteSubmit,
+        [&grm](const protocol::RemoteSubmit& req) -> Result<cdr::Empty> {
+          grm.handle_remote_submit(req);
+          return cdr::Empty{};
+        });
+    register_op<protocol::RemoteAdopted, cdr::Empty>(
+        kOpRemoteAdopted,
+        [&grm](const protocol::RemoteAdopted& ack) -> Result<cdr::Empty> {
+          grm.handle_remote_adopted(ack);
+          return cdr::Empty{};
+        });
+    register_op<protocol::CancelApp, cdr::Empty>(
+        "cancel_app",
+        [&grm](const protocol::CancelApp& req) -> Result<cdr::Empty> {
+          grm.handle_cancel_app(req.app);
+          return cdr::Empty{};
+        });
+    register_op<protocol::ClusterSummary, cdr::Empty>(
+        kOpClusterSummary,
+        [&grm](const protocol::ClusterSummary& summary) -> Result<cdr::Empty> {
+          grm.handle_cluster_summary(summary);
+          return cdr::Empty{};
+        });
+  }
+
+  [[nodiscard]] const char* type_id() const override {
+    return "IDL:integrade/Grm:1.0";
+  }
+};
+
+}  // namespace
+
+/// One negotiation wave for one task: a snapshot of ranked candidates that
+/// the Reserve/Execute callbacks walk through. Heap-held and shared into
+/// the callbacks so a wave survives GRM map mutations.
+struct Grm::Wave {
+  TaskId task;
+  std::vector<Placement> candidates;
+  std::size_t index = 0;
+};
+
+Grm::Grm(sim::Engine& engine, orb::Orb& orb, ClusterId cluster, Rng rng,
+         GrmOptions options)
+    : engine_(engine),
+      orb_(orb),
+      cluster_(cluster),
+      rng_(rng),
+      options_(options) {}
+
+Grm::~Grm() { stop(); }
+
+void Grm::start(lupa::Gupa* gupa, ckpt::CheckpointRepository* checkpoints,
+                sim::Network* network) {
+  assert(!started_);
+  started_ = true;
+  gupa_ = gupa;
+  checkpoints_ = checkpoints;
+  network_ = network;
+  self_ref_ = orb_.activate(std::make_shared<GrmServant>(*this));
+  sweep_timer_.start(engine_, options_.stale_sweep_period,
+                     [this] { sweep_stale_offers(); });
+  summary_timer_.start(engine_, options_.summary_period, [this] { push_summary(); });
+}
+
+void Grm::stop() {
+  if (!started_) return;
+  started_ = false;
+  sweep_timer_.stop();
+  summary_timer_.stop();
+  orb_.deactivate(self_ref_.key);
+}
+
+// ---------------------------------------------------------------------------
+// Information Update Protocol (consumer side)
+// ---------------------------------------------------------------------------
+
+void Grm::handle_update_status(const protocol::NodeStatus& status) {
+  metrics_.counter("status_updates_received").add();
+  on_update(status);
+  // Fresh capacity may unblock queued tasks.
+  if (status.shareable) kick_scheduler();
+}
+
+void Grm::on_update(const protocol::NodeStatus& status) {
+  auto it = nodes_.find(status.node);
+  if (it == nodes_.end()) {
+    NodeRecord record;
+    record.offer = trader_.export_offer(protocol::kNodeServiceType, status.lrm,
+                                        protocol::to_properties(status),
+                                        engine_.now());
+    record.status = status;
+    record.last_update = engine_.now();
+    nodes_.emplace(status.node, std::move(record));
+    metrics_.counter("nodes_registered").add();
+    return;
+  }
+  it->second.status = status;
+  it->second.last_update = engine_.now();
+  (void)trader_.modify(it->second.offer, protocol::to_properties(status),
+                       engine_.now());
+}
+
+void Grm::sweep_stale_offers() {
+  const SimTime cutoff = engine_.now() - options_.offer_ttl;
+  for (auto it = nodes_.begin(); it != nodes_.end();) {
+    if (it->second.last_update < cutoff) {
+      (void)trader_.withdraw(it->second.offer);
+      metrics_.counter("offers_expired").add();
+      it = nodes_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Submission
+// ---------------------------------------------------------------------------
+
+protocol::SubmitReply Grm::handle_submit(const protocol::ApplicationSpec& spec) {
+  protocol::SubmitReply reply;
+  reply.app = spec.id;
+
+  if (spec.tasks.empty()) {
+    reply.accepted = false;
+    reply.reason = "application has no tasks";
+    return reply;
+  }
+  if (apps_.contains(spec.id)) {
+    reply.accepted = false;
+    reply.reason = "duplicate application id";
+    return reply;
+  }
+  // Validate the requirement expressions up front so the user gets a
+  // synchronous parse error rather than a silently unschedulable app.
+  if (!spec.requirements.constraint.empty()) {
+    auto parsed = services::Constraint::parse(spec.requirements.constraint);
+    if (!parsed.is_ok()) {
+      reply.accepted = false;
+      reply.reason = "bad constraint: " + parsed.status().message();
+      return reply;
+    }
+  }
+  if (!spec.requirements.preference.empty()) {
+    auto parsed = services::Preference::parse(spec.requirements.preference);
+    if (!parsed.is_ok()) {
+      reply.accepted = false;
+      reply.reason = "bad preference: " + parsed.status().message();
+      return reply;
+    }
+  }
+
+  AppRecord app;
+  app.spec = spec;
+  app.outstanding = static_cast<int>(spec.tasks.size());
+
+  std::vector<std::int32_t> rank_segment;
+  if (!spec.topology.empty()) {
+    if (!plan_topology(app, rank_segment)) {
+      reply.accepted = false;
+      reply.reason = "virtual topology not satisfiable by current segments";
+      metrics_.counter("topology_rejections").add();
+      return reply;
+    }
+  }
+
+  apps_.emplace(spec.id, std::move(app));
+  for (std::size_t i = 0; i < spec.tasks.size(); ++i) {
+    TaskRecord task;
+    task.desc = spec.tasks[i];
+    task.app = spec.id;
+    if (!rank_segment.empty() && i < rank_segment.size()) {
+      task.topology_segment = rank_segment[i];
+    }
+    const TaskId id = task.desc.id;
+    tasks_.emplace(id, std::move(task));
+    queue_.push_back(id);
+  }
+  metrics_.counter("apps_submitted").add();
+  metrics_.counter("tasks_submitted").add(static_cast<std::int64_t>(spec.tasks.size()));
+  kick_scheduler();
+
+  reply.accepted = true;
+  return reply;
+}
+
+bool Grm::plan_topology(AppRecord& app, std::vector<std::int32_t>& rank_segment) {
+  if (network_ == nullptr) return false;
+  const auto& topo = app.spec.topology;
+
+  // Count registered nodes per segment. Membership — not instantaneous
+  // shareability — is the right capacity measure here: a topology plan is a
+  // standing allocation, and whether an individual machine is busy at this
+  // second is the reservation protocol's problem, not the planner's.
+  std::map<std::int32_t, int> capacity;
+  for (const auto& [_, record] : nodes_) {
+    ++capacity[record.status.segment];
+  }
+
+  // Greedily assign each group the smallest segment that satisfies both the
+  // member count and the intra-group bandwidth; each segment hosts at most
+  // one group so the inter-group constraint is meaningful.
+  std::set<std::int32_t> used;
+  std::vector<std::int32_t> group_segment;
+  for (const auto& group : topo.groups) {
+    std::int32_t best = -1;
+    int best_cap = std::numeric_limits<int>::max();
+    for (const auto& [segment, count] : capacity) {
+      if (used.contains(segment) || count < group.nodes) continue;
+      const auto& spec = network_->segment(segment);
+      if (spec.bandwidth < group.min_intra_bandwidth) continue;
+      if (topo.groups.size() > 1 && topo.min_inter_bandwidth > 0 &&
+          spec.uplink_bandwidth < topo.min_inter_bandwidth) {
+        continue;
+      }
+      if (count < best_cap) {
+        best_cap = count;
+        best = segment;
+      }
+    }
+    if (best < 0) return false;
+    used.insert(best);
+    group_segment.push_back(best);
+  }
+
+  rank_segment.clear();
+  for (std::size_t g = 0; g < topo.groups.size(); ++g) {
+    for (std::int32_t i = 0; i < topo.groups[g].nodes; ++i) {
+      rank_segment.push_back(group_segment[g]);
+    }
+  }
+  // Any surplus tasks beyond the topology's node count roam free.
+  rank_segment.resize(app.spec.tasks.size(), -1);
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler: candidate selection + negotiation waves
+// ---------------------------------------------------------------------------
+
+void Grm::kick_scheduler(SimDuration delay) {
+  if (pass_scheduled_ || !started_) return;
+  pass_scheduled_ = true;
+  engine_.schedule_after(delay, [this] {
+    pass_scheduled_ = false;
+    scheduler_pass();
+  });
+}
+
+void Grm::scheduler_pass() {
+  const std::size_t budget = queue_.size();
+  std::deque<TaskId> not_ready;
+  SimTime next_eligible = kTimeNever;
+
+  for (std::size_t i = 0; i < budget && !queue_.empty(); ++i) {
+    const TaskId id = queue_.front();
+    queue_.pop_front();
+    auto it = tasks_.find(id);
+    if (it == tasks_.end() || it->second.state != TaskState::kPending) continue;
+    TaskRecord& task = it->second;
+    if (task.eligible_at > engine_.now()) {
+      not_ready.push_back(id);
+      next_eligible = std::min(next_eligible, task.eligible_at);
+      continue;
+    }
+    begin_wave(task);
+  }
+  for (TaskId id : not_ready) queue_.push_back(id);
+  if (next_eligible != kTimeNever) {
+    kick_scheduler(std::max<SimDuration>(1, next_eligible - engine_.now()));
+  }
+}
+
+std::string Grm::build_constraint(const TaskRecord& task) const {
+  const AppRecord& app = apps_.at(task.app);
+  std::string expr = "shareable == true and exportable_cpu > 0";
+  if (task.desc.ram_needed > 0) {
+    expr += " and free_ram_mb >= " + std::to_string(task.desc.ram_needed / kMiB);
+  }
+  if (!task.desc.binary_platform.empty()) {
+    expr += " and '" + task.desc.binary_platform + "' in platforms";
+  }
+  if (task.topology_segment >= 0) {
+    expr += " and segment == " + std::to_string(task.topology_segment);
+  }
+  if (!app.spec.requirements.constraint.empty()) {
+    expr += " and (" + app.spec.requirements.constraint + ")";
+  }
+  return expr;
+}
+
+std::vector<const services::ServiceOffer*> Grm::candidates_for(
+    const TaskRecord& task) {
+  const AppRecord& app = apps_.at(task.app);
+
+  auto constraint = services::Constraint::parse(build_constraint(task));
+  if (!constraint.is_ok()) return {};  // validated at submit; belt and braces
+  const std::string& pref_src = app.spec.requirements.preference.empty()
+                                    ? options_.default_preference
+                                    : app.spec.requirements.preference;
+  auto preference = services::Preference::parse(pref_src);
+  if (!preference.is_ok()) return {};
+
+  // With forecasting on, pull a deep candidate list: the safe-but-ordinary
+  // machines the forecast favours would otherwise be truncated away by the
+  // trader preference (e.g. "max exportable_mips") before re-ranking.
+  const std::size_t pool_depth =
+      static_cast<std::size_t>(options_.max_candidates_per_wave) *
+      (options_.use_forecast && gupa_ != nullptr ? 16 : 3);
+  auto offers = trader_.query_compiled(protocol::kNodeServiceType,
+                                       constraint.value(), preference.value(),
+                                       pool_depth, &rng_);
+
+  if (options_.use_forecast && gupa_ != nullptr && !offers.empty()) {
+    // Re-rank by the probability the node stays idle long enough. The
+    // forecast is quantized into coarse bins so the trader preference still
+    // breaks ties among comparable candidates.
+    struct Scored {
+      const services::ServiceOffer* offer;
+      int bin;
+      std::size_t pos;
+    };
+    std::vector<Scored> scored;
+    scored.reserve(offers.size());
+    for (std::size_t i = 0; i < offers.size(); ++i) {
+      const auto* offer = offers[i];
+      const auto status = protocol::from_properties(offer->properties);
+      double p = 0.5;  // unknown node: neutral prior
+      if (status.dedicated) {
+        p = 1.0;
+      } else {
+        protocol::ForecastRequest request;
+        request.node = status.node;
+        request.at = engine_.now();
+        request.horizon = app.spec.estimated_duration > 0
+                              ? app.spec.estimated_duration
+                              : from_seconds(task.desc.work /
+                                             std::max(1.0, status.cpu_mips));
+        const auto forecast = gupa_->forecast(request);
+        if (forecast.known) p = forecast.p_idle_through;
+        metrics_.counter("forecast_queries").add();
+      }
+      scored.push_back({offer, static_cast<int>(p * 10.0), i});
+    }
+    std::stable_sort(scored.begin(), scored.end(),
+                     [](const Scored& a, const Scored& b) {
+                       if (a.bin != b.bin) return a.bin > b.bin;
+                       return a.pos < b.pos;
+                     });
+    std::vector<const services::ServiceOffer*> ranked;
+    ranked.reserve(scored.size());
+    for (const auto& s : scored) ranked.push_back(s.offer);
+    offers = std::move(ranked);
+  }
+
+  // Deprioritize nodes another wave is already negotiating with: without
+  // this, every concurrent wave snapshots the same ranking and stampedes
+  // the top candidate, manufacturing refusals the protocol then has to
+  // grind through.
+  std::stable_sort(offers.begin(), offers.end(),
+                   [this](const services::ServiceOffer* a,
+                          const services::ServiceOffer* b) {
+                     auto load = [this](const services::ServiceOffer* o) {
+                       const auto node = NodeId(static_cast<std::uint64_t>(
+                           o->properties.get_int(protocol::kPropNodeId)
+                               .value_or(-1)));
+                       auto it = inflight_.find(node);
+                       return it == inflight_.end() ? 0 : it->second;
+                     };
+                     return load(a) < load(b);
+                   });
+
+  if (offers.size() > static_cast<std::size_t>(options_.max_candidates_per_wave)) {
+    offers.resize(static_cast<std::size_t>(options_.max_candidates_per_wave));
+  }
+  return offers;
+}
+
+void Grm::begin_wave(TaskRecord& task) {
+  auto offers = candidates_for(task);
+  if (offers.empty()) {
+    ++task.waves;
+    metrics_.counter("waves_no_candidates").add();
+    if (task.waves >= options_.forward_after_waves &&
+        (parent_.valid() || !children_.empty())) {
+      forward_remote(task);
+    } else {
+      requeue(task, options_.retry_backoff);
+    }
+    return;
+  }
+
+  auto wave = std::make_shared<Wave>();
+  wave->task = task.desc.id;
+  wave->candidates.reserve(offers.size());
+  for (const auto* offer : offers) {
+    const auto status = protocol::from_properties(offer->properties);
+    wave->candidates.push_back(Placement{status.node, offer->provider});
+  }
+  task.state = TaskState::kNegotiating;
+  continue_wave(wave);
+}
+
+void Grm::continue_wave(const std::shared_ptr<Wave>& wave) {
+  if (!started_ || orb_.is_shutdown()) return;
+  auto it = tasks_.find(wave->task);
+  if (it == tasks_.end() || it->second.state != TaskState::kNegotiating) return;
+
+  if (wave->index >= wave->candidates.size()) {
+    wave_failed(wave);
+    return;
+  }
+  const Placement candidate = wave->candidates[wave->index++];
+
+  protocol::ReservationRequest reserve;
+  reserve.id = ReservationId(next_reservation_++);
+  reserve.task = wave->task;
+  reserve.cpu_fraction = options_.cpu_request;
+  reserve.ram = it->second.desc.ram_needed;
+  reserve.hold = options_.reservation_hold;
+
+  metrics_.counter("negotiation_rounds").add();
+  ++inflight_[candidate.node];
+  orb::call<protocol::ReservationRequest, protocol::ReservationReply>(
+      orb_, candidate.lrm, "reserve", reserve,
+      [this, wave, candidate](Result<protocol::ReservationReply> reply) {
+        if (--inflight_[candidate.node] <= 0) inflight_.erase(candidate.node);
+        if (!reply.is_ok()) {
+          metrics_.counter("negotiation_timeouts").add();
+          continue_wave(wave);
+          return;
+        }
+        if (!reply.value().granted) {
+          metrics_.counter("reservations_refused_remote").add();
+          // Piggy-backed truth corrects our stale hint immediately.
+          auto node_it = nodes_.find(candidate.node);
+          if (node_it != nodes_.end()) {
+            node_it->second.status.exportable_cpu = reply.value().exportable_cpu;
+            node_it->second.status.free_ram = reply.value().free_ram;
+            node_it->second.status.shareable =
+                reply.value().exportable_cpu > 0.0;
+            (void)trader_.modify(node_it->second.offer,
+                                 protocol::to_properties(node_it->second.status),
+                                 engine_.now());
+          }
+          continue_wave(wave);
+          return;
+        }
+
+        auto task_it = tasks_.find(wave->task);
+        if (task_it == tasks_.end() ||
+            task_it->second.state != TaskState::kNegotiating) {
+          return;  // task vanished (app cancelled) — reservation will expire
+        }
+        protocol::ExecuteRequest execute;
+        execute.reservation = reply.value().id;
+        execute.task = task_it->second.desc;
+        execute.report_to = self_ref_;
+        execute.restore_state = restore_state_for(task_it->second);
+
+        orb::call<protocol::ExecuteRequest, protocol::ExecuteReply>(
+            orb_, candidate.lrm, "execute", execute,
+            [this, wave, candidate](Result<protocol::ExecuteReply> exec_reply) {
+              if (!exec_reply.is_ok() || !exec_reply.value().accepted) {
+                metrics_.counter("executes_failed").add();
+                continue_wave(wave);
+                return;
+              }
+              task_placed(wave->task, candidate);
+            },
+            options_.call_timeout);
+      },
+      options_.call_timeout);
+}
+
+void Grm::wave_failed(const std::shared_ptr<Wave>& wave) {
+  auto it = tasks_.find(wave->task);
+  if (it == tasks_.end()) return;
+  TaskRecord& task = it->second;
+  task.state = TaskState::kPending;
+  ++task.waves;
+  metrics_.counter("waves_exhausted").add();
+  if (task.waves >= options_.forward_after_waves &&
+      (parent_.valid() || !children_.empty())) {
+    forward_remote(task);
+  } else {
+    requeue(task, options_.retry_backoff);
+  }
+}
+
+void Grm::task_placed(TaskId id, const Placement& placement) {
+  auto it = tasks_.find(id);
+  if (it == tasks_.end()) return;
+  TaskRecord& task = it->second;
+  task.state = TaskState::kRunning;
+  task.placement = placement;
+  task.waves = 0;
+  metrics_.counter("tasks_placed").add();
+
+  auto app_it = apps_.find(task.app);
+  if (app_it == apps_.end()) return;
+  AppRecord& app = app_it->second;
+  ++app.running;
+  notify(app, AppEventKind::kTaskScheduled, id, placement.node, "");
+
+  // Keep the GRM's own hint honest: that node now has less capacity.
+  auto node_it = nodes_.find(placement.node);
+  if (node_it != nodes_.end()) {
+    node_it->second.status.exportable_cpu = std::max(
+        0.0, node_it->second.status.exportable_cpu - options_.cpu_request);
+    node_it->second.status.running_tasks += 1;
+    (void)trader_.modify(node_it->second.offer,
+                         protocol::to_properties(node_it->second.status),
+                         engine_.now());
+  }
+
+  if (app.spec.kind == AppKind::kBsp) {
+    const std::int32_t total = static_cast<std::int32_t>(app.spec.tasks.size());
+    if (!app.bsp_ready_fired && app.running == total) {
+      app.bsp_ready_fired = true;
+      if (bsp_ready_) bsp_ready_(app.spec.id);
+    } else if (app.bsp_ready_fired && bsp_placed_) {
+      bsp_placed_(app.spec.id, task.desc.bsp_rank, placement);
+    }
+  }
+}
+
+void Grm::requeue(TaskRecord& task, SimDuration delay) {
+  task.state = TaskState::kPending;
+  task.eligible_at = engine_.now() + delay;
+  queue_.push_back(task.desc.id);
+  kick_scheduler(std::max<SimDuration>(delay, 1));
+}
+
+std::vector<std::uint8_t> Grm::restore_state_for(const TaskRecord& task) const {
+  if (checkpoints_ == nullptr || task.desc.kind == AppKind::kBsp) return {};
+  const auto* checkpoint =
+      checkpoints_->latest(task.app, std::max(0, task.desc.bsp_rank));
+  if (checkpoint == nullptr) return {};
+  return checkpoint->state;
+}
+
+// ---------------------------------------------------------------------------
+// Execution reports
+// ---------------------------------------------------------------------------
+
+void Grm::handle_report(const protocol::TaskReport& report) {
+  auto it = tasks_.find(report.task);
+  if (it == tasks_.end()) return;
+  TaskRecord& task = it->second;
+  auto app_it = apps_.find(task.app);
+  if (app_it == apps_.end()) return;
+  AppRecord& app = app_it->second;
+
+  if (task.state == TaskState::kRunning) --app.running;
+
+  switch (report.outcome) {
+    case TaskOutcome::kCompleted: {
+      task.state = TaskState::kCompleted;
+      --app.outstanding;
+      metrics_.counter("tasks_completed").add();
+      notify(app, AppEventKind::kTaskCompleted, report.task, report.node, "");
+      if (app.adopted_remote && app.origin.valid()) {
+        // Relay to the origin cluster, which owns the app's lifecycle.
+        orb::oneway(orb_, app.origin, "report", report);
+      }
+      maybe_app_done(task.app);
+      break;
+    }
+    case TaskOutcome::kEvicted:
+    case TaskOutcome::kNodeFailed: {
+      ++task.evictions;
+      metrics_.counter(report.outcome == TaskOutcome::kEvicted
+                           ? "tasks_evicted"
+                           : "tasks_node_failed")
+          .add();
+      notify(app, AppEventKind::kTaskEvicted, report.task, report.node,
+             report.detail);
+      if (app.spec.kind == AppKind::kBsp && bsp_lost_) {
+        bsp_lost_(app.spec.id, task.desc.bsp_rank);
+      }
+      requeue(task, 1 * kSecond);
+      notify(app, AppEventKind::kTaskRescheduled, report.task, NodeId(), "");
+      break;
+    }
+    case TaskOutcome::kCancelled:
+      break;  // we initiated it; bookkeeping already done
+  }
+}
+
+void Grm::notify(const AppRecord& app, AppEventKind kind, TaskId task,
+                 NodeId node, const std::string& detail) {
+  if (!app.spec.notify.valid()) return;
+  protocol::AppEvent event;
+  event.app = app.spec.id;
+  event.task = task;
+  event.kind = kind;
+  event.node = node;
+  event.at = engine_.now();
+  event.detail = detail;
+  orb::oneway(orb_, app.spec.notify, "app_event", event);
+}
+
+void Grm::maybe_app_done(AppId app_id) {
+  auto it = apps_.find(app_id);
+  if (it == apps_.end()) return;
+  AppRecord& app = it->second;
+  if (app.outstanding > 0) return;
+  // Remote fragments stay silent: the origin cluster owns the app-level
+  // completion event.
+  if (!app.adopted_remote) {
+    notify(app, AppEventKind::kAppCompleted, TaskId(), NodeId(), "");
+  }
+  metrics_.counter("apps_completed").add();
+}
+
+void Grm::handle_cancel_app(AppId app_id) {
+  auto it = apps_.find(app_id);
+  if (it == apps_.end()) return;
+  metrics_.counter("apps_cancelled").add();
+  for (auto& [task_id, task] : tasks_) {
+    if (task.app != app_id) continue;
+    if (task.state == TaskState::kRunning && task.placement.lrm.valid()) {
+      orb::oneway(orb_, task.placement.lrm, "cancel",
+                  protocol::CancelTask{task_id});
+    }
+    task.remote_timeout.cancel();
+    task.state = TaskState::kFailed;
+  }
+  if (it->second.spec.kind == AppKind::kBsp && bsp_cancelled_) {
+    bsp_cancelled_(app_id);
+  }
+  notify(it->second, AppEventKind::kAppFailed, TaskId(), NodeId(),
+         "cancelled by user");
+  apps_.erase(it);
+}
+
+// ---------------------------------------------------------------------------
+// BSP integration
+// ---------------------------------------------------------------------------
+
+void Grm::set_bsp_handlers(BspReadyHandler ready, BspRankPlacedHandler placed,
+                           BspRankLostHandler lost,
+                           BspCancelledHandler cancelled) {
+  bsp_ready_ = std::move(ready);
+  bsp_placed_ = std::move(placed);
+  bsp_lost_ = std::move(lost);
+  bsp_cancelled_ = std::move(cancelled);
+}
+
+const Grm::Placement* Grm::placement_of(TaskId task) const {
+  auto it = tasks_.find(task);
+  if (it == tasks_.end() || it->second.state != TaskState::kRunning) {
+    return nullptr;
+  }
+  return &it->second.placement;
+}
+
+void Grm::complete_bsp_app(AppId app_id) {
+  auto it = apps_.find(app_id);
+  if (it == apps_.end()) return;
+  AppRecord& app = it->second;
+  for (auto& [task_id, task] : tasks_) {
+    if (task.app != app_id) continue;
+    if (task.state == TaskState::kRunning) {
+      if (task.placement.lrm.valid()) {
+        orb::oneway(orb_, task.placement.lrm, "cancel",
+                    protocol::CancelTask{task_id});
+      }
+      --app.running;
+    }
+    task.state = TaskState::kCompleted;
+  }
+  app.outstanding = 0;
+  notify(app, AppEventKind::kAppCompleted, TaskId(), NodeId(), "");
+  metrics_.counter("apps_completed").add();
+}
+
+// ---------------------------------------------------------------------------
+// Inter-cluster hierarchy
+// ---------------------------------------------------------------------------
+
+protocol::ClusterSummary Grm::build_summary() const {
+  protocol::ClusterSummary summary;
+  summary.cluster = cluster_;
+  summary.grm = self_ref_;
+  summary.total_nodes = static_cast<std::int32_t>(nodes_.size());
+  std::set<std::string> platforms;
+  for (const auto& [_, record] : nodes_) {
+    if (record.status.shareable) {
+      ++summary.shareable_nodes;
+      summary.total_exportable_mips +=
+          record.status.exportable_cpu * record.status.cpu_mips;
+      summary.max_free_ram_mb =
+          std::max(summary.max_free_ram_mb, record.status.free_ram / kMiB);
+    }
+    platforms.insert(record.status.platforms.begin(),
+                     record.status.platforms.end());
+  }
+  summary.platforms.assign(platforms.begin(), platforms.end());
+  summary.timestamp = engine_.now();
+  return summary;
+}
+
+void Grm::push_summary() {
+  if (!parent_.valid()) return;
+  orb::oneway(orb_, parent_, kOpClusterSummary, build_summary());
+}
+
+void Grm::handle_cluster_summary(const protocol::ClusterSummary& summary) {
+  child_summaries_[summary.cluster] = summary;
+}
+
+void Grm::forward_remote(TaskRecord& task) {
+  const AppRecord& app = apps_.at(task.app);
+
+  protocol::RemoteSubmit remote;
+  remote.spec = app.spec;
+  remote.spec.tasks = {task.desc};
+  remote.spec.topology = {};  // topology is a local-cluster concept
+  remote.ttl = 8;
+  remote.visited_clusters = {cluster_.value};
+  remote.origin_grm = self_ref_;
+
+  // Next hop: a child with advertised capacity, else the parent.
+  orb::ObjectRef hop;
+  for (const auto& [_, summary] : child_summaries_) {
+    if (summary.shareable_nodes > 0) {
+      hop = summary.grm;
+      break;
+    }
+  }
+  if (!hop.valid()) hop = parent_;
+  if (!hop.valid()) {
+    requeue(task, options_.retry_backoff);
+    return;
+  }
+
+  task.state = TaskState::kRemote;
+  metrics_.counter("remote_forwards").add();
+  orb::oneway(orb_, hop, kOpRemoteSubmit, remote);
+
+  // If nobody adopts in time, reclaim the task locally.
+  const TaskId id = task.desc.id;
+  task.remote_timeout = engine_.schedule_after(60 * kSecond, [this, id] {
+    auto it = tasks_.find(id);
+    if (it == tasks_.end() || it->second.state != TaskState::kRemote) return;
+    metrics_.counter("remote_timeouts").add();
+    it->second.waves = 0;  // start the local/remote cycle over
+    requeue(it->second, options_.retry_backoff);
+  });
+}
+
+void Grm::handle_remote_submit(const protocol::RemoteSubmit& request) {
+  metrics_.counter("remote_submits_seen").add();
+  if (request.ttl <= 0) return;
+  if (std::find(request.visited_clusters.begin(), request.visited_clusters.end(),
+                cluster_.value) != request.visited_clusters.end()) {
+    return;  // cycle — drop; origin timeout recovers
+  }
+  if (request.spec.tasks.size() != 1) return;
+
+  // Can we host it? Probe the trader with the same constraint the local
+  // scheduler would use. A second task of an app we already adopted simply
+  // extends the existing fragment.
+  TaskRecord probe;
+  probe.desc = request.spec.tasks.front();
+  probe.app = request.spec.id;
+  bool can_host = false;
+  auto app_it = apps_.find(request.spec.id);
+  if (app_it == apps_.end()) {
+    AppRecord app;
+    app.spec = request.spec;
+    // Lifecycle reporting for an adopted fragment flows through the origin
+    // GRM (which owns the app and its ASCT notifications), so the local
+    // fragment never notifies the user directly.
+    app.spec.notify = orb::ObjectRef{};
+    app.adopted_remote = true;
+    app.origin = request.origin_grm;
+    app.outstanding = 1;
+    apps_.emplace(request.spec.id, std::move(app));
+    can_host = !candidates_for(probe).empty();
+    if (!can_host) apps_.erase(request.spec.id);
+  } else if (app_it->second.adopted_remote &&
+             !tasks_.contains(probe.desc.id)) {
+    can_host = !candidates_for(probe).empty();
+    if (can_host) ++app_it->second.outstanding;
+  }
+
+  if (can_host) {
+    TaskRecord task;
+    task.desc = request.spec.tasks.front();
+    task.app = request.spec.id;
+    const TaskId id = task.desc.id;
+    tasks_.emplace(id, std::move(task));
+    queue_.push_back(id);
+    kick_scheduler();
+    metrics_.counter("remote_adoptions").add();
+
+    protocol::RemoteAdopted ack;
+    ack.app = request.spec.id;
+    ack.task = id;
+    ack.by_cluster = cluster_;
+    ack.hops = static_cast<std::int32_t>(request.visited_clusters.size());
+    orb::oneway(orb_, request.origin_grm, kOpRemoteAdopted, ack);
+    return;
+  }
+
+  // Forward along: unvisited child with capacity first, then parent.
+  protocol::RemoteSubmit next = request;
+  next.ttl -= 1;
+  next.visited_clusters.push_back(cluster_.value);
+
+  orb::ObjectRef hop;
+  for (const auto& [id, summary] : child_summaries_) {
+    if (summary.shareable_nodes <= 0) continue;
+    if (std::find(next.visited_clusters.begin(), next.visited_clusters.end(),
+                  id.value) != next.visited_clusters.end()) {
+      continue;
+    }
+    hop = summary.grm;
+    break;
+  }
+  if (!hop.valid() && parent_.valid()) hop = parent_;
+  if (!hop.valid()) return;
+  metrics_.counter("remote_forwards").add();
+  orb::oneway(orb_, hop, kOpRemoteSubmit, next);
+}
+
+void Grm::handle_remote_adopted(const protocol::RemoteAdopted& ack) {
+  auto it = tasks_.find(ack.task);
+  if (it == tasks_.end() || it->second.state != TaskState::kRemote) return;
+  it->second.remote_timeout.cancel();
+  metrics_.counter("remote_delegations").add();
+  metrics_.summary("remote_hops").observe(static_cast<double>(ack.hops));
+  // The adopting cluster executes the task but this GRM keeps ownership:
+  // the adopter relays the final TaskReport here, and only that report
+  // decrements the app's outstanding count.
+}
+
+// ---------------------------------------------------------------------------
+// Introspection
+// ---------------------------------------------------------------------------
+
+TaskState Grm::task_state(TaskId task) const {
+  auto it = tasks_.find(task);
+  return it == tasks_.end() ? TaskState::kFailed : it->second.state;
+}
+
+int Grm::pending_tasks() const {
+  int n = 0;
+  for (const auto& [_, task] : tasks_) {
+    if (task.state == TaskState::kPending ||
+        task.state == TaskState::kNegotiating) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+int Grm::running_tasks() const {
+  int n = 0;
+  for (const auto& [_, task] : tasks_) {
+    if (task.state == TaskState::kRunning) ++n;
+  }
+  return n;
+}
+
+std::optional<protocol::NodeStatus> Grm::node_view(NodeId node) const {
+  auto it = nodes_.find(node);
+  if (it == nodes_.end()) return std::nullopt;
+  return it->second.status;
+}
+
+}  // namespace integrade::grm

@@ -1,0 +1,231 @@
+// GRM — Global Resource Manager (paper §4).
+//
+// One per cluster, running on the Cluster Manager node. Receives periodic
+// NodeStatus updates from every LRM and stores them as service offers in a
+// Trading service ("the GRM uses the Trader to store the information it
+// receives from the LRMs", §5). Application submissions are matched against
+// those offers with the Trader constraint language; the resulting candidate
+// list is only a *hint* — the GRM then negotiates directly with each LRM
+// (Reserve -> Execute), moving to the next candidate on refusal, exactly as
+// §4 describes.
+//
+// Scheduling refinements the paper calls for:
+//   * usage-pattern forecasts from the GUPA re-rank candidates by the
+//     probability they stay idle long enough for the task;
+//   * virtual-topology requests pin task groups to network segments whose
+//     measured bandwidth meets the request;
+//   * tasks evicted mid-run are re-queued and resume from their latest
+//     checkpoint;
+//   * when the local cluster has no matching resources, the task walks the
+//     cluster hierarchy (RemoteSubmit) until some cluster adopts it.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "ckpt/repository.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "lupa/gupa.hpp"
+#include "orb/orb.hpp"
+#include "protocol/messages.hpp"
+#include "protocol/properties.hpp"
+#include "services/trader.hpp"
+#include "sim/engine.hpp"
+#include "sim/network.hpp"
+
+namespace integrade::grm {
+
+struct GrmOptions {
+  /// Offers not refreshed within this window are withdrawn (dead LRM).
+  SimDuration offer_ttl = 150 * kSecond;
+  SimDuration stale_sweep_period = 30 * kSecond;
+  /// Hold the GRM asks LRMs to keep on granted reservations.
+  SimDuration reservation_hold = 30 * kSecond;
+  /// Candidates tried per negotiation wave before backing off.
+  int max_candidates_per_wave = 8;
+  SimDuration retry_backoff = 20 * kSecond;
+  /// After this many fruitless waves, try the cluster hierarchy.
+  int forward_after_waves = 2;
+  /// Consult the GUPA when ranking candidates (the E5 ablation switch).
+  bool use_forecast = true;
+  /// Trader preference applied when the user supplies none.
+  std::string default_preference = "max exportable_mips";
+  SimDuration call_timeout = 5 * kSecond;
+  /// CPU fraction requested per task reservation.
+  double cpu_request = 1.0;
+  /// Summary push cadence toward the parent cluster.
+  SimDuration summary_period = 60 * kSecond;
+};
+
+enum class TaskState {
+  kPending,      // waiting for a negotiation wave
+  kNegotiating,  // wave in flight
+  kRunning,      // placed on a node
+  kRemote,       // walking the hierarchy / adopted by another cluster
+  kCompleted,
+  kFailed,
+};
+
+class Grm {
+ public:
+  Grm(sim::Engine& engine, orb::Orb& orb, ClusterId cluster, Rng rng,
+      GrmOptions options = {});
+  ~Grm();
+  Grm(const Grm&) = delete;
+  Grm& operator=(const Grm&) = delete;
+
+  /// `gupa` and `checkpoints` are co-located services on the Cluster
+  /// Manager node (in-process access, per the paper's architecture);
+  /// `network` enables topology-aware placement and bulk-transfer billing.
+  void start(lupa::Gupa* gupa, ckpt::CheckpointRepository* checkpoints,
+             sim::Network* network);
+  void stop();
+
+  [[nodiscard]] const orb::ObjectRef& ref() const { return self_ref_; }
+  [[nodiscard]] ClusterId cluster() const { return cluster_; }
+  [[nodiscard]] services::Trader& trader() { return trader_; }
+  [[nodiscard]] MetricRegistry& metrics() { return metrics_; }
+
+  // Hierarchy wiring (refs of other clusters' GRMs).
+  void set_parent(const orb::ObjectRef& parent) { parent_ = parent; }
+  void add_child(const orb::ObjectRef& child) { children_.push_back(child); }
+
+  // ---- protocol entry points (servant ops; public for tests) ----
+  void handle_update_status(const protocol::NodeStatus& status);
+  protocol::SubmitReply handle_submit(const protocol::ApplicationSpec& spec);
+  void handle_report(const protocol::TaskReport& report);
+  void handle_remote_submit(const protocol::RemoteSubmit& request);
+  void handle_remote_adopted(const protocol::RemoteAdopted& ack);
+  void handle_cluster_summary(const protocol::ClusterSummary& summary);
+  void handle_cancel_app(AppId app);
+
+  // ---- BSP coordinator integration (core library hooks in) ----
+  struct Placement {
+    NodeId node;
+    orb::ObjectRef lrm;
+  };
+  using BspReadyHandler = std::function<void(AppId)>;
+  using BspRankPlacedHandler =
+      std::function<void(AppId, std::int32_t rank, const Placement&)>;
+  using BspRankLostHandler = std::function<void(AppId, std::int32_t rank)>;
+  using BspCancelledHandler = std::function<void(AppId)>;
+  void set_bsp_handlers(BspReadyHandler ready, BspRankPlacedHandler placed,
+                        BspRankLostHandler lost,
+                        BspCancelledHandler cancelled = {});
+  [[nodiscard]] const Placement* placement_of(TaskId task) const;
+  /// Coordinator declares the whole BSP app finished (cancels residents).
+  void complete_bsp_app(AppId app);
+
+  // ---- introspection for benches/tests ----
+  [[nodiscard]] std::size_t known_nodes() const { return nodes_.size(); }
+  [[nodiscard]] TaskState task_state(TaskId task) const;
+  [[nodiscard]] bool app_known(AppId app) const { return apps_.contains(app); }
+  [[nodiscard]] const protocol::ApplicationSpec* app_spec(AppId app) const {
+    auto it = apps_.find(app);
+    return it == apps_.end() ? nullptr : &it->second.spec;
+  }
+  [[nodiscard]] int pending_tasks() const;
+  [[nodiscard]] int running_tasks() const;
+  [[nodiscard]] std::optional<protocol::NodeStatus> node_view(NodeId node) const;
+
+ private:
+  struct NodeRecord {
+    services::OfferId offer;
+    protocol::NodeStatus status;
+    SimTime last_update = 0;
+  };
+
+  struct TaskRecord {
+    protocol::TaskDescriptor desc;
+    AppId app;
+    TaskState state = TaskState::kPending;
+    Placement placement;
+    int waves = 0;      // fruitless negotiation waves so far
+    int evictions = 0;
+    SimTime eligible_at = 0;
+    std::int32_t topology_segment = -1;  // pinned segment, -1 = anywhere
+    sim::EventHandle remote_timeout;
+  };
+
+  struct AppRecord {
+    protocol::ApplicationSpec spec;
+    bool adopted_remote = false;  // this GRM hosts it for another cluster
+    orb::ObjectRef origin;        // origin GRM (adopted fragments only)
+    int outstanding = 0;          // tasks not yet completed
+    int running = 0;
+    bool bsp_ready_fired = false;
+    bool failed = false;
+  };
+
+  // Negotiation wave state (heap-held; callbacks keep it alive).
+  struct Wave;
+
+  void on_update(const protocol::NodeStatus& status);
+  void sweep_stale_offers();
+  void kick_scheduler(SimDuration delay = 0);
+  void scheduler_pass();
+  void begin_wave(TaskRecord& task);
+  void continue_wave(const std::shared_ptr<Wave>& wave);
+  void wave_failed(const std::shared_ptr<Wave>& wave);
+  void task_placed(TaskId task, const Placement& placement);
+  void requeue(TaskRecord& task, SimDuration delay);
+  void forward_remote(TaskRecord& task);
+  void notify(const AppRecord& app, protocol::AppEventKind kind, TaskId task,
+              NodeId node, const std::string& detail);
+  void maybe_app_done(AppId app_id);
+  void push_summary();
+  [[nodiscard]] protocol::ClusterSummary build_summary() const;
+
+  [[nodiscard]] std::vector<const services::ServiceOffer*> candidates_for(
+      const TaskRecord& task);
+  [[nodiscard]] std::string build_constraint(const TaskRecord& task) const;
+  [[nodiscard]] bool plan_topology(AppRecord& app,
+                                   std::vector<std::int32_t>& rank_segment);
+  [[nodiscard]] std::vector<std::uint8_t> restore_state_for(
+      const TaskRecord& task) const;
+
+  sim::Engine& engine_;
+  orb::Orb& orb_;
+  ClusterId cluster_;
+  Rng rng_;
+  GrmOptions options_;
+
+  orb::ObjectRef self_ref_;
+  orb::ObjectRef parent_;
+  std::vector<orb::ObjectRef> children_;
+  lupa::Gupa* gupa_ = nullptr;
+  ckpt::CheckpointRepository* checkpoints_ = nullptr;
+  sim::Network* network_ = nullptr;
+
+  services::Trader trader_;
+  std::map<NodeId, NodeRecord> nodes_;
+  std::map<AppId, AppRecord> apps_;
+  std::map<TaskId, TaskRecord> tasks_;
+  std::deque<TaskId> queue_;
+  std::map<ClusterId, protocol::ClusterSummary> child_summaries_;
+
+  BspReadyHandler bsp_ready_;
+  BspRankPlacedHandler bsp_placed_;
+  BspRankLostHandler bsp_lost_;
+  BspCancelledHandler bsp_cancelled_;
+
+  /// Reserve requests currently in flight per node: concurrent waves use
+  /// this to spread across candidates instead of stampeding the best one.
+  std::map<NodeId, int> inflight_;
+
+  sim::PeriodicTimer sweep_timer_;
+  sim::PeriodicTimer summary_timer_;
+  bool pass_scheduled_ = false;
+  bool started_ = false;
+  std::uint64_t next_reservation_ = 1;
+
+  MetricRegistry metrics_;
+};
+
+}  // namespace integrade::grm

@@ -1,0 +1,612 @@
+#include "lrm/lrm.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/log.hpp"
+#include "protocol/properties.hpp"
+
+namespace integrade::lrm {
+
+using protocol::TaskOutcome;
+
+namespace {
+
+/// IDL operation names of the LRM interface.
+constexpr const char* kOpReserve = "reserve";
+constexpr const char* kOpExecute = "execute";
+constexpr const char* kOpCancel = "cancel";
+constexpr const char* kOpBspCompute = "bsp_compute";
+constexpr const char* kOpGetStatus = "get_status";
+
+class LrmServant final : public orb::SkeletonBase {
+ public:
+  explicit LrmServant(Lrm& lrm) {
+    register_op<protocol::ReservationRequest, protocol::ReservationReply>(
+        kOpReserve, [&lrm](const protocol::ReservationRequest& req)
+                        -> Result<protocol::ReservationReply> {
+          return lrm.handle_reserve(req);
+        });
+    register_op<protocol::ExecuteRequest, protocol::ExecuteReply>(
+        kOpExecute, [&lrm](const protocol::ExecuteRequest& req)
+                        -> Result<protocol::ExecuteReply> {
+          return lrm.handle_execute(req);
+        });
+    register_op<protocol::CancelTask, cdr::Empty>(
+        kOpCancel,
+        [&lrm](const protocol::CancelTask& req) -> Result<cdr::Empty> {
+          lrm.handle_cancel(req.task);
+          return cdr::Empty{};
+        });
+    register_op<protocol::BspComputeRequest, cdr::Empty>(
+        kOpBspCompute,
+        [&lrm](const protocol::BspComputeRequest& req) -> Result<cdr::Empty> {
+          lrm.handle_bsp_compute(req);
+          return cdr::Empty{};
+        });
+    register_op<cdr::Empty, protocol::NodeStatus>(
+        kOpGetStatus,
+        [&lrm](const cdr::Empty&) -> Result<protocol::NodeStatus> {
+          return lrm.current_status();
+        });
+  }
+
+  [[nodiscard]] const char* type_id() const override {
+    return "IDL:integrade/Lrm:1.0";
+  }
+};
+
+}  // namespace
+
+Lrm::Lrm(sim::Engine& engine, orb::Orb& orb, node::Machine& machine,
+         ncc::Ncc ncc, Rng rng, LrmOptions options)
+    : engine_(engine),
+      orb_(orb),
+      machine_(machine),
+      ncc_(std::move(ncc)),
+      rng_(rng),
+      options_(options) {}
+
+Lrm::~Lrm() { stop(); }
+
+void Lrm::start(const orb::ObjectRef& grm, const orb::ObjectRef& gupa,
+                const orb::ObjectRef& checkpoint_service, sim::Network* network) {
+  assert(!started_);
+  started_ = true;
+  grm_ = grm;
+  gupa_ = gupa;
+  checkpoint_service_ = checkpoint_service;
+  network_ = network;
+
+  self_ref_ = orb_.activate(std::make_shared<LrmServant>(*this));
+
+  // Initialize owner tracking from the machine's *actual* state: a machine
+  // whose owner is mid-session at LRM boot must not be advertised as quiet.
+  // If the owner is already away, the grace clock starts now.
+  update_quiet_tracking();
+  last_owner_present_ = machine_.owner_load().present;
+  machine_.subscribe([this] { on_machine_change(); });
+
+  if (options_.run_lupa) {
+    lupa_ = std::make_unique<lupa::Lupa>(engine_, machine_, rng_.fork(),
+                                         options_.lupa_options);
+    lupa_->set_on_model_update([this] {
+      if (gupa_.valid()) {
+        orb::oneway(orb_, gupa_, "upload_pattern", lupa_->build_upload());
+      }
+    });
+    lupa_->start();
+  }
+
+  // Information Update Protocol: stagger the first update uniformly within
+  // one period so a 100-node cluster does not stampede the GRM in lockstep.
+  const SimDuration stagger = static_cast<SimDuration>(
+      rng_.uniform(0.0, static_cast<double>(options_.update_period)));
+  update_timer_.start(engine_, options_.update_period, [this] { push_update(); },
+                      stagger);
+}
+
+void Lrm::stop() {
+  if (!started_) return;
+  started_ = false;
+  update_timer_.stop();
+  if (lupa_) lupa_->stop();
+  evict_all(TaskOutcome::kNodeFailed, "LRM stopped");
+  orb_.deactivate(self_ref_.key);
+}
+
+// ---------------------------------------------------------------------------
+// Status & information updates
+// ---------------------------------------------------------------------------
+
+protocol::NodeStatus Lrm::current_status() const {
+  const SimTime now = engine_.now();
+  const auto& spec = machine_.spec();
+
+  protocol::NodeStatus status;
+  status.node = machine_.id();
+  status.lrm = self_ref_;
+  status.hostname = spec.hostname;
+  status.cpu_mips = spec.cpu_mips;
+  status.ram_total = spec.ram;
+  status.disk_total = spec.disk;
+  status.os = spec.os;
+  status.arch = spec.arch;
+  status.platforms = spec.platforms;
+  status.segment = network_ != nullptr && network_->attached(orb_.address())
+                       ? network_->segment_of(orb_.address())
+                       : 0;
+  status.dedicated = !options_.run_lupa && !ncc_.policy().require_owner_away;
+
+  status.owner_cpu = machine_.owner_load().cpu_fraction;
+  status.owner_present = machine_.owner_load().present;
+  status.grid_cpu = grid_cpu_in_use();
+
+  const double exportable =
+      ncc_.exportable_cpu(machine_, now, owner_quiet_since_);
+  const double committed = reserved_cpu();
+  status.exportable_cpu = std::max(0.0, exportable - committed);
+  status.free_ram = std::max<Bytes>(0, ncc_.exportable_ram(machine_) - ram_committed());
+  status.shareable = ncc_.shareable(machine_, now, owner_quiet_since_) &&
+                     status.exportable_cpu > 0.0;
+  status.running_tasks = static_cast<std::int32_t>(tasks_.size());
+  status.timestamp = now;
+  return status;
+}
+
+void Lrm::push_update() {
+  if (!grm_.valid()) return;
+  metrics_.counter("status_updates_sent").add();
+  orb::oneway(orb_, grm_, "update_status", current_status());
+}
+
+void Lrm::update_quiet_tracking() {
+  const auto& owner = machine_.owner_load();
+  const bool active =
+      owner.present || owner.cpu_fraction > ncc_.policy().idle_cpu_threshold;
+  if (active) {
+    owner_quiet_since_.reset();
+  } else if (!owner_quiet_since_.has_value()) {
+    owner_quiet_since_ = engine_.now();
+  }
+}
+
+void Lrm::on_machine_change() {
+  update_quiet_tracking();
+
+  if (!tasks_.empty() && ncc_.must_evict(machine_, engine_.now())) {
+    metrics_.counter("owner_reclaims").add();
+    evict_all(machine_.up() ? TaskOutcome::kEvicted : TaskOutcome::kNodeFailed,
+              machine_.up() ? "owner reclaimed the machine" : "machine down");
+  } else {
+    reallocate();
+  }
+
+  if (options_.push_on_state_change) {
+    const bool shareable =
+        ncc_.shareable(machine_, engine_.now(), owner_quiet_since_);
+    if (shareable != last_shareable_) {
+      last_shareable_ = shareable;
+      push_update();
+    }
+  }
+  last_owner_present_ = machine_.owner_load().present;
+}
+
+// ---------------------------------------------------------------------------
+// Reservation protocol (provider side)
+// ---------------------------------------------------------------------------
+
+double Lrm::grid_cpu_in_use() const {
+  double total = 0.0;
+  for (const auto& [_, task] : tasks_) total += task->share;
+  return total;
+}
+
+double Lrm::reserved_cpu() const {
+  double total = 0.0;
+  for (const auto& [_, task] : tasks_) total += task->requested_cpu;
+  for (const auto& [_, held] : reservations_) total += held.request.cpu_fraction;
+  return total;
+}
+
+Bytes Lrm::ram_committed() const {
+  Bytes total = 0;
+  for (const auto& [_, task] : tasks_) total += task->desc.ram_needed;
+  for (const auto& [_, held] : reservations_) total += held.request.ram;
+  return total;
+}
+
+protocol::ReservationReply Lrm::handle_reserve(
+    const protocol::ReservationRequest& req) {
+  const SimTime now = engine_.now();
+  metrics_.counter("reservations_requested").add();
+
+  protocol::ReservationReply reply;
+  reply.id = req.id;
+  const double exportable = ncc_.exportable_cpu(machine_, now, owner_quiet_since_);
+  const Bytes exportable_ram = ncc_.exportable_ram(machine_);
+  reply.exportable_cpu = std::max(0.0, exportable - reserved_cpu());
+  reply.free_ram = std::max<Bytes>(0, exportable_ram - ram_committed());
+
+  if (!ncc_.shareable(machine_, now, owner_quiet_since_)) {
+    reply.granted = false;
+    reply.reason = "node not shareable (owner active or policy)";
+    metrics_.counter("reservations_refused").add();
+    return reply;
+  }
+  // Grant the clamped fraction rather than all-or-nothing: the owner's
+  // background load means "1.0 of the CPU" is never strictly available, and
+  // a 0.95-share grant is what a real nice-19 scheduler would deliver.
+  const double grantable = exportable - reserved_cpu();
+  constexpr double kMinUsefulCpu = 0.05;
+  if (grantable < kMinUsefulCpu) {
+    reply.granted = false;
+    reply.reason = "insufficient CPU";
+    metrics_.counter("reservations_refused").add();
+    return reply;
+  }
+  if (ram_committed() + req.ram > exportable_ram) {
+    reply.granted = false;
+    reply.reason = "insufficient RAM";
+    metrics_.counter("reservations_refused").add();
+    return reply;
+  }
+
+  HeldReservation held;
+  held.request = req;
+  held.request.cpu_fraction = std::min(req.cpu_fraction, grantable);
+  held.expiry = engine_.schedule_after(req.hold, [this, id = req.id] {
+    if (reservations_.erase(id) > 0) {
+      metrics_.counter("reservations_expired").add();
+    }
+  });
+  reservations_[req.id] = std::move(held);
+
+  reply.granted = true;
+  metrics_.counter("reservations_granted").add();
+  return reply;
+}
+
+protocol::ExecuteReply Lrm::handle_execute(const protocol::ExecuteRequest& req) {
+  protocol::ExecuteReply reply;
+  reply.reservation = req.reservation;
+
+  protocol::ReservationRequest reservation;
+  auto it = reservations_.find(req.reservation);
+  if (it == reservations_.end()) {
+    if (req.reservation.valid()) {
+      reply.accepted = false;
+      reply.reason = "no such reservation (expired?)";
+      metrics_.counter("executes_rejected").add();
+      return reply;
+    }
+    // Reservation-free direct execution (how the Condor/BOINC-style
+    // baselines claim nodes): run the admission check inline.
+    reservation.id = req.reservation;
+    reservation.task = req.task.id;
+    reservation.ram = req.task.ram_needed;
+    const SimTime now = engine_.now();
+    const double grantable =
+        ncc_.exportable_cpu(machine_, now, owner_quiet_since_) - reserved_cpu();
+    reservation.cpu_fraction = std::min(1.0, grantable);
+    if (!ncc_.shareable(machine_, now, owner_quiet_since_) ||
+        grantable < 0.05 ||
+        ram_committed() + reservation.ram > ncc_.exportable_ram(machine_)) {
+      reply.accepted = false;
+      reply.reason = "node busy (direct execute refused)";
+      metrics_.counter("executes_rejected").add();
+      return reply;
+    }
+  } else {
+    reservation = it->second.request;
+    it->second.expiry.cancel();
+    reservations_.erase(it);
+  }
+
+  if (ncc_.must_evict(machine_, engine_.now())) {
+    reply.accepted = false;
+    reply.reason = "owner returned between reserve and execute";
+    metrics_.counter("executes_rejected").add();
+    return reply;
+  }
+
+  // Owner's sandbox policy: the last word on what this node will host.
+  if (const Status admitted = options_.sandbox.admit(req.task);
+      !admitted.is_ok()) {
+    reply.accepted = false;
+    reply.reason = admitted.message();
+    metrics_.counter("executes_sandboxed").add();
+    return reply;
+  }
+
+  auto task = std::make_unique<RunningTask>();
+  task->desc = req.task;
+  task->report_to = req.report_to;
+  task->requested_cpu = reservation.cpu_fraction;
+  task->last_settle = engine_.now();
+  task->bsp_resident = req.task.kind == protocol::AppKind::kBsp;
+
+  // Resume from a checkpoint when the manager supplied one: progress is
+  // absolute, so the checkpointed prefix of the work is never re-executed.
+  if (!task->bsp_resident && !req.restore_state.empty()) {
+    auto restored =
+        cdr::decode_message<ckpt::SequentialState>(req.restore_state);
+    if (restored.is_ok()) {
+      task->done = std::clamp(restored.value().work_done, 0.0, task->desc.work);
+      metrics_.counter("tasks_restored").add();
+    }
+  }
+
+  const TaskId id = req.task.id;
+  auto [task_it, inserted] = tasks_.emplace(id, std::move(task));
+  if (!inserted) {
+    reply.accepted = false;
+    reply.reason = "task already running here";
+    return reply;
+  }
+  metrics_.counter("tasks_accepted").add();
+
+  // Sequential-task checkpointing: periodic portable state capture.
+  RunningTask& t = *task_it->second;
+  if (!t.bsp_resident && t.desc.checkpoint_period > 0 &&
+      checkpoint_service_.valid()) {
+    t.checkpoint_timer.start(engine_, t.desc.checkpoint_period,
+                             [this, id] {
+                               auto it2 = tasks_.find(id);
+                               if (it2 != tasks_.end()) checkpoint_task(*it2->second);
+                             });
+  }
+
+  // Input staging: bill the transfer from the submitting manager's node to
+  // this node before compute begins (the reallocate() that grants CPU
+  // happens either way; a staging task simply has work pending).
+  if (t.desc.input_bytes > 0 && network_ != nullptr &&
+      network_->attached(req.report_to.host) &&
+      network_->attached(orb_.address())) {
+    network_->send(req.report_to.host, orb_.address(), t.desc.input_bytes,
+                   [] { /* arrival already delays nothing further */ });
+  }
+
+  reallocate();
+  reply.accepted = true;
+  return reply;
+}
+
+void Lrm::handle_cancel(TaskId id) {
+  auto it = tasks_.find(id);
+  if (it == tasks_.end()) return;
+  settle_all();
+  it->second->completion.cancel();
+  it->second->checkpoint_timer.stop();
+  tasks_.erase(it);
+  metrics_.counter("tasks_cancelled").add();
+  reallocate();
+}
+
+void Lrm::handle_bsp_compute(const protocol::BspComputeRequest& req) {
+  auto it = tasks_.find(req.task);
+  if (it == tasks_.end()) {
+    // Task is gone (evicted and the coordinator's message raced the report);
+    // the coordinator learns via the eviction report, so drop silently.
+    return;
+  }
+  RunningTask& task = *it->second;
+  settle_all();
+  task.chunk_active = true;
+  task.chunk_superstep = req.superstep;
+  task.chunk_work = req.work;
+  task.chunk_done = 0;
+  task.chunk_notify = req.notify;
+  reallocate();
+}
+
+// ---------------------------------------------------------------------------
+// Execution engine: piecewise-constant-rate work integration
+// ---------------------------------------------------------------------------
+
+bool Lrm::task_computing(const RunningTask& task) const {
+  return task.bsp_resident ? task.chunk_active : true;
+}
+
+MInstr Lrm::effective_work(const RunningTask& task) const {
+  return task.bsp_resident ? task.chunk_work : task.desc.work;
+}
+
+void Lrm::settle(RunningTask& task) {
+  const SimTime now = engine_.now();
+  const SimDuration elapsed = now - task.last_settle;
+  task.last_settle = now;
+  if (elapsed <= 0 || !task_computing(task) || task.share <= 0.0) return;
+
+  const MInstr progressed =
+      task.share * machine_.spec().cpu_mips * to_seconds(elapsed);
+  total_work_done_ += progressed;
+  if (task.bsp_resident) {
+    task.chunk_done += progressed;
+  } else {
+    task.done += progressed;
+  }
+}
+
+void Lrm::settle_all() {
+  for (auto& [_, task] : tasks_) settle(*task);
+}
+
+void Lrm::reallocate() {
+  settle_all();
+  const SimTime now = engine_.now();
+
+  // Capacity available to grid tasks right now. Running tasks keep their
+  // claim even inside the NCC grace window (eviction is handled separately);
+  // what shrinks under owner load is the leftover itself.
+  double available = 0.0;
+  if (!ncc_.must_evict(machine_, now)) {
+    available = std::min(ncc_.policy().cpu_export_cap,
+                         machine_.free_cpu_fraction());
+    available = std::max(0.0, available);
+  }
+
+  // Equal split among computing tasks, capped by each task's request;
+  // leftover water-fills to the uncapped ones.
+  std::vector<RunningTask*> computing;
+  for (auto& [_, task] : tasks_) {
+    if (task_computing(*task)) {
+      computing.push_back(task.get());
+    } else {
+      task->share = 0.0;
+      task->completion.cancel();
+    }
+  }
+  if (!computing.empty()) {
+    double remaining = available;
+    std::vector<bool> capped(computing.size(), false);
+    std::size_t uncapped = computing.size();
+    for (auto* t : computing) t->share = 0.0;
+    // At most N rounds: each round caps at least one task or distributes all.
+    while (remaining > 1e-12 && uncapped > 0) {
+      const double slice = remaining / static_cast<double>(uncapped);
+      double distributed = 0.0;
+      for (std::size_t i = 0; i < computing.size(); ++i) {
+        if (capped[i]) continue;
+        const double headroom = computing[i]->requested_cpu - computing[i]->share;
+        const double take = std::min(slice, headroom);
+        computing[i]->share += take;
+        distributed += take;
+        if (computing[i]->share >= computing[i]->requested_cpu - 1e-12) {
+          capped[i] = true;
+          --uncapped;
+        }
+      }
+      remaining -= distributed;
+      if (distributed <= 1e-12) break;
+    }
+  }
+
+  for (auto& [_, task] : tasks_) {
+    if (task_computing(*task)) schedule_completion(*task);
+  }
+}
+
+void Lrm::schedule_completion(RunningTask& task) {
+  task.completion.cancel();
+  const double rate = task.share * machine_.spec().cpu_mips;  // MInstr/s
+  if (rate <= 0.0) return;  // stalled: waits for the next reallocation
+
+  const MInstr remaining =
+      effective_work(task) - (task.bsp_resident ? task.chunk_done : task.done);
+  if (remaining <= 0.0) {
+    // Already done (zero-work chunk): complete on the next event boundary.
+    const TaskId id = task.desc.id;
+    task.completion = engine_.schedule_after(0, [this, id] { finish_task(id); });
+    return;
+  }
+  const SimDuration eta = from_seconds(remaining / rate);
+  const TaskId id = task.desc.id;
+  task.completion =
+      engine_.schedule_after(std::max<SimDuration>(eta, 1), [this, id] {
+        finish_task(id);
+      });
+}
+
+void Lrm::finish_task(TaskId id) {
+  auto it = tasks_.find(id);
+  if (it == tasks_.end()) return;
+  RunningTask& task = *it->second;
+  settle(task);
+
+  if (task.bsp_resident) {
+    if (task.chunk_active && task.chunk_done >= task.chunk_work - 1e-6) {
+      finish_chunk(task);
+    } else {
+      schedule_completion(task);  // numeric slack: not quite there yet
+    }
+    return;
+  }
+
+  if (task.done < task.desc.work - 1e-6) {
+    schedule_completion(task);
+    return;
+  }
+
+  // Completed: ship output back to the manager, then report.
+  metrics_.counter("tasks_completed").add();
+  if (task.desc.output_bytes > 0 && network_ != nullptr &&
+      network_->attached(orb_.address()) &&
+      network_->attached(task.report_to.host)) {
+    network_->send(orb_.address(), task.report_to.host, task.desc.output_bytes,
+                   [] {});
+  }
+  report(task, TaskOutcome::kCompleted, "");
+  task.checkpoint_timer.stop();
+  tasks_.erase(it);
+  reallocate();
+}
+
+void Lrm::finish_chunk(RunningTask& task) {
+  task.chunk_active = false;
+  task.share = 0.0;
+  metrics_.counter("bsp_chunks_completed").add();
+  protocol::BspChunkDone done;
+  done.task = task.desc.id;
+  done.rank = task.desc.bsp_rank;
+  done.superstep = task.chunk_superstep;
+  done.node = machine_.id();
+  if (task.chunk_notify.valid()) {
+    orb::oneway(orb_, task.chunk_notify, "chunk_done", done);
+  }
+  reallocate();
+}
+
+void Lrm::evict_all(TaskOutcome outcome, const std::string& detail) {
+  if (tasks_.empty()) return;
+  settle_all();
+  // Reservations die with the eviction: the machine is no longer donating.
+  for (auto& [_, held] : reservations_) held.expiry.cancel();
+  reservations_.clear();
+
+  auto victims = std::move(tasks_);
+  tasks_.clear();
+  for (auto& [_, task] : victims) {
+    task->completion.cancel();
+    task->checkpoint_timer.stop();
+    metrics_.counter("tasks_evicted").add();
+    report(*task, outcome, detail);
+  }
+}
+
+void Lrm::report(const RunningTask& task, TaskOutcome outcome,
+                 const std::string& detail) {
+  if (!task.report_to.valid()) return;
+  protocol::TaskReport report;
+  report.task = task.desc.id;
+  report.node = machine_.id();
+  report.outcome = outcome;
+  report.work_done = task.done;
+  report.detail = detail;
+  orb::oneway(orb_, task.report_to, "report", report);
+}
+
+void Lrm::checkpoint_task(RunningTask& task) {
+  settle(task);
+  ckpt::Checkpoint checkpoint;
+  checkpoint.app = task.desc.app;
+  checkpoint.rank = std::max(0, task.desc.bsp_rank);
+  // Time-based versions stay monotonic across evict/restart cycles, which
+  // keeps the repository's version-regression guard effective.
+  checkpoint.version = engine_.now();
+  checkpoint.created_at = engine_.now();
+  checkpoint.state = cdr::encode_message(ckpt::SequentialState{task.done});
+  metrics_.counter("checkpoints_taken").add();
+
+  // Bill the bulk state transfer separately from the control message.
+  if (task.desc.checkpoint_bytes > 0 && network_ != nullptr &&
+      network_->attached(orb_.address()) &&
+      network_->attached(checkpoint_service_.host)) {
+    network_->send(orb_.address(), checkpoint_service_.host,
+                   task.desc.checkpoint_bytes, [] {});
+  }
+  orb::oneway(orb_, checkpoint_service_, "store_checkpoint", checkpoint);
+}
+
+}  // namespace integrade::lrm

@@ -1,0 +1,167 @@
+// LRM — Local Resource Manager (paper §4).
+//
+// Runs on every cluster node. Four jobs:
+//
+//  1. Information Update Protocol: collect node status (CPU/RAM/disk/net,
+//     owner activity, NCC verdict) and push it to the GRM periodically.
+//  2. Resource Reservation & Execution Protocol, provider side: grant or
+//     refuse reservations against *current* truth (the GRM's view is only a
+//     hint), hold them briefly, then accept Execute requests.
+//  3. User-level scheduling: grid tasks run strictly in the owner's
+//     leftover CPU under the NCC cap; when the owner returns, grid work is
+//     throttled (partial-share mode) or evicted (strict mode) immediately.
+//     The owner never waits for the grid.
+//  4. LUPA hosting: the usage-pattern analyzer samples the machine and its
+//     models are uploaded to the GUPA after every re-clustering.
+//
+// Task execution is simulated by integrating work at `share × MIPS` between
+// reallocation points (owner load changes, task arrivals/departures), which
+// is exact for piecewise-constant rates.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "ckpt/repository.hpp"
+#include "lupa/lupa.hpp"
+#include "ncc/ncc.hpp"
+#include "security/sandbox.hpp"
+#include "node/machine.hpp"
+#include "orb/orb.hpp"
+#include "protocol/messages.hpp"
+#include "sim/engine.hpp"
+#include "sim/network.hpp"
+
+namespace integrade::lrm {
+
+struct LrmOptions {
+  /// Information Update Protocol period (paper: "LRMs send this information
+  /// periodically to the GRM").
+  SimDuration update_period = 30 * kSecond;
+  /// Also push an immediate update when the NCC verdict flips — keeps the
+  /// GRM's hint fresh at the moments that matter most.
+  bool push_on_state_change = true;
+  bool run_lupa = true;
+  lupa::LupaOptions lupa_options;
+  /// Owner's task-admission sandbox (paper §3 security requirement);
+  /// tasks exceeding its limits are refused at Execute time.
+  security::Sandbox sandbox;
+};
+
+class Lrm {
+ public:
+  Lrm(sim::Engine& engine, orb::Orb& orb, node::Machine& machine, ncc::Ncc ncc,
+      Rng rng, LrmOptions options = {});
+  ~Lrm();
+  Lrm(const Lrm&) = delete;
+  Lrm& operator=(const Lrm&) = delete;
+
+  /// Activate the servant and begin protocols. `network` (optional) is used
+  /// for bulk data movement (input staging, checkpoint shipping);
+  /// `checkpoint_service` receives sequential-task checkpoints.
+  void start(const orb::ObjectRef& grm, const orb::ObjectRef& gupa,
+             const orb::ObjectRef& checkpoint_service = {},
+             sim::Network* network = nullptr);
+  void stop();
+
+  [[nodiscard]] const orb::ObjectRef& ref() const { return self_ref_; }
+  [[nodiscard]] NodeId node_id() const { return machine_.id(); }
+  [[nodiscard]] node::Machine& machine() { return machine_; }
+  [[nodiscard]] ncc::Ncc& ncc() { return ncc_; }
+  [[nodiscard]] lupa::Lupa* lupa() { return lupa_.get(); }
+  [[nodiscard]] MetricRegistry& metrics() { return metrics_; }
+
+  [[nodiscard]] protocol::NodeStatus current_status() const;
+  [[nodiscard]] int running_task_count() const {
+    return static_cast<int>(tasks_.size());
+  }
+  /// Total grid work completed on this node (MInstr), including work by
+  /// tasks later evicted.
+  [[nodiscard]] MInstr total_work_done() const { return total_work_done_; }
+
+  // --- protocol entry points (called by the servant; public for tests) ---
+  protocol::ReservationReply handle_reserve(const protocol::ReservationRequest& req);
+  protocol::ExecuteReply handle_execute(const protocol::ExecuteRequest& req);
+  void handle_cancel(TaskId task);
+  void handle_bsp_compute(const protocol::BspComputeRequest& req);
+
+  /// Force an immediate info update (tests; also used at start()).
+  void push_update();
+
+ private:
+  struct RunningTask {
+    protocol::TaskDescriptor desc;
+    orb::ObjectRef report_to;
+    double requested_cpu = 1.0;
+    double share = 0.0;  // current fraction of the machine's CPU
+    MInstr done = 0;
+    SimTime last_settle = 0;
+    sim::EventHandle completion;
+    // BSP chunk state: a resident BSP task computes only when a chunk is
+    // active; between chunks it holds resources but accrues no work.
+    bool bsp_resident = false;
+    bool chunk_active = false;
+    std::int64_t chunk_superstep = -1;
+    MInstr chunk_work = 0;
+    MInstr chunk_done = 0;
+    orb::ObjectRef chunk_notify;
+    // Sequential checkpointing.
+    sim::PeriodicTimer checkpoint_timer;
+    std::int64_t checkpoint_version = 0;
+  };
+
+  struct HeldReservation {
+    protocol::ReservationRequest request;
+    sim::EventHandle expiry;
+  };
+
+  void on_machine_change();
+  void settle_all();
+  void settle(RunningTask& task);
+  void reallocate();
+  void schedule_completion(RunningTask& task);
+  void finish_task(TaskId id);
+  void finish_chunk(RunningTask& task);
+  void evict_all(protocol::TaskOutcome outcome, const std::string& detail);
+  void report(const RunningTask& task, protocol::TaskOutcome outcome,
+              const std::string& detail);
+  void checkpoint_task(RunningTask& task);
+  void update_quiet_tracking();
+  [[nodiscard]] double grid_cpu_in_use() const;
+  [[nodiscard]] double reserved_cpu() const;
+  [[nodiscard]] Bytes ram_committed() const;
+  [[nodiscard]] MInstr effective_work(const RunningTask& task) const;
+  [[nodiscard]] bool task_computing(const RunningTask& task) const;
+
+  sim::Engine& engine_;
+  orb::Orb& orb_;
+  node::Machine& machine_;
+  ncc::Ncc ncc_;
+  Rng rng_;
+  LrmOptions options_;
+
+  orb::ObjectRef self_ref_;
+  orb::ObjectRef grm_;
+  orb::ObjectRef gupa_;
+  orb::ObjectRef checkpoint_service_;
+  sim::Network* network_ = nullptr;
+
+  std::unique_ptr<lupa::Lupa> lupa_;
+  sim::PeriodicTimer update_timer_;
+
+  std::map<TaskId, std::unique_ptr<RunningTask>> tasks_;
+  std::map<ReservationId, HeldReservation> reservations_;
+
+  std::optional<SimTime> owner_quiet_since_;
+  bool last_owner_present_ = false;
+  bool last_shareable_ = false;
+  bool started_ = false;
+
+  MInstr total_work_done_ = 0;
+  MetricRegistry metrics_;
+};
+
+}  // namespace integrade::lrm

@@ -1,0 +1,75 @@
+#include "ncc/ncc.hpp"
+
+#include <algorithm>
+
+namespace integrade::ncc {
+
+bool BlackoutWindow::contains(SimTime t) const {
+  const int slot = node::slot_of_week(t);
+  if (from_slot <= to_slot) return slot >= from_slot && slot < to_slot;
+  // Wrapping window (e.g. Sunday night into Monday morning).
+  return slot >= from_slot || slot < to_slot;
+}
+
+SharingPolicy dedicated_policy() {
+  SharingPolicy policy;
+  policy.cpu_export_cap = 1.0;
+  policy.ram_export_cap = 0.9;
+  policy.idle_grace = 0;
+  policy.require_owner_away = false;
+  policy.idle_cpu_threshold = 1.0;  // never considered owner-busy
+  return policy;
+}
+
+SharingPolicy conservative_policy() {
+  SharingPolicy policy;
+  policy.cpu_export_cap = 0.3;
+  policy.ram_export_cap = 0.25;
+  policy.idle_grace = 30 * kMinute;
+  policy.idle_cpu_threshold = 0.10;
+  return policy;
+}
+
+bool Ncc::in_blackout(SimTime now) const {
+  return std::any_of(policy_.blackouts.begin(), policy_.blackouts.end(),
+                     [now](const BlackoutWindow& w) { return w.contains(now); });
+}
+
+bool Ncc::shareable(const node::Machine& machine, SimTime now,
+                    std::optional<SimTime> owner_quiet_since) const {
+  if (!policy_.sharing_enabled || !machine.up()) return false;
+  if (in_blackout(now)) return false;
+  if (!policy_.require_owner_away) return true;
+
+  if (!owner_quiet_since.has_value()) return false;  // owner active now
+  return now - *owner_quiet_since >= policy_.idle_grace;
+}
+
+double Ncc::exportable_cpu(const node::Machine& machine, SimTime now,
+                           std::optional<SimTime> owner_quiet_since) const {
+  if (!policy_.sharing_enabled || !machine.up() || in_blackout(now)) return 0.0;
+
+  const double leftover = machine.free_cpu_fraction();
+  if (policy_.require_owner_away) {
+    if (!shareable(machine, now, owner_quiet_since)) return 0.0;
+    return std::min(policy_.cpu_export_cap, leftover);
+  }
+  // Partial-share mode: export whatever the owner leaves, capped.
+  return std::clamp(std::min(policy_.cpu_export_cap, leftover), 0.0, 1.0);
+}
+
+Bytes Ncc::exportable_ram(const node::Machine& machine) const {
+  const auto cap = static_cast<Bytes>(
+      static_cast<double>(machine.spec().ram) * policy_.ram_export_cap);
+  return std::min(cap, machine.free_ram());
+}
+
+bool Ncc::must_evict(const node::Machine& machine, SimTime now) const {
+  if (!policy_.sharing_enabled || !machine.up()) return true;
+  if (in_blackout(now)) return true;
+  if (!policy_.require_owner_away) return false;
+  const auto& owner = machine.owner_load();
+  return owner.present || owner.cpu_fraction > policy_.idle_cpu_threshold;
+}
+
+}  // namespace integrade::ncc

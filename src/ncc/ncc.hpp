@@ -1,0 +1,94 @@
+// NCC — Node Control Center (paper §4).
+//
+// "The Node Control Center allows the owners of resource providing machines
+// to set the conditions for resource sharing": blackout periods, the
+// portion of CPU/RAM grid applications may use, and what counts as an idle
+// machine. The defaults below are the paper's promised "sensible default
+// values ... to protect providers from degradation in the quality of
+// service": share only when the owner has been away past a grace period,
+// and never hand out more than the owner leaves free.
+//
+// The NCC itself is pure policy: the LRM asks it for verdicts; it never
+// touches the network.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "node/machine.hpp"
+#include "node/usage_profile.hpp"
+
+namespace integrade::ncc {
+
+/// A weekly window (half-open, in week slots) during which sharing is off
+/// regardless of idleness — e.g. an owner who wants weekday business hours
+/// to themselves no matter what.
+struct BlackoutWindow {
+  int from_slot = 0;  // [0, kSlotsPerWeek)
+  int to_slot = 0;    // exclusive; may wrap past the week end
+
+  [[nodiscard]] bool contains(SimTime t) const;
+};
+
+struct SharingPolicy {
+  bool sharing_enabled = true;
+
+  /// Hard caps on what grid tasks may consume, as machine fractions.
+  double cpu_export_cap = 1.0;
+  double ram_export_cap = 0.5;
+
+  /// Idleness definition: owner CPU at or below this threshold...
+  double idle_cpu_threshold = 0.15;
+  /// ...continuously for this long, with no console session.
+  SimDuration idle_grace = 10 * kMinute;
+
+  /// When true (default), the node is shareable only while the owner is
+  /// away. When false, leftover CPU is exported even during owner sessions
+  /// (the paper's "using resources of a partially idle node", contrasted
+  /// with SETI@home's all-or-nothing model) — the E6 QoS bench sweeps this.
+  bool require_owner_away = true;
+
+  std::vector<BlackoutWindow> blackouts;
+};
+
+/// Convenience: a policy that shares aggressively (dedicated-node style).
+SharingPolicy dedicated_policy();
+
+/// A conservative policy for cautious owners (low caps, long grace).
+SharingPolicy conservative_policy();
+
+class Ncc {
+ public:
+  explicit Ncc(SharingPolicy policy = {}) : policy_(std::move(policy)) {}
+
+  [[nodiscard]] const SharingPolicy& policy() const { return policy_; }
+  void set_policy(SharingPolicy policy) { policy_ = std::move(policy); }
+
+  /// Is the node accepting *new* grid work right now? `owner_quiet_since`
+  /// is the time the owner last stopped interacting (or nullopt if the
+  /// owner is active now).
+  [[nodiscard]] bool shareable(const node::Machine& machine, SimTime now,
+                               std::optional<SimTime> owner_quiet_since) const;
+
+  /// CPU fraction available for grid work right now under this policy
+  /// (0 when not shareable, except partial-share mode).
+  [[nodiscard]] double exportable_cpu(const node::Machine& machine, SimTime now,
+                                      std::optional<SimTime> owner_quiet_since) const;
+
+  [[nodiscard]] Bytes exportable_ram(const node::Machine& machine) const;
+
+  /// Must currently running grid work be evicted? True when the owner is
+  /// back (strict mode) or a blackout window opened. This is deliberately
+  /// asymmetric with shareable(): admission waits out the grace period,
+  /// but eviction on owner return is immediate — the owner never waits.
+  [[nodiscard]] bool must_evict(const node::Machine& machine, SimTime now) const;
+
+ private:
+  [[nodiscard]] bool in_blackout(SimTime now) const;
+
+  SharingPolicy policy_;
+};
+
+}  // namespace integrade::ncc

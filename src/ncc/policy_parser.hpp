@@ -1,0 +1,33 @@
+// NCC policy configuration language.
+//
+// Paper §3: "the system must provide a flexible and user-friendly way of
+// letting resource providers share their machines as they want", with
+// "sensible default values ... to protect providers". The NCC's
+// user-facing surface is this small config format — one directive per
+// line, '#' comments, everything optional (defaults from SharingPolicy):
+//
+//     sharing        = on
+//     mode           = strict            # or: partial
+//     cpu_cap        = 30%
+//     ram_cap        = 50%
+//     idle_threshold = 15%
+//     grace          = 10min             # also: 30s, 2h
+//     blackout       = Mon-Fri 09:00-18:00
+//     blackout       = Sun 22:00-24:00
+//
+// `parse_policy` returns the policy or a line-numbered error.
+#pragma once
+
+#include <string>
+
+#include "common/result.hpp"
+#include "ncc/ncc.hpp"
+
+namespace integrade::ncc {
+
+Result<SharingPolicy> parse_policy(const std::string& text);
+
+/// Render a policy back to config text (round-trips through parse_policy).
+std::string format_policy(const SharingPolicy& policy);
+
+}  // namespace integrade::ncc

@@ -1,0 +1,26 @@
+#include "node/machine.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace integrade::node {
+
+void Machine::set_up(bool up) {
+  if (up_ == up) return;
+  up_ = up;
+  if (!up) owner_ = OwnerLoad{};  // power loss clears the console session
+  notify();
+}
+
+void Machine::set_owner_load(OwnerLoad load) {
+  load.cpu_fraction = std::clamp(load.cpu_fraction, 0.0, 1.0);
+  load.ram = std::clamp<Bytes>(load.ram, 0, spec_.ram);
+  owner_ = load;
+  notify();
+}
+
+void Machine::notify() {
+  for (const auto& listener : listeners_) listener();
+}
+
+}  // namespace integrade::node

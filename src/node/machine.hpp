@@ -1,0 +1,77 @@
+// The desktop machine model.
+//
+// A Machine is the physical substrate a Resource Provider Node exports to
+// the grid: a CPU rated in MIPS, RAM, disk, an OS/platform tag set, and —
+// crucially for InteGrade — an *owner* whose interactive workload always
+// has priority. The LRM reads the owner's instantaneous CPU/RAM demand from
+// here to decide what is exportable, and grid task execution rates are
+// derated by owner activity (the owner never waits for the grid; the grid
+// waits for the owner).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace integrade::node {
+
+struct MachineSpec {
+  std::string hostname;
+  Mips cpu_mips = 1000.0;
+  Bytes ram = 256 * kMiB;
+  Bytes disk = 20 * kGiB;
+  std::string os = "linux";
+  std::string arch = "x86";
+  /// Platform tags an application binary may require, e.g. "linux-x86",
+  /// "java". Matched by ASCT prerequisites.
+  std::vector<std::string> platforms = {"linux-x86"};
+};
+
+/// Owner demand snapshot: what the machine's human user consumes right now.
+struct OwnerLoad {
+  double cpu_fraction = 0.0;  // [0,1] of the CPU
+  Bytes ram = 0;
+  bool present = false;  // console session active (keyboard/mouse recently)
+};
+
+class Machine {
+ public:
+  explicit Machine(NodeId id, MachineSpec spec)
+      : id_(id), spec_(std::move(spec)) {}
+
+  [[nodiscard]] NodeId id() const { return id_; }
+  [[nodiscard]] const MachineSpec& spec() const { return spec_; }
+
+  [[nodiscard]] const OwnerLoad& owner_load() const { return owner_; }
+
+  /// Fraction of the CPU the owner leaves unused right now.
+  [[nodiscard]] double free_cpu_fraction() const {
+    return 1.0 - owner_.cpu_fraction;
+  }
+  [[nodiscard]] Bytes free_ram() const { return spec_.ram - owner_.ram; }
+
+  /// True when the machine is powered and reachable.
+  [[nodiscard]] bool up() const { return up_; }
+  void set_up(bool up);
+
+  /// Listeners fire on every owner-load or power change; the LRM hooks in
+  /// here to reevaluate exports and evict grid tasks when the owner returns.
+  using Listener = std::function<void()>;
+  void subscribe(Listener listener) { listeners_.push_back(std::move(listener)); }
+
+  /// Called by the OwnerWorkload process.
+  void set_owner_load(OwnerLoad load);
+
+ private:
+  void notify();
+
+  NodeId id_;
+  MachineSpec spec_;
+  OwnerLoad owner_;
+  bool up_ = true;
+  std::vector<Listener> listeners_;
+};
+
+}  // namespace integrade::node

@@ -1,0 +1,107 @@
+#include "node/owner.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace integrade::node {
+
+OwnerWorkload::OwnerWorkload(sim::Engine& engine, Machine& machine,
+                             WeeklyProfile profile, Rng rng)
+    : engine_(engine), machine_(machine), profile_(std::move(profile)), rng_(rng) {}
+
+void OwnerWorkload::start(SimDuration tick) {
+  assert(tick > 0);
+  roll_day(static_cast<int>(engine_.now() / kDay));
+  // Initialize presence from the stationary distribution at t=0.
+  present_ = rng_.bernoulli(effective_presence(engine_.now()));
+  transitions_.push_back({engine_.now(), present_});
+  apply_state();
+  timer_.start(engine_, tick, [this] { this->tick(); }, tick);
+}
+
+void OwnerWorkload::stop() { timer_.stop(); }
+
+double OwnerWorkload::effective_presence(SimTime t) const {
+  const double p = profile_.presence_at(t);
+  return holiday_today_ ? p * profile_.holiday_presence_factor : p;
+}
+
+void OwnerWorkload::roll_day(int day) {
+  if (day == current_day_) return;
+  current_day_ = day;
+  holiday_today_ = rng_.bernoulli(profile_.holiday_rate);
+  if (holiday_today_) holidays_.push_back(day);
+}
+
+void OwnerWorkload::tick() {
+  const SimTime now = engine_.now();
+  roll_day(static_cast<int>(now / kDay));
+  const double p = effective_presence(now);
+  const double p_prev = effective_presence(std::max<SimTime>(0, now - kSlotDuration));
+
+  // Renewal chain: each tick the owner "re-decides" presence with
+  // probability `regen`, drawing Bernoulli(p) independent of the current
+  // state — so the marginal tracks the template exactly. The base regen
+  // rate encodes session persistence (longer persistence → longer coherent
+  // busy/idle runs); a template discontinuity (everyone arrives at 9:00)
+  // boosts regen so the population reacts within one slot instead of
+  // lagging by the chain's mixing time.
+  const double ticks_per_slot =
+      static_cast<double>(kSlotDuration) / static_cast<double>(5 * kMinute);
+  const double base =
+      1.0 / std::max(1.0, profile_.persistence_slots * ticks_per_slot);
+  const double jump = std::abs(p - p_prev);
+  const double regen = std::clamp(std::max(base, jump), 0.0, 1.0);
+
+  bool changed = false;
+  if (rng_.bernoulli(regen)) {
+    const bool next = rng_.bernoulli(p);
+    if (next != present_) {
+      present_ = next;
+      changed = true;
+    }
+  }
+  if (changed) transitions_.push_back({now, present_});
+
+  // Bursty demand: resample the CPU draw occasionally even without a state
+  // change, so the load is not a flat line while the owner works.
+  if (changed || rng_.bernoulli(0.3)) apply_state();
+}
+
+void OwnerWorkload::apply_state() {
+  OwnerLoad load;
+  load.present = present_;
+  if (present_) {
+    current_cpu_ = std::clamp(
+        rng_.normal(profile_.active_cpu_mean, profile_.active_cpu_stddev), 0.05,
+        1.0);
+    load.cpu_fraction = current_cpu_;
+    load.ram = static_cast<Bytes>(
+        static_cast<double>(machine_.spec().ram) *
+        std::clamp(profile_.active_ram_fraction + rng_.uniform(-0.1, 0.1), 0.0,
+                   0.95));
+  } else {
+    load.cpu_fraction = profile_.idle_cpu;
+    load.ram = static_cast<Bytes>(static_cast<double>(machine_.spec().ram) * 0.05);
+  }
+  machine_.set_owner_load(load);
+}
+
+bool OwnerWorkload::was_present(SimTime t) const {
+  bool state = false;
+  for (const auto& tr : transitions_) {
+    if (tr.at > t) break;
+    state = tr.present;
+  }
+  return state;
+}
+
+SimDuration OwnerWorkload::idle_run_after(SimTime t) const {
+  if (was_present(t)) return 0;
+  for (const auto& tr : transitions_) {
+    if (tr.at > t && tr.present) return tr.at - t;
+  }
+  return kTimeNever - t;
+}
+
+}  // namespace integrade::node

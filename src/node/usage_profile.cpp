@@ -1,0 +1,117 @@
+#include "node/usage_profile.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace integrade::node {
+
+int day_of_week(SimTime t) {
+  return static_cast<int>((t / kDay) % 7);
+}
+
+int slot_of_day(SimTime t) {
+  return static_cast<int>((t % kDay) / kSlotDuration);
+}
+
+int slot_of_week(SimTime t) {
+  return static_cast<int>((t % kWeek) / kSlotDuration);
+}
+
+namespace {
+
+/// Fill [from_hour, to_hour) on day `d` with probability p (hours may be
+/// fractional halves).
+void fill_hours(std::array<double, kSlotsPerWeek>& probs, int d, double from_hour,
+                double to_hour, double p) {
+  const int from_slot = d * kSlotsPerDay + static_cast<int>(from_hour * 2);
+  const int to_slot = d * kSlotsPerDay + static_cast<int>(to_hour * 2);
+  for (int s = from_slot; s < to_slot; ++s) {
+    probs[static_cast<std::size_t>(s)] = p;
+  }
+}
+
+std::array<double, kSlotsPerWeek> constant_week(double p) {
+  std::array<double, kSlotsPerWeek> probs{};
+  probs.fill(p);
+  return probs;
+}
+
+}  // namespace
+
+WeeklyProfile office_worker_profile() {
+  WeeklyProfile profile;
+  profile.name = "office_worker";
+  profile.presence_prob = constant_week(0.03);
+  for (int d = 0; d < 5; ++d) {  // Monday..Friday
+    fill_hours(profile.presence_prob, d, 9.0, 12.0, 0.90);
+    fill_hours(profile.presence_prob, d, 12.0, 13.0, 0.30);  // lunch dip
+    fill_hours(profile.presence_prob, d, 13.0, 18.0, 0.88);
+    fill_hours(profile.presence_prob, d, 18.0, 20.0, 0.25);  // overtime tail
+  }
+  profile.active_cpu_mean = 0.45;
+  profile.active_cpu_stddev = 0.20;
+  profile.active_ram_fraction = 0.45;
+  profile.persistence_slots = 6.0;
+  return profile;
+}
+
+WeeklyProfile student_lab_profile() {
+  WeeklyProfile profile;
+  profile.name = "student_lab";
+  profile.presence_prob = constant_week(0.05);
+  for (int d = 0; d < 5; ++d) {
+    fill_hours(profile.presence_prob, d, 8.0, 12.0, 0.75);   // morning classes
+    fill_hours(profile.presence_prob, d, 12.0, 14.0, 0.45);
+    fill_hours(profile.presence_prob, d, 14.0, 18.0, 0.80);  // afternoon classes
+    fill_hours(profile.presence_prob, d, 18.0, 22.0, 0.35);  // evening stragglers
+  }
+  fill_hours(profile.presence_prob, 5, 10.0, 16.0, 0.25);  // Saturday trickle
+  profile.active_cpu_mean = 0.55;
+  profile.active_cpu_stddev = 0.25;
+  profile.active_ram_fraction = 0.55;
+  profile.persistence_slots = 3.0;  // students churn faster than workers
+  return profile;
+}
+
+WeeklyProfile nocturnal_profile() {
+  WeeklyProfile profile;
+  profile.name = "nocturnal";
+  profile.presence_prob = constant_week(0.04);
+  for (int d = 0; d < 7; ++d) {
+    fill_hours(profile.presence_prob, d, 0.0, 3.0, 0.80);
+    fill_hours(profile.presence_prob, d, 20.0, 24.0, 0.85);
+  }
+  profile.active_cpu_mean = 0.60;
+  profile.active_cpu_stddev = 0.25;
+  profile.active_ram_fraction = 0.50;
+  profile.persistence_slots = 5.0;
+  return profile;
+}
+
+WeeklyProfile busy_server_profile() {
+  WeeklyProfile profile;
+  profile.name = "busy_server";
+  profile.presence_prob = constant_week(0.93);
+  profile.active_cpu_mean = 0.80;
+  profile.active_cpu_stddev = 0.12;
+  profile.active_ram_fraction = 0.70;
+  profile.idle_cpu = 0.10;
+  profile.persistence_slots = 12.0;
+  return profile;
+}
+
+WeeklyProfile mostly_idle_profile() {
+  WeeklyProfile profile;
+  profile.name = "mostly_idle";
+  profile.presence_prob = constant_week(0.04);
+  for (int d = 0; d < 5; ++d) {
+    fill_hours(profile.presence_prob, d, 10.0, 11.0, 0.30);  // occasional use
+  }
+  profile.active_cpu_mean = 0.30;
+  profile.active_cpu_stddev = 0.15;
+  profile.active_ram_fraction = 0.25;
+  profile.persistence_slots = 2.0;
+  return profile;
+}
+
+}  // namespace integrade::node

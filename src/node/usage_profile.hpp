@@ -1,0 +1,75 @@
+// Weekly usage profiles: the ground truth behind owner workloads.
+//
+// The paper's LUPA component assumes desktop usage has recoverable weekly
+// structure — "lunch-breaks, nights, holidays, working periods" (§3). A
+// WeeklyProfile encodes that structure explicitly as a per-half-hour
+// probability that the owner is at the console, plus intensity parameters.
+// The OwnerWorkload process samples behaviour from it; LUPA later tries to
+// *re-discover* the structure from observed samples alone, and bench_lupa
+// scores the recovery against this ground truth.
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace integrade::node {
+
+inline constexpr int kSlotsPerDay = 48;           // half-hour slots
+inline constexpr int kSlotsPerWeek = 7 * kSlotsPerDay;
+inline constexpr SimDuration kSlotDuration = 30 * kMinute;
+
+/// Day-of-week index: 0 = Monday ... 6 = Sunday.
+int day_of_week(SimTime t);
+/// Slot within the day [0, 48).
+int slot_of_day(SimTime t);
+/// Slot within the week [0, 336).
+int slot_of_week(SimTime t);
+
+struct WeeklyProfile {
+  std::string name;
+  /// P(owner at console) for each half-hour slot of the week.
+  std::array<double, kSlotsPerWeek> presence_prob{};
+  /// Mean CPU fraction consumed while present (bursty around this).
+  double active_cpu_mean = 0.5;
+  double active_cpu_stddev = 0.2;
+  /// Mean RAM fraction consumed while present.
+  double active_ram_fraction = 0.4;
+  /// Background CPU while away (daemons, indexing...).
+  double idle_cpu = 0.02;
+  /// Session persistence: expected session / absence stretch in slots.
+  /// Larger values produce longer coherent busy/idle runs for the same
+  /// stationary presence probability.
+  double persistence_slots = 4.0;
+  /// Probability any given day is a holiday (owner essentially absent all
+  /// day regardless of the weekly template). Holidays are one of the
+  /// behavioural categories the paper expects LUPA to discover (§3).
+  double holiday_rate = 0.0;
+  /// Presence multiplier applied on holidays.
+  double holiday_presence_factor = 0.05;
+
+  [[nodiscard]] double presence_at(SimTime t) const {
+    return presence_prob[static_cast<std::size_t>(slot_of_week(t))];
+  }
+};
+
+// Canonical profiles used throughout the benches. These map directly onto
+// the behavioural categories the paper expects LUPA to discover.
+
+/// 9-to-6 office worker with a lunch dip, quiet evenings/weekends.
+WeeklyProfile office_worker_profile();
+
+/// Instructional lab machine: busy during class blocks, free nights/weekends.
+WeeklyProfile student_lab_profile();
+
+/// Workstation owned by a night person: busy evenings and nights.
+WeeklyProfile nocturnal_profile();
+
+/// Almost always busy (shared compute server) — poor grid candidate.
+WeeklyProfile busy_server_profile();
+
+/// Almost always idle (spare machine) — prime grid candidate.
+WeeklyProfile mostly_idle_profile();
+
+}  // namespace integrade::node

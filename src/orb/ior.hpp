@@ -1,0 +1,52 @@
+// Interoperable object references.
+//
+// An ObjectRef is InteGrade's IOR: enough information for any node's ORB to
+// reach a remote servant — the hosting endpoint (node address), the object
+// key within that node's object adapter, and the repository type id used
+// for sanity checks at invocation time.
+#pragma once
+
+#include <string>
+
+#include "cdr/cdr.hpp"
+#include "common/types.hpp"
+#include "sim/network.hpp"
+
+namespace integrade::orb {
+
+/// Network address of a node's ORB endpoint (maps onto sim::EndpointId).
+using NodeAddress = sim::EndpointId;
+
+struct ObjectRef {
+  NodeAddress host = 0;
+  ObjectId key;
+  std::string type_id;  // e.g. "IDL:integrade/Lrm:1.0"
+
+  [[nodiscard]] bool valid() const { return key.valid(); }
+  bool operator==(const ObjectRef&) const = default;
+};
+
+/// A nil reference, in the CORBA sense.
+inline ObjectRef nil_ref() { return ObjectRef{}; }
+
+}  // namespace integrade::orb
+
+namespace integrade::cdr {
+
+template <>
+struct Codec<orb::ObjectRef> {
+  static void encode(Writer& w, const orb::ObjectRef& ref) {
+    w.write_u64(ref.host);
+    w.write_id(ref.key);
+    w.write_string(ref.type_id);
+  }
+  static orb::ObjectRef decode(Reader& r) {
+    orb::ObjectRef ref;
+    ref.host = r.read_u64();
+    ref.key = r.read_id<ObjectTag>();
+    ref.type_id = r.read_string();
+    return ref;
+  }
+};
+
+}  // namespace integrade::cdr

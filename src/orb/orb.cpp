@@ -1,0 +1,192 @@
+#include "orb/orb.hpp"
+
+#include <cassert>
+#include <utility>
+
+#include "common/log.hpp"
+
+namespace integrade::orb {
+
+Status SkeletonBase::dispatch(const std::string& operation, cdr::Reader& args,
+                              cdr::Writer& out) {
+  auto it = handlers_.find(operation);
+  if (it == handlers_.end()) {
+    return Status(ErrorCode::kNotFound, "no such operation: " + operation);
+  }
+  return it->second(args, out);
+}
+
+void SkeletonBase::register_raw(const std::string& operation, RawHandler handler) {
+  assert(!handlers_.contains(operation) && "duplicate operation");
+  handlers_[operation] = std::move(handler);
+}
+
+Orb::Orb(NodeAddress self, Transport& transport, sim::Engine* engine)
+    : self_(self), transport_(transport), engine_(engine) {
+  transport_.bind(self_, [this](NodeAddress src, const std::vector<std::uint8_t>& f) {
+    on_frame(src, f);
+  });
+}
+
+Orb::~Orb() { shutdown(); }
+
+void Orb::shutdown() {
+  if (shutdown_) return;
+  shutdown_ = true;
+  transport_.unbind(self_);
+  // Fail callers; move the map out first since callbacks may re-enter.
+  auto pending = std::move(pending_);
+  pending_.clear();
+  for (auto& [id, p] : pending) {
+    p.timeout.cancel();
+    p.callback(Status(ErrorCode::kUnavailable, "ORB shut down"));
+  }
+}
+
+ObjectRef Orb::activate(std::shared_ptr<Servant> servant) {
+  assert(servant != nullptr);
+  ObjectRef ref;
+  ref.host = self_;
+  ref.key = ObjectId(next_object_key_++);
+  ref.type_id = servant->type_id();
+  servants_[ref.key] = std::move(servant);
+  return ref;
+}
+
+void Orb::deactivate(ObjectId key) { servants_.erase(key); }
+
+void Orb::invoke(const ObjectRef& target, const std::string& operation,
+                 std::vector<std::uint8_t> args, InvokeCallback callback,
+                 SimDuration timeout) {
+  assert(callback);
+  if (shutdown_) {
+    callback(Status(ErrorCode::kUnavailable, "ORB shut down"));
+    return;
+  }
+  if (!target.valid()) {
+    callback(Status(ErrorCode::kInvalidArgument, "nil object reference"));
+    return;
+  }
+  metrics_.counter("requests_sent").add();
+
+  RequestHeader header;
+  header.request_id = RequestId(next_request_id_++);
+  header.object_key = target.key;
+  header.operation = operation;
+  header.response_expected = true;
+
+  Pending pending;
+  pending.callback = std::move(callback);
+  if (engine_ != nullptr) {
+    pending.timeout = engine_->schedule_after(timeout, [this, id = header.request_id] {
+      metrics_.counter("requests_timed_out").add();
+      complete(id, Status(ErrorCode::kDeadlineExceeded, "request timed out"));
+    });
+  }
+  const RequestId id = header.request_id;
+  pending_[id] = std::move(pending);
+
+  auto frame = frame_request(header, args);
+  metrics_.counter("bytes_sent").add(static_cast<std::int64_t>(frame.size()));
+  transport_.send(self_, target.host, std::move(frame));
+
+  // Synchronous transports (unit tests) deliver the reply during send(); if
+  // there is no engine to enforce a deadline and the request is still open,
+  // it will never complete — fail it now.
+  if (engine_ == nullptr && pending_.contains(id)) {
+    complete(id, Status(ErrorCode::kUnavailable, "no reply from host"));
+  }
+}
+
+void Orb::send_oneway(const ObjectRef& target, const std::string& operation,
+                      std::vector<std::uint8_t> args) {
+  if (shutdown_ || !target.valid()) return;
+  RequestHeader header;
+  header.request_id = RequestId(next_request_id_++);
+  header.object_key = target.key;
+  header.operation = operation;
+  header.response_expected = false;
+  auto frame = frame_request(header, args);
+  metrics_.counter("oneways_sent").add();
+  metrics_.counter("bytes_sent").add(static_cast<std::int64_t>(frame.size()));
+  transport_.send(self_, target.host, std::move(frame));
+}
+
+void Orb::on_frame(NodeAddress source, const std::vector<std::uint8_t>& bytes) {
+  if (shutdown_) return;
+  metrics_.counter("bytes_received").add(static_cast<std::int64_t>(bytes.size()));
+  auto parsed = parse_frame(bytes);
+  if (!parsed.is_ok()) {
+    metrics_.counter("malformed_frames").add();
+    log_warn("orb", "dropping malformed frame: " + parsed.status().to_string());
+    return;
+  }
+  switch (parsed.value().type) {
+    case MessageType::kRequest:
+      handle_request(source, parsed.value());
+      break;
+    case MessageType::kReply:
+      handle_reply(parsed.value());
+      break;
+  }
+}
+
+void Orb::handle_request(NodeAddress source, const ParsedFrame& frame) {
+  metrics_.counter("requests_received").add();
+  const RequestHeader& req = frame.request;
+
+  ReplyHeader reply;
+  reply.request_id = req.request_id;
+  cdr::Writer out;
+
+  auto servant = servants_.find(req.object_key);
+  if (servant == servants_.end()) {
+    reply.status = ReplyStatus::kObjectNotExist;
+    reply.exception_detail = "no object with key " + to_string(req.object_key);
+  } else {
+    cdr::Reader args(frame.payload, frame.byte_order);
+    const Status status = servant->second->dispatch(req.operation, args, out);
+    if (!status.is_ok()) {
+      reply.status = status.code() == ErrorCode::kNotFound
+                         ? ReplyStatus::kBadOperation
+                         : ReplyStatus::kSystemException;
+      reply.exception_detail = status.to_string();
+      out = cdr::Writer();  // discard partial results
+    }
+  }
+
+  if (!req.response_expected) return;
+  auto wire = frame_reply(reply, out.buffer());
+  metrics_.counter("bytes_sent").add(static_cast<std::int64_t>(wire.size()));
+  transport_.send(self_, source, std::move(wire));
+}
+
+void Orb::handle_reply(const ParsedFrame& frame) {
+  const ReplyHeader& rep = frame.reply;
+  switch (rep.status) {
+    case ReplyStatus::kNoException:
+      complete(rep.request_id, frame.payload);
+      break;
+    case ReplyStatus::kObjectNotExist:
+      complete(rep.request_id, Status(ErrorCode::kNotFound, rep.exception_detail));
+      break;
+    case ReplyStatus::kBadOperation:
+      complete(rep.request_id,
+               Status(ErrorCode::kInvalidArgument, rep.exception_detail));
+      break;
+    case ReplyStatus::kSystemException:
+      complete(rep.request_id, Status(ErrorCode::kInternal, rep.exception_detail));
+      break;
+  }
+}
+
+void Orb::complete(RequestId id, Result<std::vector<std::uint8_t>> result) {
+  auto it = pending_.find(id);
+  if (it == pending_.end()) return;  // late reply after timeout: discard
+  Pending pending = std::move(it->second);
+  pending_.erase(it);
+  pending.timeout.cancel();
+  pending.callback(std::move(result));
+}
+
+}  // namespace integrade::orb

@@ -1,0 +1,158 @@
+// The ORB core: object adapter + request broker.
+//
+// Each grid node runs one Orb. Servants activated on it receive ObjectRefs
+// that any other node can invoke. Invocations are asynchronous: the caller
+// passes a completion callback and (when an engine is attached) a deadline;
+// replies, timeouts, and transport losses all resolve the callback exactly
+// once. This mirrors the deferred-synchronous CORBA style the 2K resource
+// management protocols used (paper §4), and is the only sane call model
+// inside a discrete-event simulation.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cdr/cdr.hpp"
+#include "common/result.hpp"
+#include "common/stats.hpp"
+#include "orb/ior.hpp"
+#include "orb/message.hpp"
+#include "orb/transport.hpp"
+#include "sim/engine.hpp"
+
+namespace integrade::orb {
+
+/// Server-side object implementation. dispatch() decodes the operation's
+/// arguments from `args` and encodes results into `out`; a non-OK status is
+/// marshaled back to the caller as a system exception.
+class Servant {
+ public:
+  virtual ~Servant() = default;
+  [[nodiscard]] virtual const char* type_id() const = 0;
+  virtual Status dispatch(const std::string& operation, cdr::Reader& args,
+                          cdr::Writer& out) = 0;
+};
+
+/// Convenience servant with a per-operation handler table, so concrete
+/// servants register typed lambdas instead of writing a dispatch switch.
+class SkeletonBase : public Servant {
+ public:
+  Status dispatch(const std::string& operation, cdr::Reader& args,
+                  cdr::Writer& out) final;
+
+ protected:
+  using RawHandler = std::function<Status(cdr::Reader&, cdr::Writer&)>;
+
+  void register_raw(const std::string& operation, RawHandler handler);
+
+  /// Register a typed operation: Req -> Result<Rep>.
+  template <class Req, class Rep>
+  void register_op(const std::string& operation,
+                   std::function<Result<Rep>(const Req&)> handler) {
+    register_raw(operation,
+                 [handler = std::move(handler)](cdr::Reader& r, cdr::Writer& w) {
+                   Req req = cdr::Codec<Req>::decode(r);
+                   if (!r.ok()) {
+                     return Status(ErrorCode::kInvalidArgument,
+                                   "unmarshalable request");
+                   }
+                   Result<Rep> rep = handler(req);
+                   if (!rep.is_ok()) return rep.status();
+                   cdr::Codec<Rep>::encode(w, rep.value());
+                   return Status::ok();
+                 });
+  }
+
+ private:
+  std::unordered_map<std::string, RawHandler> handlers_;
+};
+
+using InvokeCallback = std::function<void(Result<std::vector<std::uint8_t>>)>;
+
+class Orb {
+ public:
+  /// `engine` may be null only with a synchronous transport (unit tests);
+  /// without an engine there are no deadlines — an unanswered request fails
+  /// immediately after send.
+  Orb(NodeAddress self, Transport& transport, sim::Engine* engine);
+  ~Orb();
+  Orb(const Orb&) = delete;
+  Orb& operator=(const Orb&) = delete;
+
+  [[nodiscard]] NodeAddress address() const { return self_; }
+
+  /// Activate a servant; returns the reference clients use to reach it.
+  ObjectRef activate(std::shared_ptr<Servant> servant);
+  void deactivate(ObjectId key);
+
+  /// Invoke `operation` on a remote object. `args` is the CDR-encoded
+  /// argument payload; on success the callback receives the CDR-encoded
+  /// result payload.
+  void invoke(const ObjectRef& target, const std::string& operation,
+              std::vector<std::uint8_t> args, InvokeCallback callback,
+              SimDuration timeout = 5 * kSecond);
+
+  /// One-way (no reply expected, no delivery guarantee).
+  void send_oneway(const ObjectRef& target, const std::string& operation,
+                   std::vector<std::uint8_t> args);
+
+  /// Fail all pending requests and stop receiving. Idempotent.
+  void shutdown();
+  [[nodiscard]] bool is_shutdown() const { return shutdown_; }
+
+  [[nodiscard]] MetricRegistry& metrics() { return metrics_; }
+  [[nodiscard]] sim::Engine* engine() { return engine_; }
+
+ private:
+  void on_frame(NodeAddress source, const std::vector<std::uint8_t>& bytes);
+  void handle_request(NodeAddress source, const ParsedFrame& frame);
+  void handle_reply(const ParsedFrame& frame);
+  void complete(RequestId id, Result<std::vector<std::uint8_t>> result);
+
+  struct Pending {
+    InvokeCallback callback;
+    sim::EventHandle timeout;
+  };
+
+  NodeAddress self_;
+  Transport& transport_;
+  sim::Engine* engine_;
+  bool shutdown_ = false;
+  std::uint64_t next_object_key_ = 1;
+  std::uint64_t next_request_id_ = 1;
+  std::unordered_map<ObjectId, std::shared_ptr<Servant>> servants_;
+  std::unordered_map<RequestId, Pending> pending_;
+  MetricRegistry metrics_;
+};
+
+// ---------------------------------------------------------------------------
+// Typed stubs: encode Req, invoke, decode Rep. These are what generated IDL
+// stubs would be; hand-rolled here because the IDL set is small and fixed.
+// ---------------------------------------------------------------------------
+template <class Req, class Rep>
+void call(Orb& orb, const ObjectRef& target, const std::string& operation,
+          const Req& request, std::function<void(Result<Rep>)> callback,
+          SimDuration timeout = 5 * kSecond) {
+  orb.invoke(
+      target, operation, cdr::encode_message(request),
+      [callback = std::move(callback)](Result<std::vector<std::uint8_t>> raw) {
+        if (!raw.is_ok()) {
+          callback(raw.status());
+          return;
+        }
+        callback(cdr::decode_message<Rep>(raw.value()));
+      },
+      timeout);
+}
+
+template <class Req>
+void oneway(Orb& orb, const ObjectRef& target, const std::string& operation,
+            const Req& request) {
+  orb.send_oneway(target, operation, cdr::encode_message(request));
+}
+
+}  // namespace integrade::orb

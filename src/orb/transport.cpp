@@ -1,0 +1,44 @@
+#include "orb/transport.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace integrade::orb {
+
+void DirectTransport::bind(NodeAddress self, FrameHandler handler) {
+  handlers_[self] = std::move(handler);
+}
+
+void DirectTransport::unbind(NodeAddress self) { handlers_.erase(self); }
+
+void DirectTransport::send(NodeAddress from, NodeAddress to,
+                           std::vector<std::uint8_t> frame) {
+  auto bh = blackholes_.find(to);
+  if (bh != blackholes_.end() && bh->second) return;
+  auto it = handlers_.find(to);
+  if (it == handlers_.end()) return;  // unknown host: drop
+  it->second(from, frame);
+}
+
+void DirectTransport::set_blackhole(NodeAddress to, bool enabled) {
+  blackholes_[to] = enabled;
+}
+
+void SimNetworkTransport::bind(NodeAddress self, FrameHandler handler) {
+  handlers_[self] = std::move(handler);
+}
+
+void SimNetworkTransport::unbind(NodeAddress self) { handlers_.erase(self); }
+
+void SimNetworkTransport::send(NodeAddress from, NodeAddress to,
+                               std::vector<std::uint8_t> frame) {
+  const auto bytes = static_cast<Bytes>(frame.size());
+  network_.send(from, to, bytes,
+                [this, from, to, f = std::move(frame)]() mutable {
+                  auto it = handlers_.find(to);
+                  if (it == handlers_.end()) return;  // host left mid-flight
+                  it->second(from, f);
+                });
+}
+
+}  // namespace integrade::orb

@@ -1,0 +1,484 @@
+#include "protocol/messages.hpp"
+
+namespace integrade::protocol {
+
+const char* app_kind_name(AppKind k) {
+  switch (k) {
+    case AppKind::kSequential: return "sequential";
+    case AppKind::kParametric: return "parametric";
+    case AppKind::kBsp: return "bsp";
+  }
+  return "?";
+}
+
+const char* app_event_kind_name(AppEventKind k) {
+  switch (k) {
+    case AppEventKind::kTaskScheduled: return "task_scheduled";
+    case AppEventKind::kTaskCompleted: return "task_completed";
+    case AppEventKind::kTaskEvicted: return "task_evicted";
+    case AppEventKind::kTaskRescheduled: return "task_rescheduled";
+    case AppEventKind::kAppCompleted: return "app_completed";
+    case AppEventKind::kAppFailed: return "app_failed";
+  }
+  return "?";
+}
+
+const char* task_outcome_name(TaskOutcome o) {
+  switch (o) {
+    case TaskOutcome::kCompleted: return "completed";
+    case TaskOutcome::kEvicted: return "evicted";
+    case TaskOutcome::kNodeFailed: return "node_failed";
+    case TaskOutcome::kCancelled: return "cancelled";
+  }
+  return "?";
+}
+
+}  // namespace integrade::protocol
+
+namespace integrade::cdr {
+
+using namespace integrade::protocol;
+
+namespace {
+
+void encode_string_seq(Writer& w, const std::vector<std::string>& items) {
+  w.write_u32(static_cast<std::uint32_t>(items.size()));
+  for (const auto& s : items) w.write_string(s);
+}
+
+std::vector<std::string> decode_string_seq(Reader& r) {
+  const std::uint32_t n = r.read_u32();
+  std::vector<std::string> items;
+  for (std::uint32_t i = 0; i < n && r.ok(); ++i) items.push_back(r.read_string());
+  return items;
+}
+
+void encode_double_seq(Writer& w, const std::vector<double>& items) {
+  w.write_u32(static_cast<std::uint32_t>(items.size()));
+  for (double d : items) w.write_f64(d);
+}
+
+std::vector<double> decode_double_seq(Reader& r) {
+  const std::uint32_t n = r.read_u32();
+  std::vector<double> items;
+  for (std::uint32_t i = 0; i < n && r.ok(); ++i) items.push_back(r.read_f64());
+  return items;
+}
+
+}  // namespace
+
+void Codec<NodeStatus>::encode(Writer& w, const NodeStatus& v) {
+  w.write_id(v.node);
+  Codec<orb::ObjectRef>::encode(w, v.lrm);
+  w.write_string(v.hostname);
+  w.write_f64(v.cpu_mips);
+  w.write_i64(v.ram_total);
+  w.write_i64(v.disk_total);
+  w.write_string(v.os);
+  w.write_string(v.arch);
+  encode_string_seq(w, v.platforms);
+  w.write_i32(v.segment);
+  w.write_bool(v.dedicated);
+  w.write_f64(v.owner_cpu);
+  w.write_f64(v.grid_cpu);
+  w.write_f64(v.exportable_cpu);
+  w.write_i64(v.free_ram);
+  w.write_bool(v.owner_present);
+  w.write_bool(v.shareable);
+  w.write_i32(v.running_tasks);
+  w.write_i64(v.timestamp);
+}
+
+NodeStatus Codec<NodeStatus>::decode(Reader& r) {
+  NodeStatus v;
+  v.node = r.read_id<NodeTag>();
+  v.lrm = Codec<orb::ObjectRef>::decode(r);
+  v.hostname = r.read_string();
+  v.cpu_mips = r.read_f64();
+  v.ram_total = r.read_i64();
+  v.disk_total = r.read_i64();
+  v.os = r.read_string();
+  v.arch = r.read_string();
+  v.platforms = decode_string_seq(r);
+  v.segment = r.read_i32();
+  v.dedicated = r.read_bool();
+  v.owner_cpu = r.read_f64();
+  v.grid_cpu = r.read_f64();
+  v.exportable_cpu = r.read_f64();
+  v.free_ram = r.read_i64();
+  v.owner_present = r.read_bool();
+  v.shareable = r.read_bool();
+  v.running_tasks = r.read_i32();
+  v.timestamp = r.read_i64();
+  return v;
+}
+
+void Codec<TaskDescriptor>::encode(Writer& w, const TaskDescriptor& v) {
+  w.write_id(v.id);
+  w.write_id(v.app);
+  w.write_u8(static_cast<std::uint8_t>(v.kind));
+  w.write_string(v.binary_platform);
+  w.write_f64(v.work);
+  w.write_i64(v.ram_needed);
+  w.write_i64(v.input_bytes);
+  w.write_i64(v.output_bytes);
+  w.write_i32(v.bsp_rank);
+  w.write_i32(v.bsp_processes);
+  w.write_i32(v.bsp_supersteps);
+  w.write_i64(v.bsp_comm_bytes_per_step);
+  w.write_i32(v.checkpoint_every);
+  w.write_i64(v.checkpoint_bytes);
+  w.write_i64(v.checkpoint_period);
+}
+
+TaskDescriptor Codec<TaskDescriptor>::decode(Reader& r) {
+  TaskDescriptor v;
+  v.id = r.read_id<TaskTag>();
+  v.app = r.read_id<AppTag>();
+  v.kind = static_cast<AppKind>(r.read_u8());
+  v.binary_platform = r.read_string();
+  v.work = r.read_f64();
+  v.ram_needed = r.read_i64();
+  v.input_bytes = r.read_i64();
+  v.output_bytes = r.read_i64();
+  v.bsp_rank = r.read_i32();
+  v.bsp_processes = r.read_i32();
+  v.bsp_supersteps = r.read_i32();
+  v.bsp_comm_bytes_per_step = r.read_i64();
+  v.checkpoint_every = r.read_i32();
+  v.checkpoint_bytes = r.read_i64();
+  v.checkpoint_period = r.read_i64();
+  return v;
+}
+
+void Codec<ReservationRequest>::encode(Writer& w, const ReservationRequest& v) {
+  w.write_id(v.id);
+  w.write_id(v.task);
+  w.write_f64(v.cpu_fraction);
+  w.write_i64(v.ram);
+  w.write_i64(v.hold);
+}
+
+ReservationRequest Codec<ReservationRequest>::decode(Reader& r) {
+  ReservationRequest v;
+  v.id = r.read_id<ReservationTag>();
+  v.task = r.read_id<TaskTag>();
+  v.cpu_fraction = r.read_f64();
+  v.ram = r.read_i64();
+  v.hold = r.read_i64();
+  return v;
+}
+
+void Codec<ReservationReply>::encode(Writer& w, const ReservationReply& v) {
+  w.write_id(v.id);
+  w.write_bool(v.granted);
+  w.write_string(v.reason);
+  w.write_f64(v.exportable_cpu);
+  w.write_i64(v.free_ram);
+}
+
+ReservationReply Codec<ReservationReply>::decode(Reader& r) {
+  ReservationReply v;
+  v.id = r.read_id<ReservationTag>();
+  v.granted = r.read_bool();
+  v.reason = r.read_string();
+  v.exportable_cpu = r.read_f64();
+  v.free_ram = r.read_i64();
+  return v;
+}
+
+void Codec<ExecuteRequest>::encode(Writer& w, const ExecuteRequest& v) {
+  w.write_id(v.reservation);
+  Codec<TaskDescriptor>::encode(w, v.task);
+  Codec<orb::ObjectRef>::encode(w, v.report_to);
+  w.write_octets(v.restore_state);
+}
+
+ExecuteRequest Codec<ExecuteRequest>::decode(Reader& r) {
+  ExecuteRequest v;
+  v.reservation = r.read_id<ReservationTag>();
+  v.task = Codec<TaskDescriptor>::decode(r);
+  v.report_to = Codec<orb::ObjectRef>::decode(r);
+  v.restore_state = r.read_octets();
+  return v;
+}
+
+void Codec<ExecuteReply>::encode(Writer& w, const ExecuteReply& v) {
+  w.write_id(v.reservation);
+  w.write_bool(v.accepted);
+  w.write_string(v.reason);
+}
+
+ExecuteReply Codec<ExecuteReply>::decode(Reader& r) {
+  ExecuteReply v;
+  v.reservation = r.read_id<ReservationTag>();
+  v.accepted = r.read_bool();
+  v.reason = r.read_string();
+  return v;
+}
+
+void Codec<TaskReport>::encode(Writer& w, const TaskReport& v) {
+  w.write_id(v.task);
+  w.write_id(v.node);
+  w.write_u8(static_cast<std::uint8_t>(v.outcome));
+  w.write_f64(v.work_done);
+  w.write_string(v.detail);
+}
+
+TaskReport Codec<TaskReport>::decode(Reader& r) {
+  TaskReport v;
+  v.task = r.read_id<TaskTag>();
+  v.node = r.read_id<NodeTag>();
+  v.outcome = static_cast<TaskOutcome>(r.read_u8());
+  v.work_done = r.read_f64();
+  v.detail = r.read_string();
+  return v;
+}
+
+void Codec<UsageCategory>::encode(Writer& w, const UsageCategory& v) {
+  encode_double_seq(w, v.centroid);
+  w.write_f64(v.weight);
+  w.write_f64(v.weekday_fraction);
+}
+
+UsageCategory Codec<UsageCategory>::decode(Reader& r) {
+  UsageCategory v;
+  v.centroid = decode_double_seq(r);
+  v.weight = r.read_f64();
+  v.weekday_fraction = r.read_f64();
+  return v;
+}
+
+void Codec<UsagePatternUpload>::encode(Writer& w, const UsagePatternUpload& v) {
+  w.write_id(v.node);
+  encode_sequence(w, v.categories);
+  w.write_i32(v.days_observed);
+}
+
+UsagePatternUpload Codec<UsagePatternUpload>::decode(Reader& r) {
+  UsagePatternUpload v;
+  v.node = r.read_id<NodeTag>();
+  v.categories = decode_sequence<UsageCategory>(r);
+  v.days_observed = r.read_i32();
+  return v;
+}
+
+void Codec<ForecastRequest>::encode(Writer& w, const ForecastRequest& v) {
+  w.write_id(v.node);
+  w.write_i64(v.at);
+  w.write_i64(v.horizon);
+}
+
+ForecastRequest Codec<ForecastRequest>::decode(Reader& r) {
+  ForecastRequest v;
+  v.node = r.read_id<NodeTag>();
+  v.at = r.read_i64();
+  v.horizon = r.read_i64();
+  return v;
+}
+
+void Codec<ForecastReply>::encode(Writer& w, const ForecastReply& v) {
+  w.write_id(v.node);
+  w.write_bool(v.known);
+  w.write_f64(v.p_idle_through);
+  w.write_i64(v.expected_idle_remaining);
+}
+
+ForecastReply Codec<ForecastReply>::decode(Reader& r) {
+  ForecastReply v;
+  v.node = r.read_id<NodeTag>();
+  v.known = r.read_bool();
+  v.p_idle_through = r.read_f64();
+  v.expected_idle_remaining = r.read_i64();
+  return v;
+}
+
+void Codec<ResourceRequirements>::encode(Writer& w, const ResourceRequirements& v) {
+  w.write_string(v.constraint);
+  w.write_string(v.preference);
+}
+
+ResourceRequirements Codec<ResourceRequirements>::decode(Reader& r) {
+  ResourceRequirements v;
+  v.constraint = r.read_string();
+  v.preference = r.read_string();
+  return v;
+}
+
+void Codec<TopologyGroup>::encode(Writer& w, const TopologyGroup& v) {
+  w.write_i32(v.nodes);
+  w.write_f64(v.min_intra_bandwidth);
+}
+
+TopologyGroup Codec<TopologyGroup>::decode(Reader& r) {
+  TopologyGroup v;
+  v.nodes = r.read_i32();
+  v.min_intra_bandwidth = r.read_f64();
+  return v;
+}
+
+void Codec<TopologySpec>::encode(Writer& w, const TopologySpec& v) {
+  encode_sequence(w, v.groups);
+  w.write_f64(v.min_inter_bandwidth);
+}
+
+TopologySpec Codec<TopologySpec>::decode(Reader& r) {
+  TopologySpec v;
+  v.groups = decode_sequence<TopologyGroup>(r);
+  v.min_inter_bandwidth = r.read_f64();
+  return v;
+}
+
+void Codec<ApplicationSpec>::encode(Writer& w, const ApplicationSpec& v) {
+  w.write_id(v.id);
+  w.write_string(v.name);
+  w.write_u8(static_cast<std::uint8_t>(v.kind));
+  encode_sequence(w, v.tasks);
+  Codec<ResourceRequirements>::encode(w, v.requirements);
+  Codec<TopologySpec>::encode(w, v.topology);
+  w.write_i64(v.estimated_duration);
+  Codec<orb::ObjectRef>::encode(w, v.notify);
+}
+
+ApplicationSpec Codec<ApplicationSpec>::decode(Reader& r) {
+  ApplicationSpec v;
+  v.id = r.read_id<AppTag>();
+  v.name = r.read_string();
+  v.kind = static_cast<AppKind>(r.read_u8());
+  v.tasks = decode_sequence<TaskDescriptor>(r);
+  v.requirements = Codec<ResourceRequirements>::decode(r);
+  v.topology = Codec<TopologySpec>::decode(r);
+  v.estimated_duration = r.read_i64();
+  v.notify = Codec<orb::ObjectRef>::decode(r);
+  return v;
+}
+
+void Codec<SubmitReply>::encode(Writer& w, const SubmitReply& v) {
+  w.write_id(v.app);
+  w.write_bool(v.accepted);
+  w.write_string(v.reason);
+}
+
+SubmitReply Codec<SubmitReply>::decode(Reader& r) {
+  SubmitReply v;
+  v.app = r.read_id<AppTag>();
+  v.accepted = r.read_bool();
+  v.reason = r.read_string();
+  return v;
+}
+
+void Codec<AppEvent>::encode(Writer& w, const AppEvent& v) {
+  w.write_id(v.app);
+  w.write_id(v.task);
+  w.write_u8(static_cast<std::uint8_t>(v.kind));
+  w.write_id(v.node);
+  w.write_i64(v.at);
+  w.write_string(v.detail);
+}
+
+AppEvent Codec<AppEvent>::decode(Reader& r) {
+  AppEvent v;
+  v.app = r.read_id<AppTag>();
+  v.task = r.read_id<TaskTag>();
+  v.kind = static_cast<AppEventKind>(r.read_u8());
+  v.node = r.read_id<NodeTag>();
+  v.at = r.read_i64();
+  v.detail = r.read_string();
+  return v;
+}
+
+void Codec<BspComputeRequest>::encode(Writer& w, const BspComputeRequest& v) {
+  w.write_id(v.task);
+  w.write_i32(v.rank);
+  w.write_i64(v.superstep);
+  w.write_f64(v.work);
+  Codec<orb::ObjectRef>::encode(w, v.notify);
+}
+
+BspComputeRequest Codec<BspComputeRequest>::decode(Reader& r) {
+  BspComputeRequest v;
+  v.task = r.read_id<TaskTag>();
+  v.rank = r.read_i32();
+  v.superstep = r.read_i64();
+  v.work = r.read_f64();
+  v.notify = Codec<orb::ObjectRef>::decode(r);
+  return v;
+}
+
+void Codec<ClusterSummary>::encode(Writer& w, const ClusterSummary& v) {
+  w.write_id(v.cluster);
+  Codec<orb::ObjectRef>::encode(w, v.grm);
+  w.write_i32(v.total_nodes);
+  w.write_i32(v.shareable_nodes);
+  w.write_f64(v.total_exportable_mips);
+  w.write_i64(v.max_free_ram_mb);
+  encode_string_seq(w, v.platforms);
+  w.write_i64(v.timestamp);
+}
+
+ClusterSummary Codec<ClusterSummary>::decode(Reader& r) {
+  ClusterSummary v;
+  v.cluster = r.read_id<ClusterTag>();
+  v.grm = Codec<orb::ObjectRef>::decode(r);
+  v.total_nodes = r.read_i32();
+  v.shareable_nodes = r.read_i32();
+  v.total_exportable_mips = r.read_f64();
+  v.max_free_ram_mb = r.read_i64();
+  v.platforms = decode_string_seq(r);
+  v.timestamp = r.read_i64();
+  return v;
+}
+
+void Codec<RemoteSubmit>::encode(Writer& w, const RemoteSubmit& v) {
+  Codec<ApplicationSpec>::encode(w, v.spec);
+  w.write_i32(v.ttl);
+  w.write_u32(static_cast<std::uint32_t>(v.visited_clusters.size()));
+  for (auto c : v.visited_clusters) w.write_u64(c);
+  Codec<orb::ObjectRef>::encode(w, v.origin_grm);
+}
+
+RemoteSubmit Codec<RemoteSubmit>::decode(Reader& r) {
+  RemoteSubmit v;
+  v.spec = Codec<ApplicationSpec>::decode(r);
+  v.ttl = r.read_i32();
+  const std::uint32_t n = r.read_u32();
+  for (std::uint32_t i = 0; i < n && r.ok(); ++i) {
+    v.visited_clusters.push_back(r.read_u64());
+  }
+  v.origin_grm = Codec<orb::ObjectRef>::decode(r);
+  return v;
+}
+
+void Codec<RemoteAdopted>::encode(Writer& w, const RemoteAdopted& v) {
+  w.write_id(v.app);
+  w.write_id(v.task);
+  w.write_id(v.by_cluster);
+  w.write_i32(v.hops);
+}
+
+RemoteAdopted Codec<RemoteAdopted>::decode(Reader& r) {
+  RemoteAdopted v;
+  v.app = r.read_id<AppTag>();
+  v.task = r.read_id<TaskTag>();
+  v.by_cluster = r.read_id<ClusterTag>();
+  v.hops = r.read_i32();
+  return v;
+}
+
+void Codec<BspChunkDone>::encode(Writer& w, const BspChunkDone& v) {
+  w.write_id(v.task);
+  w.write_i32(v.rank);
+  w.write_i64(v.superstep);
+  w.write_id(v.node);
+}
+
+BspChunkDone Codec<BspChunkDone>::decode(Reader& r) {
+  BspChunkDone v;
+  v.task = r.read_id<TaskTag>();
+  v.rank = r.read_i32();
+  v.superstep = r.read_i64();
+  v.node = r.read_id<NodeTag>();
+  return v;
+}
+
+}  // namespace integrade::cdr

@@ -1,0 +1,500 @@
+// Wire messages of InteGrade's intra- and inter-cluster protocols.
+//
+// Three protocol families (paper §4):
+//   * Information Update Protocol — LRMs push NodeStatus to their GRM
+//     periodically; the GRM stores it in its Trader.
+//   * Resource Reservation & Execution Protocol — the GRM picks candidate
+//     nodes from (possibly stale) Trader state as a *hint*, then negotiates
+//     directly: Reserve -> (granted) -> Execute -> ... -> TaskCompletion.
+//   * Usage Pattern Protocol — LUPA uploads per-node behavioural categories
+//     to the GUPA; the GRM asks the GUPA for idleness forecasts.
+//
+// Every struct here has a CDR codec (messages.cpp) and is round-trip tested
+// in tests/protocol_test.cpp under both byte orders.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cdr/cdr.hpp"
+#include "common/types.hpp"
+#include "orb/ior.hpp"
+
+namespace integrade::protocol {
+
+// ---------------------------------------------------------------------------
+// Information Update Protocol
+// ---------------------------------------------------------------------------
+
+/// Periodic node status: the LRM's full self-description. Static fields are
+/// resent each time (the paper's protocol is a stateless refresh, which
+/// also serves as the LRM's liveness heartbeat).
+struct NodeStatus {
+  NodeId node;
+  orb::ObjectRef lrm;  // where to negotiate reservations
+
+  // Static description.
+  std::string hostname;
+  Mips cpu_mips = 0;
+  Bytes ram_total = 0;
+  Bytes disk_total = 0;
+  std::string os;
+  std::string arch;
+  std::vector<std::string> platforms;
+  std::int32_t segment = 0;  // network segment, for topology-aware placement
+  bool dedicated = false;    // Dedicated Node (no owner, no LUPA)
+
+  // Dynamic state.
+  double owner_cpu = 0.0;       // owner demand right now, [0,1]
+  double grid_cpu = 0.0;        // fraction already granted to grid tasks
+  double exportable_cpu = 0.0;  // what NCC policy allows for new grid work
+  Bytes free_ram = 0;
+  bool owner_present = false;
+  bool shareable = false;  // NCC verdict: accepting grid work right now
+  std::int32_t running_tasks = 0;
+  SimTime timestamp = 0;
+
+  bool operator==(const NodeStatus&) const = default;
+};
+
+// ---------------------------------------------------------------------------
+// Application & task descriptors
+// ---------------------------------------------------------------------------
+
+enum class AppKind : std::uint8_t {
+  kSequential = 0,  // one task
+  kParametric = 1,  // independent tasks (bag-of-tasks / master-worker)
+  kBsp = 2,         // communicating parallel app, BSP model (paper §3)
+};
+
+const char* app_kind_name(AppKind k);
+
+/// One schedulable unit. For BSP apps, one task per process rank.
+struct TaskDescriptor {
+  TaskId id;
+  AppId app;
+  AppKind kind = AppKind::kSequential;
+  std::string binary_platform;  // must be in the node's platform list
+  MInstr work = 0;              // total compute demand
+  Bytes ram_needed = 0;
+  Bytes input_bytes = 0;   // staged in before execution
+  Bytes output_bytes = 0;  // shipped back on completion
+
+  // BSP-only fields.
+  std::int32_t bsp_rank = -1;
+  std::int32_t bsp_processes = 0;
+  std::int32_t bsp_supersteps = 0;
+  Bytes bsp_comm_bytes_per_step = 0;  // h-relation volume per superstep
+  std::int32_t checkpoint_every = 0;  // supersteps between checkpoints; 0 = off
+  Bytes checkpoint_bytes = 0;         // serialized state size
+
+  /// Sequential/parametric tasks: periodic checkpoint cadence (0 = off).
+  SimDuration checkpoint_period = 0;
+
+  bool operator==(const TaskDescriptor&) const = default;
+};
+
+// ---------------------------------------------------------------------------
+// Application submission (ASCT -> GRM)
+// ---------------------------------------------------------------------------
+
+/// Execution prerequisites and preferences, as the paper's ASCT describes:
+/// "hardware and software platforms, resource requirements such as minimum
+/// memory, and preferences, like rather executing on a faster CPU".
+/// Expressed in the Trader constraint/preference language over the node
+/// property schema (protocol/properties.hpp).
+struct ResourceRequirements {
+  std::string constraint;  // empty = match any shareable node
+  std::string preference;  // empty = discovery order
+
+  bool operator==(const ResourceRequirements&) const = default;
+};
+
+/// Virtual topology request (paper §3's "two groups of 50 nodes..." example).
+struct TopologyGroup {
+  std::int32_t nodes = 0;
+  BytesPerSec min_intra_bandwidth = 0;  // within the group
+
+  bool operator==(const TopologyGroup&) const = default;
+};
+
+struct TopologySpec {
+  std::vector<TopologyGroup> groups;
+  BytesPerSec min_inter_bandwidth = 0;  // between any two groups
+
+  [[nodiscard]] bool empty() const { return groups.empty(); }
+  bool operator==(const TopologySpec&) const = default;
+};
+
+struct ApplicationSpec {
+  AppId id;
+  std::string name;
+  AppKind kind = AppKind::kSequential;
+  std::vector<TaskDescriptor> tasks;
+  ResourceRequirements requirements;
+  TopologySpec topology;  // empty unless the user constrained placement
+  /// User's runtime estimate; the GRM feeds it to GUPA forecasts so tasks
+  /// land on nodes likely to stay idle long enough.
+  SimDuration estimated_duration = 0;
+  /// Where app events (scheduled/completed/evicted/done) are delivered.
+  orb::ObjectRef notify;
+
+  bool operator==(const ApplicationSpec&) const = default;
+};
+
+struct SubmitReply {
+  AppId app;
+  bool accepted = false;
+  std::string reason;
+
+  bool operator==(const SubmitReply&) const = default;
+};
+
+/// Application lifecycle notifications (GRM -> ASCT).
+enum class AppEventKind : std::uint8_t {
+  kTaskScheduled = 0,
+  kTaskCompleted = 1,
+  kTaskEvicted = 2,
+  kTaskRescheduled = 3,
+  kAppCompleted = 4,
+  kAppFailed = 5,
+};
+
+const char* app_event_kind_name(AppEventKind k);
+
+struct AppEvent {
+  AppId app;
+  TaskId task;  // invalid for app-level events
+  AppEventKind kind = AppEventKind::kTaskScheduled;
+  NodeId node;  // where, when applicable
+  SimTime at = 0;
+  std::string detail;
+
+  bool operator==(const AppEvent&) const = default;
+};
+
+// ---------------------------------------------------------------------------
+// BSP chunk execution (coordinator <-> LRM)
+// ---------------------------------------------------------------------------
+
+struct BspComputeRequest {
+  TaskId task;
+  std::int32_t rank = 0;
+  std::int64_t superstep = 0;
+  MInstr work = 0;
+  orb::ObjectRef notify;  // coordinator; receives BspChunkDone
+
+  bool operator==(const BspComputeRequest&) const = default;
+};
+
+struct BspChunkDone {
+  TaskId task;
+  std::int32_t rank = 0;
+  std::int64_t superstep = 0;
+  NodeId node;
+
+  bool operator==(const BspChunkDone&) const = default;
+};
+
+struct CancelTask {
+  TaskId task;
+  bool operator==(const CancelTask&) const = default;
+};
+
+struct CancelApp {
+  AppId app;
+  bool operator==(const CancelApp&) const = default;
+};
+
+/// BOINC-style pull protocol: a worker asks the master for work and gets a
+/// unit (or nothing). Defined here so the baseline speaks the same wire
+/// format as everything else.
+struct WorkReply {
+  bool has_work = false;
+  TaskDescriptor task;
+  bool operator==(const WorkReply&) const = default;
+};
+
+// ---------------------------------------------------------------------------
+// Inter-cluster protocol (paper §4: clusters "arranged in a hierarchy";
+// the MK02 extension of the 2K resource-management protocols)
+// ---------------------------------------------------------------------------
+
+/// Periodic roll-up a GRM pushes to its parent cluster manager, so parents
+/// can route work toward capacity without tracking individual nodes.
+struct ClusterSummary {
+  ClusterId cluster;
+  orb::ObjectRef grm;
+  std::int32_t total_nodes = 0;
+  std::int32_t shareable_nodes = 0;
+  double total_exportable_mips = 0.0;
+  std::int64_t max_free_ram_mb = 0;
+  std::vector<std::string> platforms;  // union over nodes
+  SimTime timestamp = 0;
+
+  bool operator==(const ClusterSummary&) const = default;
+};
+
+/// A task travelling the hierarchy looking for a cluster that can host it.
+/// Exactly one copy walks the tree (children-with-capacity first, then the
+/// parent); `visited` breaks cycles, `ttl` bounds the walk.
+struct RemoteSubmit {
+  ApplicationSpec spec;  // single-task spec
+  std::int32_t ttl = 8;
+  std::vector<std::uint64_t> visited_clusters;
+  orb::ObjectRef origin_grm;  // receives RemoteAdopted
+
+  bool operator==(const RemoteSubmit&) const = default;
+};
+
+struct RemoteAdopted {
+  AppId app;
+  TaskId task;
+  ClusterId by_cluster;
+  std::int32_t hops = 0;
+
+  bool operator==(const RemoteAdopted&) const = default;
+};
+
+// ---------------------------------------------------------------------------
+// Resource Reservation & Execution Protocol
+// ---------------------------------------------------------------------------
+
+struct ReservationRequest {
+  ReservationId id;  // assigned by the GRM
+  TaskId task;
+  double cpu_fraction = 1.0;  // of the node's exportable CPU
+  Bytes ram = 0;
+  /// How long the LRM holds the reservation awaiting the Execute message
+  /// before reclaiming it.
+  SimDuration hold = 30 * kSecond;
+
+  bool operator==(const ReservationRequest&) const = default;
+};
+
+struct ReservationReply {
+  ReservationId id;
+  bool granted = false;
+  std::string reason;  // on refusal: "owner present", "no RAM", ...
+  /// LRM's fresh status, piggy-backed so the GRM can correct its hint
+  /// immediately instead of waiting for the next periodic update.
+  double exportable_cpu = 0.0;
+  Bytes free_ram = 0;
+
+  bool operator==(const ReservationReply&) const = default;
+};
+
+struct ExecuteRequest {
+  ReservationId reservation;
+  TaskDescriptor task;
+  /// Where the LRM must report completion/eviction (the GRM's execution
+  /// manager object).
+  orb::ObjectRef report_to;
+  /// CDR-encoded state to resume from (empty = start fresh). For sequential
+  /// tasks this is a SequentialState carrying absolute progress, so a task
+  /// evicted twice never re-does checkpointed work.
+  std::vector<std::uint8_t> restore_state;
+
+  bool operator==(const ExecuteRequest&) const = default;
+};
+
+struct ExecuteReply {
+  ReservationId reservation;
+  bool accepted = false;
+  std::string reason;
+
+  bool operator==(const ExecuteReply&) const = default;
+};
+
+enum class TaskOutcome : std::uint8_t {
+  kCompleted = 0,
+  kEvicted = 1,       // owner reclaimed the machine (NCC policy)
+  kNodeFailed = 2,    // machine went down
+  kCancelled = 3,     // GRM/user aborted
+};
+
+const char* task_outcome_name(TaskOutcome o);
+
+struct TaskReport {
+  TaskId task;
+  NodeId node;
+  TaskOutcome outcome = TaskOutcome::kCompleted;
+  MInstr work_done = 0;  // progress at the time of the report
+  std::string detail;
+
+  bool operator==(const TaskReport&) const = default;
+};
+
+// ---------------------------------------------------------------------------
+// Usage Pattern Protocol (LUPA -> GUPA, GRM -> GUPA)
+// ---------------------------------------------------------------------------
+
+/// One behavioural category discovered by a node's LUPA: the centroid of a
+/// cluster of observed day-vectors (48 half-hour mean CPU loads) plus its
+/// empirical weight. Raw samples never leave the node — only these
+/// centroids do (privacy, paper §3/§4).
+struct UsageCategory {
+  std::vector<double> centroid;  // 48 half-hour mean owner-CPU values
+  double weight = 0.0;           // fraction of observed days in the category
+  /// Mean weekday indicator per category helps map categories to the weekly
+  /// cycle (e.g. "weekend" category).
+  double weekday_fraction = 0.0;
+
+  bool operator==(const UsageCategory&) const = default;
+};
+
+struct UsagePatternUpload {
+  NodeId node;
+  std::vector<UsageCategory> categories;
+  std::int32_t days_observed = 0;
+
+  bool operator==(const UsagePatternUpload&) const = default;
+};
+
+struct ForecastRequest {
+  NodeId node;
+  SimTime at;            // "now" from the asker's viewpoint
+  SimDuration horizon;   // will the node stay idle this long?
+
+  bool operator==(const ForecastRequest&) const = default;
+};
+
+struct ForecastReply {
+  NodeId node;
+  bool known = false;          // false: GUPA has no pattern for this node
+  double p_idle_through = 0.0; // P(owner stays away for the whole horizon)
+  SimDuration expected_idle_remaining = 0;
+
+  bool operator==(const ForecastReply&) const = default;
+};
+
+}  // namespace integrade::protocol
+
+// ---------------------------------------------------------------------------
+// Codecs
+// ---------------------------------------------------------------------------
+namespace integrade::cdr {
+
+template <> struct Codec<protocol::NodeStatus> {
+  static void encode(Writer& w, const protocol::NodeStatus& v);
+  static protocol::NodeStatus decode(Reader& r);
+};
+template <> struct Codec<protocol::TaskDescriptor> {
+  static void encode(Writer& w, const protocol::TaskDescriptor& v);
+  static protocol::TaskDescriptor decode(Reader& r);
+};
+template <> struct Codec<protocol::ReservationRequest> {
+  static void encode(Writer& w, const protocol::ReservationRequest& v);
+  static protocol::ReservationRequest decode(Reader& r);
+};
+template <> struct Codec<protocol::ReservationReply> {
+  static void encode(Writer& w, const protocol::ReservationReply& v);
+  static protocol::ReservationReply decode(Reader& r);
+};
+template <> struct Codec<protocol::ExecuteRequest> {
+  static void encode(Writer& w, const protocol::ExecuteRequest& v);
+  static protocol::ExecuteRequest decode(Reader& r);
+};
+template <> struct Codec<protocol::ExecuteReply> {
+  static void encode(Writer& w, const protocol::ExecuteReply& v);
+  static protocol::ExecuteReply decode(Reader& r);
+};
+template <> struct Codec<protocol::TaskReport> {
+  static void encode(Writer& w, const protocol::TaskReport& v);
+  static protocol::TaskReport decode(Reader& r);
+};
+template <> struct Codec<protocol::UsageCategory> {
+  static void encode(Writer& w, const protocol::UsageCategory& v);
+  static protocol::UsageCategory decode(Reader& r);
+};
+template <> struct Codec<protocol::UsagePatternUpload> {
+  static void encode(Writer& w, const protocol::UsagePatternUpload& v);
+  static protocol::UsagePatternUpload decode(Reader& r);
+};
+template <> struct Codec<protocol::ForecastRequest> {
+  static void encode(Writer& w, const protocol::ForecastRequest& v);
+  static protocol::ForecastRequest decode(Reader& r);
+};
+template <> struct Codec<protocol::ForecastReply> {
+  static void encode(Writer& w, const protocol::ForecastReply& v);
+  static protocol::ForecastReply decode(Reader& r);
+};
+template <> struct Codec<protocol::ResourceRequirements> {
+  static void encode(Writer& w, const protocol::ResourceRequirements& v);
+  static protocol::ResourceRequirements decode(Reader& r);
+};
+template <> struct Codec<protocol::TopologyGroup> {
+  static void encode(Writer& w, const protocol::TopologyGroup& v);
+  static protocol::TopologyGroup decode(Reader& r);
+};
+template <> struct Codec<protocol::TopologySpec> {
+  static void encode(Writer& w, const protocol::TopologySpec& v);
+  static protocol::TopologySpec decode(Reader& r);
+};
+template <> struct Codec<protocol::ApplicationSpec> {
+  static void encode(Writer& w, const protocol::ApplicationSpec& v);
+  static protocol::ApplicationSpec decode(Reader& r);
+};
+template <> struct Codec<protocol::SubmitReply> {
+  static void encode(Writer& w, const protocol::SubmitReply& v);
+  static protocol::SubmitReply decode(Reader& r);
+};
+template <> struct Codec<protocol::AppEvent> {
+  static void encode(Writer& w, const protocol::AppEvent& v);
+  static protocol::AppEvent decode(Reader& r);
+};
+template <> struct Codec<protocol::BspComputeRequest> {
+  static void encode(Writer& w, const protocol::BspComputeRequest& v);
+  static protocol::BspComputeRequest decode(Reader& r);
+};
+template <> struct Codec<protocol::BspChunkDone> {
+  static void encode(Writer& w, const protocol::BspChunkDone& v);
+  static protocol::BspChunkDone decode(Reader& r);
+};
+template <> struct Codec<protocol::WorkReply> {
+  static void encode(Writer& w, const protocol::WorkReply& v) {
+    w.write_bool(v.has_work);
+    Codec<protocol::TaskDescriptor>::encode(w, v.task);
+  }
+  static protocol::WorkReply decode(Reader& r) {
+    protocol::WorkReply v;
+    v.has_work = r.read_bool();
+    v.task = Codec<protocol::TaskDescriptor>::decode(r);
+    return v;
+  }
+};
+template <> struct Codec<protocol::ClusterSummary> {
+  static void encode(Writer& w, const protocol::ClusterSummary& v);
+  static protocol::ClusterSummary decode(Reader& r);
+};
+template <> struct Codec<protocol::RemoteSubmit> {
+  static void encode(Writer& w, const protocol::RemoteSubmit& v);
+  static protocol::RemoteSubmit decode(Reader& r);
+};
+template <> struct Codec<protocol::RemoteAdopted> {
+  static void encode(Writer& w, const protocol::RemoteAdopted& v);
+  static protocol::RemoteAdopted decode(Reader& r);
+};
+template <> struct Codec<protocol::CancelApp> {
+  static void encode(Writer& w, const protocol::CancelApp& v) {
+    w.write_id(v.app);
+  }
+  static protocol::CancelApp decode(Reader& r) {
+    protocol::CancelApp v;
+    v.app = r.read_id<AppTag>();
+    return v;
+  }
+};
+template <> struct Codec<protocol::CancelTask> {
+  static void encode(Writer& w, const protocol::CancelTask& v) {
+    w.write_id(v.task);
+  }
+  static protocol::CancelTask decode(Reader& r) {
+    protocol::CancelTask v;
+    v.task = r.read_id<TaskTag>();
+    return v;
+  }
+};
+
+}  // namespace integrade::cdr

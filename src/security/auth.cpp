@@ -1,0 +1,48 @@
+#include "security/auth.hpp"
+
+namespace integrade::security {
+
+Digest SecureTransport::tag(orb::NodeAddress from,
+                            const std::vector<std::uint8_t>& frame) const {
+  // Bind the tag to the claimed sender so a valid frame cannot be replayed
+  // under another node's address.
+  std::vector<std::uint8_t> material;
+  material.reserve(8 + frame.size());
+  for (int i = 0; i < 8; ++i) {
+    material.push_back(static_cast<std::uint8_t>(from >> (8 * i)));
+  }
+  material.insert(material.end(), frame.begin(), frame.end());
+  return hmac_sha256(key_, material);
+}
+
+void SecureTransport::bind(orb::NodeAddress self, orb::FrameHandler handler) {
+  inner_.bind(self, [this, handler = std::move(handler)](
+                        orb::NodeAddress source,
+                        const std::vector<std::uint8_t>& wire) {
+    if (wire.size() < 32) {
+      metrics_.counter("frames_rejected").add();
+      return;
+    }
+    std::vector<std::uint8_t> frame(wire.begin(), wire.end() - 32);
+    Digest received;
+    std::copy(wire.end() - 32, wire.end(), received.begin());
+    if (!digests_equal(received, tag(source, frame))) {
+      metrics_.counter("frames_rejected").add();
+      return;
+    }
+    metrics_.counter("frames_verified").add();
+    handler(source, frame);
+  });
+}
+
+void SecureTransport::unbind(orb::NodeAddress self) { inner_.unbind(self); }
+
+void SecureTransport::send(orb::NodeAddress from, orb::NodeAddress to,
+                           std::vector<std::uint8_t> frame) {
+  const Digest mac = tag(from, frame);
+  frame.insert(frame.end(), mac.begin(), mac.end());
+  metrics_.counter("frames_signed").add();
+  inner_.send(from, to, std::move(frame));
+}
+
+}  // namespace integrade::security

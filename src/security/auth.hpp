@@ -1,0 +1,49 @@
+// SecureTransport: HMAC-authenticated framing.
+//
+// Paper §3: "The most important requirement is to ensure that users who
+// decide to export [their] resources to the grid do not have [their]
+// personal files and overall private information exposed or damaged in any
+// way. To ensure that, we are investigating ... authentication, and
+// cryptography."
+//
+// This decorator wraps any Transport: outgoing frames gain a trailer
+// [ 32-byte HMAC-SHA256 over (sender || frame) ]; incoming frames are
+// verified and stripped, and anything unauthenticated — tampered bytes,
+// frames keyed to a different realm, frames from unkeyed senders — is
+// dropped before it ever reaches the ORB. The ORB sees timeouts, exactly
+// as it would for a lost datagram.
+#pragma once
+
+#include "common/stats.hpp"
+#include "orb/transport.hpp"
+#include "security/hmac.hpp"
+
+namespace integrade::security {
+
+class SecureTransport final : public orb::Transport {
+ public:
+  /// All endpoints bound through this instance share `realm_key` (one
+  /// security realm per cluster, keyed by the cluster administrator).
+  SecureTransport(orb::Transport& inner, Key realm_key)
+      : inner_(inner), key_(std::move(realm_key)) {}
+
+  void bind(orb::NodeAddress self, orb::FrameHandler handler) override;
+  void unbind(orb::NodeAddress self) override;
+  void send(orb::NodeAddress from, orb::NodeAddress to,
+            std::vector<std::uint8_t> frame) override;
+
+  [[nodiscard]] MetricRegistry& metrics() { return metrics_; }
+  [[nodiscard]] std::int64_t rejected_frames() const {
+    return metrics_.counter_value("frames_rejected");
+  }
+
+ private:
+  [[nodiscard]] Digest tag(orb::NodeAddress from,
+                           const std::vector<std::uint8_t>& frame) const;
+
+  orb::Transport& inner_;
+  Key key_;
+  MetricRegistry metrics_;
+};
+
+}  // namespace integrade::security

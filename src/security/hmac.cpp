@@ -1,0 +1,48 @@
+#include "security/hmac.hpp"
+
+#include <cstring>
+
+namespace integrade::security {
+
+Key Key::from_passphrase(const std::string& passphrase) {
+  const Digest digest = Sha256::hash(passphrase);
+  return Key{std::vector<std::uint8_t>(digest.begin(), digest.end())};
+}
+
+Digest hmac_sha256(const Key& key, const std::uint8_t* data, std::size_t size) {
+  constexpr std::size_t kBlock = 64;
+
+  // Keys longer than the block are hashed; shorter ones zero-padded.
+  std::uint8_t padded[kBlock] = {};
+  if (key.bytes.size() > kBlock) {
+    const Digest digest = Sha256::hash(key.bytes);
+    std::memcpy(padded, digest.data(), digest.size());
+  } else {
+    std::memcpy(padded, key.bytes.data(), key.bytes.size());
+  }
+
+  std::uint8_t ipad[kBlock];
+  std::uint8_t opad[kBlock];
+  for (std::size_t i = 0; i < kBlock; ++i) {
+    ipad[i] = padded[i] ^ 0x36;
+    opad[i] = padded[i] ^ 0x5c;
+  }
+
+  Sha256 inner;
+  inner.update(ipad, kBlock);
+  inner.update(data, size);
+  const Digest inner_digest = inner.finish();
+
+  Sha256 outer;
+  outer.update(opad, kBlock);
+  outer.update(inner_digest.data(), inner_digest.size());
+  return outer.finish();
+}
+
+bool digests_equal(const Digest& a, const Digest& b) {
+  std::uint8_t diff = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) diff |= a[i] ^ b[i];
+  return diff == 0;
+}
+
+}  // namespace integrade::security

@@ -1,0 +1,35 @@
+// HMAC-SHA256 (RFC 2104) message authentication.
+//
+// Authenticates every frame the SecureTransport moves: a grid node proves
+// membership in its cluster's security realm by keying its frames with the
+// realm secret. Verified against the RFC 4231 test vectors.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "security/sha256.hpp"
+
+namespace integrade::security {
+
+/// A symmetric realm key. In a real deployment this comes from the cluster
+/// administrator; here it is derived from a passphrase.
+struct Key {
+  std::vector<std::uint8_t> bytes;
+
+  static Key from_passphrase(const std::string& passphrase);
+  [[nodiscard]] bool empty() const { return bytes.empty(); }
+  bool operator==(const Key&) const = default;
+};
+
+Digest hmac_sha256(const Key& key, const std::uint8_t* data, std::size_t size);
+
+inline Digest hmac_sha256(const Key& key, const std::vector<std::uint8_t>& data) {
+  return hmac_sha256(key, data.data(), data.size());
+}
+
+/// Constant-time comparison (no early exit on the first mismatching byte).
+bool digests_equal(const Digest& a, const Digest& b);
+
+}  // namespace integrade::security

@@ -1,0 +1,35 @@
+#include "security/sandbox.hpp"
+
+#include <algorithm>
+
+namespace integrade::security {
+
+Status Sandbox::admit(const protocol::TaskDescriptor& task) const {
+  if (policy_.max_work > 0 && task.work > policy_.max_work) {
+    return Status(ErrorCode::kFailedPrecondition,
+                  "sandbox: task work exceeds the node's limit");
+  }
+  if (policy_.max_ram > 0 && task.ram_needed > policy_.max_ram) {
+    return Status(ErrorCode::kFailedPrecondition,
+                  "sandbox: task RAM exceeds the node's limit");
+  }
+  if (policy_.max_io > 0 && task.input_bytes + task.output_bytes > policy_.max_io) {
+    return Status(ErrorCode::kFailedPrecondition,
+                  "sandbox: staged I/O exceeds the node's limit");
+  }
+  if (policy_.max_checkpoint > 0 && task.checkpoint_bytes > policy_.max_checkpoint) {
+    return Status(ErrorCode::kFailedPrecondition,
+                  "sandbox: checkpoint size exceeds the node's limit");
+  }
+  if (!policy_.allowed_platforms.empty() &&
+      std::find(policy_.allowed_platforms.begin(),
+                policy_.allowed_platforms.end(),
+                task.binary_platform) == policy_.allowed_platforms.end()) {
+    return Status(ErrorCode::kFailedPrecondition,
+                  "sandbox: platform '" + task.binary_platform +
+                      "' is not in the node's allowlist");
+  }
+  return Status::ok();
+}
+
+}  // namespace integrade::security

@@ -1,0 +1,50 @@
+// Task sandbox policy.
+//
+// Paper §3: resource providers must be protected "from malicious code
+// execution" — the paper points at Java and general sandboxing [GWTB96].
+// In this reproduction grid tasks are simulated, so the sandbox's job is
+// the admission half of that story: a per-node policy that bounds what an
+// incoming TaskDescriptor may demand before the LRM agrees to host it.
+// Everything a sandboxed task could abuse in this model — CPU time, RAM,
+// disk staging volume, checkpoint volume — is bounded here.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+#include "protocol/messages.hpp"
+
+namespace integrade::security {
+
+struct SandboxPolicy {
+  /// Largest single task accepted, in MInstr (0 = unlimited).
+  MInstr max_work = 0;
+  /// RAM ceiling per task (0 = unlimited; the NCC cap still applies).
+  Bytes max_ram = 0;
+  /// Ceiling on staged input+output (0 = unlimited).
+  Bytes max_io = 0;
+  /// Ceiling on per-checkpoint state (0 = unlimited).
+  Bytes max_checkpoint = 0;
+  /// When non-empty, only these binary platforms are admitted (an
+  /// allowlist, e.g. just "java" for owners who trust only the JVM
+  /// sandbox, per the paper's Java suggestion).
+  std::vector<std::string> allowed_platforms;
+};
+
+class Sandbox {
+ public:
+  Sandbox() = default;
+  explicit Sandbox(SandboxPolicy policy) : policy_(std::move(policy)) {}
+
+  [[nodiscard]] const SandboxPolicy& policy() const { return policy_; }
+
+  /// Admission check: OK, or a kFailedPrecondition explaining the refusal.
+  [[nodiscard]] Status admit(const protocol::TaskDescriptor& task) const;
+
+ private:
+  SandboxPolicy policy_;
+};
+
+}  // namespace integrade::security

@@ -1,0 +1,688 @@
+#include "services/constraint.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cctype>
+#include <cmath>
+#include <sstream>
+
+namespace integrade::services {
+
+// ---------------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------------
+namespace {
+
+bool ident_start(char c) { return std::isalpha(static_cast<unsigned char>(c)) || c == '_'; }
+bool ident_char(char c) { return ident_start(c) || std::isdigit(static_cast<unsigned char>(c)) || c == '.'; }
+
+TokenKind keyword_kind(const std::string& word) {
+  if (word == "and") return TokenKind::kAnd;
+  if (word == "or") return TokenKind::kOr;
+  if (word == "not") return TokenKind::kNot;
+  if (word == "exist") return TokenKind::kExist;
+  if (word == "in") return TokenKind::kIn;
+  if (word == "true" || word == "TRUE") return TokenKind::kTrue;
+  if (word == "false" || word == "FALSE") return TokenKind::kFalse;
+  if (word == "max") return TokenKind::kMax;
+  if (word == "min") return TokenKind::kMin;
+  if (word == "with") return TokenKind::kWith;
+  if (word == "random") return TokenKind::kRandom;
+  if (word == "first") return TokenKind::kFirst;
+  return TokenKind::kIdent;
+}
+
+}  // namespace
+
+Result<std::vector<Token>> tokenize(const std::string& source) {
+  std::vector<Token> tokens;
+  std::size_t i = 0;
+  const std::size_t n = source.size();
+
+  auto fail = [&](const std::string& what) -> Result<std::vector<Token>> {
+    return Status(ErrorCode::kInvalidArgument,
+                  what + " at offset " + std::to_string(i));
+  };
+
+  while (i < n) {
+    const char c = source[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    Token tok;
+    tok.offset = i;
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n && std::isdigit(static_cast<unsigned char>(source[i + 1])))) {
+      std::size_t end = i;
+      bool has_dot = false;
+      bool has_exp = false;
+      while (end < n) {
+        const char d = source[end];
+        if (std::isdigit(static_cast<unsigned char>(d))) {
+          ++end;
+        } else if (d == '.' && !has_dot && !has_exp) {
+          has_dot = true;
+          ++end;
+        } else if ((d == 'e' || d == 'E') && !has_exp && end > i) {
+          has_exp = true;
+          ++end;
+          if (end < n && (source[end] == '+' || source[end] == '-')) ++end;
+        } else {
+          break;
+        }
+      }
+      tok.kind = TokenKind::kNumber;
+      tok.text = source.substr(i, end - i);
+      try {
+        tok.number = std::stod(tok.text);
+      } catch (const std::exception&) {
+        return fail("malformed number '" + tok.text + "'");
+      }
+      tok.is_integer = !has_dot && !has_exp;
+      i = end;
+    } else if (c == '\'') {
+      std::size_t end = i + 1;
+      std::string text;
+      while (end < n && source[end] != '\'') {
+        text.push_back(source[end]);
+        ++end;
+      }
+      if (end >= n) return fail("unterminated string literal");
+      tok.kind = TokenKind::kString;
+      tok.text = std::move(text);
+      i = end + 1;
+    } else if (ident_start(c)) {
+      std::size_t end = i;
+      while (end < n && ident_char(source[end])) ++end;
+      tok.text = source.substr(i, end - i);
+      tok.kind = keyword_kind(tok.text);
+      i = end;
+    } else {
+      auto two = [&](char a, char b) {
+        return c == a && i + 1 < n && source[i + 1] == b;
+      };
+      if (two('=', '=')) { tok.kind = TokenKind::kEq; i += 2; }
+      else if (two('!', '=')) { tok.kind = TokenKind::kNe; i += 2; }
+      else if (two('<', '=')) { tok.kind = TokenKind::kLe; i += 2; }
+      else if (two('>', '=')) { tok.kind = TokenKind::kGe; i += 2; }
+      else if (c == '<') { tok.kind = TokenKind::kLt; ++i; }
+      else if (c == '>') { tok.kind = TokenKind::kGt; ++i; }
+      else if (c == '~') { tok.kind = TokenKind::kTilde; ++i; }
+      else if (c == '+') { tok.kind = TokenKind::kPlus; ++i; }
+      else if (c == '-') { tok.kind = TokenKind::kMinus; ++i; }
+      else if (c == '*') { tok.kind = TokenKind::kStar; ++i; }
+      else if (c == '/') { tok.kind = TokenKind::kSlash; ++i; }
+      else if (c == '(') { tok.kind = TokenKind::kLParen; ++i; }
+      else if (c == ')') { tok.kind = TokenKind::kRParen; ++i; }
+      else return fail(std::string("unexpected character '") + c + "'");
+    }
+    tokens.push_back(std::move(tok));
+  }
+  Token end_tok;
+  end_tok.kind = TokenKind::kEnd;
+  end_tok.offset = n;
+  tokens.push_back(end_tok);
+  return tokens;
+}
+
+// ---------------------------------------------------------------------------
+// Parser (recursive descent, mirrors the grammar in the header)
+// ---------------------------------------------------------------------------
+namespace {
+
+ExprPtr make_literal(cdr::Value v) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kLiteral;
+  e->literal = std::move(v);
+  return e;
+}
+
+ExprPtr make_property(std::string name) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kProperty;
+  e->property = std::move(name);
+  return e;
+}
+
+ExprPtr make_unary(UnaryOp op, ExprPtr operand) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kUnary;
+  e->unary_op = op;
+  e->lhs = std::move(operand);
+  return e;
+}
+
+ExprPtr make_binary(BinaryOp op, ExprPtr lhs, ExprPtr rhs) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kBinary;
+  e->binary_op = op;
+  e->lhs = std::move(lhs);
+  e->rhs = std::move(rhs);
+  return e;
+}
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<ExprPtr> parse_full() {
+    auto expr = parse_or();
+    if (!expr.is_ok()) return expr;
+    if (peek().kind != TokenKind::kEnd) {
+      return error("trailing tokens after expression");
+    }
+    return expr;
+  }
+
+  Result<ExprPtr> parse_or() {
+    auto lhs = parse_and();
+    if (!lhs.is_ok()) return lhs;
+    ExprPtr node = std::move(lhs).value();
+    while (peek().kind == TokenKind::kOr) {
+      advance();
+      auto rhs = parse_and();
+      if (!rhs.is_ok()) return rhs;
+      node = make_binary(BinaryOp::kOr, std::move(node), std::move(rhs).value());
+    }
+    return node;
+  }
+
+  const Token& peek() const { return tokens_[pos_]; }
+
+ private:
+  Result<ExprPtr> parse_and() {
+    auto lhs = parse_not();
+    if (!lhs.is_ok()) return lhs;
+    ExprPtr node = std::move(lhs).value();
+    while (peek().kind == TokenKind::kAnd) {
+      advance();
+      auto rhs = parse_not();
+      if (!rhs.is_ok()) return rhs;
+      node = make_binary(BinaryOp::kAnd, std::move(node), std::move(rhs).value());
+    }
+    return node;
+  }
+
+  Result<ExprPtr> parse_not() {
+    if (peek().kind == TokenKind::kNot) {
+      advance();
+      auto operand = parse_not();
+      if (!operand.is_ok()) return operand;
+      return ExprPtr(make_unary(UnaryOp::kNot, std::move(operand).value()));
+    }
+    return parse_comparison();
+  }
+
+  Result<ExprPtr> parse_comparison() {
+    auto lhs = parse_additive();
+    if (!lhs.is_ok()) return lhs;
+    BinaryOp op;
+    switch (peek().kind) {
+      case TokenKind::kEq: op = BinaryOp::kEq; break;
+      case TokenKind::kNe: op = BinaryOp::kNe; break;
+      case TokenKind::kLt: op = BinaryOp::kLt; break;
+      case TokenKind::kLe: op = BinaryOp::kLe; break;
+      case TokenKind::kGt: op = BinaryOp::kGt; break;
+      case TokenKind::kGe: op = BinaryOp::kGe; break;
+      case TokenKind::kTilde: op = BinaryOp::kSubstr; break;
+      case TokenKind::kIn: op = BinaryOp::kIn; break;
+      default:
+        return lhs;
+    }
+    advance();
+    auto rhs = parse_additive();
+    if (!rhs.is_ok()) return rhs;
+    return ExprPtr(make_binary(op, std::move(lhs).value(), std::move(rhs).value()));
+  }
+
+  Result<ExprPtr> parse_additive() {
+    auto lhs = parse_mult();
+    if (!lhs.is_ok()) return lhs;
+    ExprPtr node = std::move(lhs).value();
+    while (peek().kind == TokenKind::kPlus || peek().kind == TokenKind::kMinus) {
+      const BinaryOp op =
+          peek().kind == TokenKind::kPlus ? BinaryOp::kAdd : BinaryOp::kSub;
+      advance();
+      auto rhs = parse_mult();
+      if (!rhs.is_ok()) return rhs;
+      node = make_binary(op, std::move(node), std::move(rhs).value());
+    }
+    return node;
+  }
+
+  Result<ExprPtr> parse_mult() {
+    auto lhs = parse_unary();
+    if (!lhs.is_ok()) return lhs;
+    ExprPtr node = std::move(lhs).value();
+    while (peek().kind == TokenKind::kStar || peek().kind == TokenKind::kSlash) {
+      const BinaryOp op =
+          peek().kind == TokenKind::kStar ? BinaryOp::kMul : BinaryOp::kDiv;
+      advance();
+      auto rhs = parse_unary();
+      if (!rhs.is_ok()) return rhs;
+      node = make_binary(op, std::move(node), std::move(rhs).value());
+    }
+    return node;
+  }
+
+  Result<ExprPtr> parse_unary() {
+    if (peek().kind == TokenKind::kMinus) {
+      advance();
+      auto operand = parse_unary();
+      if (!operand.is_ok()) return operand;
+      return ExprPtr(make_unary(UnaryOp::kNeg, std::move(operand).value()));
+    }
+    if (peek().kind == TokenKind::kExist) {
+      advance();
+      if (peek().kind != TokenKind::kIdent) {
+        return error("'exist' requires a property name");
+      }
+      auto node = make_unary(UnaryOp::kExist, nullptr);
+      node->property = peek().text;
+      advance();
+      return node;
+    }
+    return parse_primary();
+  }
+
+  Result<ExprPtr> parse_primary() {
+    const Token& tok = peek();
+    switch (tok.kind) {
+      case TokenKind::kNumber: {
+        cdr::Value v = tok.is_integer
+                           ? cdr::Value(static_cast<std::int64_t>(tok.number))
+                           : cdr::Value(tok.number);
+        advance();
+        return make_literal(std::move(v));
+      }
+      case TokenKind::kString: {
+        cdr::Value v(tok.text);
+        advance();
+        return make_literal(std::move(v));
+      }
+      case TokenKind::kTrue:
+        advance();
+        return make_literal(cdr::Value(true));
+      case TokenKind::kFalse:
+        advance();
+        return make_literal(cdr::Value(false));
+      case TokenKind::kIdent: {
+        auto node = make_property(tok.text);
+        advance();
+        return node;
+      }
+      case TokenKind::kLParen: {
+        advance();
+        auto inner = parse_or();
+        if (!inner.is_ok()) return inner;
+        if (peek().kind != TokenKind::kRParen) return error("expected ')'");
+        advance();
+        return inner;
+      }
+      default:
+        return error("expected a value, property, or '('");
+    }
+  }
+
+  Result<ExprPtr> error(const std::string& what) const {
+    return Status(ErrorCode::kInvalidArgument,
+                  what + " at offset " + std::to_string(peek().offset));
+  }
+
+  void advance() { ++pos_; }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// AST printing (for diagnostics)
+// ---------------------------------------------------------------------------
+namespace {
+
+const char* binary_op_name(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kAnd: return "and";
+    case BinaryOp::kOr: return "or";
+    case BinaryOp::kEq: return "==";
+    case BinaryOp::kNe: return "!=";
+    case BinaryOp::kLt: return "<";
+    case BinaryOp::kLe: return "<=";
+    case BinaryOp::kGt: return ">";
+    case BinaryOp::kGe: return ">=";
+    case BinaryOp::kSubstr: return "~";
+    case BinaryOp::kIn: return "in";
+    case BinaryOp::kAdd: return "+";
+    case BinaryOp::kSub: return "-";
+    case BinaryOp::kMul: return "*";
+    case BinaryOp::kDiv: return "/";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string Expr::to_string() const {
+  switch (kind) {
+    case ExprKind::kLiteral:
+      return literal.to_string();
+    case ExprKind::kProperty:
+      return property;
+    case ExprKind::kUnary:
+      // Parenthesized so the printed form reparses in any operand position
+      // (e.g. as the right-hand side of an arithmetic operator).
+      switch (unary_op) {
+        case UnaryOp::kNeg: return "-(" + lhs->to_string() + ")";
+        case UnaryOp::kNot: return "(not (" + lhs->to_string() + "))";
+        case UnaryOp::kExist: return "(exist " + property + ")";
+      }
+      return "?";
+    case ExprKind::kBinary:
+      return "(" + lhs->to_string() + " " + binary_op_name(binary_op) + " " +
+             rhs->to_string() + ")";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------------
+// Evaluator
+// ---------------------------------------------------------------------------
+namespace {
+
+EvalResult eval_compare(BinaryOp op, const EvalResult& l, const EvalResult& r) {
+  if (!l.defined || !r.defined) return EvalResult::undef();
+  const cdr::Value& a = l.value;
+  const cdr::Value& b = r.value;
+
+  if (op == BinaryOp::kEq) return EvalResult::of(cdr::Value(a == b));
+  if (op == BinaryOp::kNe) return EvalResult::of(cdr::Value(!(a == b)));
+
+  // Ordering: numerics against numerics, strings against strings.
+  if (a.is_numeric() && b.is_numeric()) {
+    const double x = a.to_real();
+    const double y = b.to_real();
+    bool out = false;
+    switch (op) {
+      case BinaryOp::kLt: out = x < y; break;
+      case BinaryOp::kLe: out = x <= y; break;
+      case BinaryOp::kGt: out = x > y; break;
+      case BinaryOp::kGe: out = x >= y; break;
+      default: return EvalResult::undef();
+    }
+    return EvalResult::of(cdr::Value(out));
+  }
+  if (a.is_string() && b.is_string()) {
+    const int cmp = a.as_string().compare(b.as_string());
+    bool out = false;
+    switch (op) {
+      case BinaryOp::kLt: out = cmp < 0; break;
+      case BinaryOp::kLe: out = cmp <= 0; break;
+      case BinaryOp::kGt: out = cmp > 0; break;
+      case BinaryOp::kGe: out = cmp >= 0; break;
+      default: return EvalResult::undef();
+    }
+    return EvalResult::of(cdr::Value(out));
+  }
+  return EvalResult::undef();  // type mismatch
+}
+
+EvalResult eval_arith(BinaryOp op, const EvalResult& l, const EvalResult& r) {
+  if (!l.defined || !r.defined) return EvalResult::undef();
+  // String concatenation with '+', like many trader implementations allow.
+  if (op == BinaryOp::kAdd && l.value.is_string() && r.value.is_string()) {
+    return EvalResult::of(cdr::Value(l.value.as_string() + r.value.as_string()));
+  }
+  if (!l.value.is_numeric() || !r.value.is_numeric()) return EvalResult::undef();
+
+  // Preserve integer arithmetic when both sides are integers (division
+  // excepted: it is always real, so `ram / 2` never truncates surprisingly).
+  // Results that would overflow int64 fall through to double arithmetic.
+  if (l.value.is_int() && r.value.is_int() && op != BinaryOp::kDiv) {
+    const std::int64_t x = l.value.as_int();
+    const std::int64_t y = r.value.as_int();
+    std::int64_t out = 0;
+    switch (op) {
+      case BinaryOp::kAdd:
+        if (!__builtin_add_overflow(x, y, &out)) return EvalResult::of(cdr::Value(out));
+        break;
+      case BinaryOp::kSub:
+        if (!__builtin_sub_overflow(x, y, &out)) return EvalResult::of(cdr::Value(out));
+        break;
+      case BinaryOp::kMul:
+        if (!__builtin_mul_overflow(x, y, &out)) return EvalResult::of(cdr::Value(out));
+        break;
+      default: break;
+    }
+  }
+  const double x = l.value.to_real();
+  const double y = r.value.to_real();
+  switch (op) {
+    case BinaryOp::kAdd: return EvalResult::of(cdr::Value(x + y));
+    case BinaryOp::kSub: return EvalResult::of(cdr::Value(x - y));
+    case BinaryOp::kMul: return EvalResult::of(cdr::Value(x * y));
+    case BinaryOp::kDiv:
+      if (y == 0.0) return EvalResult::undef();
+      return EvalResult::of(cdr::Value(x / y));
+    default:
+      return EvalResult::undef();
+  }
+}
+
+}  // namespace
+
+EvalResult evaluate(const Expr& expr, const PropertySet& props) {
+  switch (expr.kind) {
+    case ExprKind::kLiteral:
+      return EvalResult::of(expr.literal);
+
+    case ExprKind::kProperty: {
+      if (!props.has(expr.property)) return EvalResult::undef();
+      return EvalResult::of(props.get(expr.property));
+    }
+
+    case ExprKind::kUnary:
+      switch (expr.unary_op) {
+        case UnaryOp::kExist:
+          return EvalResult::of(cdr::Value(props.has(expr.property)));
+        case UnaryOp::kNot: {
+          const EvalResult v = evaluate(*expr.lhs, props);
+          if (!v.defined || !v.value.is_bool()) return EvalResult::undef();
+          return EvalResult::of(cdr::Value(!v.value.as_bool()));
+        }
+        case UnaryOp::kNeg: {
+          const EvalResult v = evaluate(*expr.lhs, props);
+          if (!v.defined || !v.value.is_numeric()) return EvalResult::undef();
+          if (v.value.is_int() &&
+              v.value.as_int() != std::numeric_limits<std::int64_t>::min()) {
+            return EvalResult::of(cdr::Value(-v.value.as_int()));
+          }
+          return EvalResult::of(cdr::Value(-v.value.to_real()));
+        }
+      }
+      return EvalResult::undef();
+
+    case ExprKind::kBinary: {
+      switch (expr.binary_op) {
+        case BinaryOp::kAnd: {
+          // Short-circuit with three-valued logic: false and X == false.
+          const EvalResult l = evaluate(*expr.lhs, props);
+          if (l.defined && l.value.is_bool() && !l.value.as_bool()) {
+            return EvalResult::of(cdr::Value(false));
+          }
+          const EvalResult r = evaluate(*expr.rhs, props);
+          if (r.defined && r.value.is_bool() && !r.value.as_bool()) {
+            return EvalResult::of(cdr::Value(false));
+          }
+          if (!l.defined || !l.value.is_bool() || !r.defined || !r.value.is_bool()) {
+            return EvalResult::undef();
+          }
+          return EvalResult::of(cdr::Value(true));
+        }
+        case BinaryOp::kOr: {
+          const EvalResult l = evaluate(*expr.lhs, props);
+          if (l.defined && l.value.is_bool() && l.value.as_bool()) {
+            return EvalResult::of(cdr::Value(true));
+          }
+          const EvalResult r = evaluate(*expr.rhs, props);
+          if (r.defined && r.value.is_bool() && r.value.as_bool()) {
+            return EvalResult::of(cdr::Value(true));
+          }
+          if (!l.defined || !l.value.is_bool() || !r.defined || !r.value.is_bool()) {
+            return EvalResult::undef();
+          }
+          return EvalResult::of(cdr::Value(false));
+        }
+        case BinaryOp::kSubstr: {
+          const EvalResult l = evaluate(*expr.lhs, props);
+          const EvalResult r = evaluate(*expr.rhs, props);
+          if (!l.defined || !r.defined || !l.value.is_string() ||
+              !r.value.is_string()) {
+            return EvalResult::undef();
+          }
+          return EvalResult::of(cdr::Value(
+              r.value.as_string().find(l.value.as_string()) != std::string::npos));
+        }
+        case BinaryOp::kIn: {
+          const EvalResult l = evaluate(*expr.lhs, props);
+          const EvalResult r = evaluate(*expr.rhs, props);
+          if (!l.defined || !r.defined || !r.value.is_list()) {
+            return EvalResult::undef();
+          }
+          for (const auto& item : r.value.as_list()) {
+            if (item == l.value) return EvalResult::of(cdr::Value(true));
+          }
+          return EvalResult::of(cdr::Value(false));
+        }
+        case BinaryOp::kEq:
+        case BinaryOp::kNe:
+        case BinaryOp::kLt:
+        case BinaryOp::kLe:
+        case BinaryOp::kGt:
+        case BinaryOp::kGe:
+          return eval_compare(expr.binary_op, evaluate(*expr.lhs, props),
+                              evaluate(*expr.rhs, props));
+        case BinaryOp::kAdd:
+        case BinaryOp::kSub:
+        case BinaryOp::kMul:
+        case BinaryOp::kDiv:
+          return eval_arith(expr.binary_op, evaluate(*expr.lhs, props),
+                            evaluate(*expr.rhs, props));
+      }
+      return EvalResult::undef();
+    }
+  }
+  return EvalResult::undef();
+}
+
+bool matches(const Expr& expr, const PropertySet& props) {
+  const EvalResult r = evaluate(expr, props);
+  return r.defined && r.value.is_bool() && r.value.as_bool();
+}
+
+// ---------------------------------------------------------------------------
+// Constraint / Preference
+// ---------------------------------------------------------------------------
+Constraint::Constraint(std::string source, ExprPtr root)
+    : source_(std::move(source)), root_(std::move(root)) {}
+
+Result<Constraint> Constraint::parse(const std::string& source) {
+  auto tokens = tokenize(source);
+  if (!tokens.is_ok()) return tokens.status();
+  Parser parser(std::move(tokens).value());
+  auto expr = parser.parse_full();
+  if (!expr.is_ok()) return expr.status();
+  return Constraint(source, std::move(expr).value());
+}
+
+Constraint Constraint::always() {
+  auto parsed = parse("true");
+  assert(parsed.is_ok());
+  return std::move(parsed).value();
+}
+
+bool Constraint::matches(const PropertySet& props) const {
+  return services::matches(*root_, props);
+}
+
+Result<Preference> Preference::parse(const std::string& source) {
+  auto tokens = tokenize(source);
+  if (!tokens.is_ok()) return tokens.status();
+  auto toks = std::move(tokens).value();
+  if (toks.empty() || toks.front().kind == TokenKind::kEnd) {
+    return Preference::first();
+  }
+  Kind kind;
+  switch (toks.front().kind) {
+    case TokenKind::kMax: kind = Kind::kMax; break;
+    case TokenKind::kMin: kind = Kind::kMin; break;
+    case TokenKind::kWith: kind = Kind::kWith; break;
+    case TokenKind::kRandom:
+      return Preference(Kind::kRandom, nullptr);
+    case TokenKind::kFirst:
+      return Preference(Kind::kFirst, nullptr);
+    default:
+      return Status(ErrorCode::kInvalidArgument,
+                    "preference must start with max/min/with/random/first");
+  }
+  toks.erase(toks.begin());
+  Parser parser(std::move(toks));
+  auto expr = parser.parse_full();
+  if (!expr.is_ok()) return expr.status();
+  return Preference(kind, std::shared_ptr<const Expr>(std::move(expr).value()));
+}
+
+Preference Preference::first() { return Preference(Kind::kFirst, nullptr); }
+
+std::vector<std::size_t> Preference::rank(
+    const std::vector<const PropertySet*>& sets, Rng* rng) const {
+  std::vector<std::size_t> order(sets.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  switch (kind_) {
+    case Kind::kFirst:
+      return order;
+    case Kind::kRandom: {
+      if (rng != nullptr) rng->shuffle(order);
+      return order;
+    }
+    case Kind::kWith: {
+      std::stable_sort(order.begin(), order.end(),
+                       [&](std::size_t a, std::size_t b) {
+                         const bool ma = services::matches(*expr_, *sets[a]);
+                         const bool mb = services::matches(*expr_, *sets[b]);
+                         return ma && !mb;
+                       });
+      return order;
+    }
+    case Kind::kMax:
+    case Kind::kMin: {
+      // Score each offer once; undefined scores sort after defined ones.
+      std::vector<std::pair<bool, double>> score(sets.size());
+      for (std::size_t i = 0; i < sets.size(); ++i) {
+        const EvalResult r = evaluate(*expr_, *sets[i]);
+        if (r.defined && r.value.is_numeric()) {
+          score[i] = {true, r.value.to_real()};
+        } else {
+          score[i] = {false, 0.0};
+        }
+      }
+      const bool maximize = kind_ == Kind::kMax;
+      std::stable_sort(order.begin(), order.end(),
+                       [&](std::size_t a, std::size_t b) {
+                         if (score[a].first != score[b].first) {
+                           return score[a].first;  // defined before undefined
+                         }
+                         if (!score[a].first) return false;
+                         return maximize ? score[a].second > score[b].second
+                                         : score[a].second < score[b].second;
+                       });
+      return order;
+    }
+  }
+  return order;
+}
+
+}  // namespace integrade::services

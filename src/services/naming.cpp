@@ -1,0 +1,58 @@
+#include "services/naming.hpp"
+
+#include <algorithm>
+
+namespace integrade::services {
+
+Status NamingService::bind(const std::string& path, const orb::ObjectRef& ref) {
+  if (path.empty()) {
+    return Status(ErrorCode::kInvalidArgument, "empty name");
+  }
+  auto [it, inserted] = bindings_.emplace(path, ref);
+  (void)it;
+  if (!inserted) {
+    return Status(ErrorCode::kFailedPrecondition, "name already bound: " + path);
+  }
+  return Status::ok();
+}
+
+void NamingService::rebind(const std::string& path, const orb::ObjectRef& ref) {
+  bindings_[path] = ref;
+}
+
+Result<orb::ObjectRef> NamingService::resolve(const std::string& path) const {
+  auto it = bindings_.find(path);
+  if (it == bindings_.end()) {
+    return Status(ErrorCode::kNotFound, "unbound name: " + path);
+  }
+  return it->second;
+}
+
+Status NamingService::unbind(const std::string& path) {
+  if (bindings_.erase(path) == 0) {
+    return Status(ErrorCode::kNotFound, "unbound name: " + path);
+  }
+  return Status::ok();
+}
+
+std::vector<std::string> NamingService::list(const std::string& context) const {
+  const std::string prefix = context.empty() ? "" : context + "/";
+  std::vector<std::string> children;
+  for (const auto& [path, _] : bindings_) {
+    if (path.size() <= prefix.size() || path.compare(0, prefix.size(), prefix) != 0) {
+      continue;
+    }
+    std::string rest = path.substr(prefix.size());
+    const std::size_t slash = rest.find('/');
+    if (slash != std::string::npos) rest.resize(slash);
+    if (children.empty() || children.back() != rest) {
+      if (std::find(children.begin(), children.end(), rest) == children.end()) {
+        children.push_back(rest);
+      }
+    }
+  }
+  std::sort(children.begin(), children.end());
+  return children;
+}
+
+}  // namespace integrade::services

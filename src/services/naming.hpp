@@ -1,0 +1,40 @@
+// Naming Service.
+//
+// A hierarchical name-to-object-reference registry, the CORBA CosNaming
+// analogue InteGrade components use to find each other at bootstrap time
+// ("clusters/lab1/grm", "clusters/lab1/gupa", ...). Paths are '/'-separated;
+// intermediate contexts are implicit.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+#include "orb/ior.hpp"
+
+namespace integrade::services {
+
+class NamingService {
+ public:
+  /// Bind `path` to `ref`; fails with kFailedPrecondition if already bound.
+  Status bind(const std::string& path, const orb::ObjectRef& ref);
+
+  /// Bind or replace.
+  void rebind(const std::string& path, const orb::ObjectRef& ref);
+
+  [[nodiscard]] Result<orb::ObjectRef> resolve(const std::string& path) const;
+
+  Status unbind(const std::string& path);
+
+  /// Names bound directly under `context` (no trailing '/'). An empty
+  /// context lists the roots. Returns de-duplicated child component names.
+  [[nodiscard]] std::vector<std::string> list(const std::string& context) const;
+
+  [[nodiscard]] std::size_t size() const { return bindings_.size(); }
+
+ private:
+  std::map<std::string, orb::ObjectRef> bindings_;
+};
+
+}  // namespace integrade::services

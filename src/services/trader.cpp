@@ -1,0 +1,104 @@
+#include "services/trader.hpp"
+
+#include <algorithm>
+
+namespace integrade::services {
+
+OfferId Trader::export_offer(const std::string& service_type,
+                             const orb::ObjectRef& provider,
+                             PropertySet properties, SimTime now) {
+  const OfferId id(next_id_++);
+  ServiceOffer offer;
+  offer.id = id;
+  offer.service_type = service_type;
+  offer.provider = provider;
+  offer.properties = std::move(properties);
+  offer.exported_at = now;
+  offer.modified_at = now;
+  offers_.emplace(id, std::move(offer));
+  return id;
+}
+
+Status Trader::withdraw(OfferId id) {
+  if (offers_.erase(id) == 0) {
+    return Status(ErrorCode::kNotFound, "no offer " + to_string(id));
+  }
+  return Status::ok();
+}
+
+Status Trader::modify(OfferId id, PropertySet properties, SimTime now) {
+  auto it = offers_.find(id);
+  if (it == offers_.end()) {
+    return Status(ErrorCode::kNotFound, "no offer " + to_string(id));
+  }
+  it->second.properties = std::move(properties);
+  it->second.modified_at = now;
+  return Status::ok();
+}
+
+const ServiceOffer* Trader::lookup(OfferId id) const {
+  auto it = offers_.find(id);
+  return it == offers_.end() ? nullptr : &it->second;
+}
+
+const ServiceOffer* Trader::find_by_provider(const std::string& service_type,
+                                             const orb::ObjectRef& provider) const {
+  for (const auto& [_, offer] : offers_) {
+    if (offer.service_type == service_type && offer.provider == provider) {
+      return &offer;
+    }
+  }
+  return nullptr;
+}
+
+Result<std::vector<const ServiceOffer*>> Trader::query(
+    const std::string& service_type, const std::string& constraint,
+    const std::string& preference, std::size_t max_matches, Rng* rng) const {
+  auto parsed_constraint = Constraint::parse(constraint);
+  if (!parsed_constraint.is_ok()) return parsed_constraint.status();
+  auto parsed_preference = Preference::parse(preference);
+  if (!parsed_preference.is_ok()) return parsed_preference.status();
+  return query_compiled(service_type, parsed_constraint.value(),
+                        parsed_preference.value(), max_matches, rng);
+}
+
+std::vector<const ServiceOffer*> Trader::query_compiled(
+    const std::string& service_type, const Constraint& constraint,
+    const Preference& preference, std::size_t max_matches, Rng* rng) const {
+  std::vector<const ServiceOffer*> matched;
+  for (const auto& [_, offer] : offers_) {
+    if (offer.service_type != service_type) continue;
+    if (constraint.matches(offer.properties)) matched.push_back(&offer);
+  }
+
+  std::vector<const PropertySet*> sets;
+  sets.reserve(matched.size());
+  for (const auto* offer : matched) sets.push_back(&offer->properties);
+  const std::vector<std::size_t> order = preference.rank(sets, rng);
+
+  std::vector<const ServiceOffer*> out;
+  const std::size_t limit =
+      max_matches == 0 ? matched.size() : std::min(max_matches, matched.size());
+  out.reserve(limit);
+  for (std::size_t i = 0; i < limit; ++i) out.push_back(matched[order[i]]);
+  return out;
+}
+
+std::size_t Trader::offer_count(const std::string& service_type) const {
+  std::size_t n = 0;
+  for (const auto& [_, offer] : offers_) {
+    if (offer.service_type == service_type) ++n;
+  }
+  return n;
+}
+
+std::vector<const ServiceOffer*> Trader::offers_of_type(
+    const std::string& service_type) const {
+  std::vector<const ServiceOffer*> out;
+  for (const auto& [_, offer] : offers_) {
+    if (offer.service_type == service_type) out.push_back(&offer);
+  }
+  return out;
+}
+
+}  // namespace integrade::services

@@ -1,0 +1,83 @@
+// Trading Object Service.
+//
+// The GRM's information repository (paper §5: node status received from the
+// LRMs is stored in the Trader). Exporters register *service offers* — a
+// service type, the exporter's object reference, and a property set;
+// importers query with a constraint expression and a preference that ranks
+// the matches. Offers are modified in place by the Information Update
+// Protocol as fresh LRM status arrives.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "orb/ior.hpp"
+#include "services/constraint.hpp"
+#include "services/property.hpp"
+
+namespace integrade::services {
+
+struct OfferTag {};
+using OfferId = Id<OfferTag>;
+
+struct ServiceOffer {
+  OfferId id;
+  std::string service_type;
+  orb::ObjectRef provider;
+  PropertySet properties;
+  SimTime exported_at = 0;
+  SimTime modified_at = 0;
+};
+
+class Trader {
+ public:
+  /// Register an offer; returns its id for later modify/withdraw.
+  OfferId export_offer(const std::string& service_type,
+                       const orb::ObjectRef& provider, PropertySet properties,
+                       SimTime now = 0);
+
+  Status withdraw(OfferId id);
+
+  /// Replace the offer's property set (the common case: a full status
+  /// refresh from an LRM).
+  Status modify(OfferId id, PropertySet properties, SimTime now = 0);
+
+  [[nodiscard]] const ServiceOffer* lookup(OfferId id) const;
+
+  /// Find the offer exported by `provider` for `service_type`, if any.
+  [[nodiscard]] const ServiceOffer* find_by_provider(
+      const std::string& service_type, const orb::ObjectRef& provider) const;
+
+  /// Query: parse `constraint` and `preference`, filter offers of
+  /// `service_type`, rank, and return up to `max_matches` (0 = unlimited).
+  /// Parse errors return InvalidArgument.
+  Result<std::vector<const ServiceOffer*>> query(const std::string& service_type,
+                                                 const std::string& constraint,
+                                                 const std::string& preference,
+                                                 std::size_t max_matches = 0,
+                                                 Rng* rng = nullptr) const;
+
+  /// Pre-compiled variant, used by the GRM on its scheduling fast path.
+  [[nodiscard]] std::vector<const ServiceOffer*> query_compiled(
+      const std::string& service_type, const Constraint& constraint,
+      const Preference& preference, std::size_t max_matches = 0,
+      Rng* rng = nullptr) const;
+
+  [[nodiscard]] std::size_t offer_count() const { return offers_.size(); }
+  [[nodiscard]] std::size_t offer_count(const std::string& service_type) const;
+
+  /// Iterate all offers of a type (unranked), for maintenance sweeps.
+  [[nodiscard]] std::vector<const ServiceOffer*> offers_of_type(
+      const std::string& service_type) const;
+
+ private:
+  std::map<OfferId, ServiceOffer> offers_;
+  std::uint64_t next_id_ = 1;
+};
+
+}  // namespace integrade::services

@@ -1,0 +1,65 @@
+#include "sim/engine.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace integrade::sim {
+
+EventHandle Engine::schedule_at(SimTime when, std::function<void()> fn) {
+  assert(when >= now_ && "cannot schedule in the past");
+  auto cancelled = std::make_shared<bool>(false);
+  queue_.push(Event{when, next_seq_++, std::move(fn), cancelled});
+  return EventHandle(std::move(cancelled));
+}
+
+EventHandle Engine::schedule_after(SimDuration delay, std::function<void()> fn) {
+  assert(delay >= 0);
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+bool Engine::step(SimTime deadline) {
+  while (!queue_.empty()) {
+    if (queue_.top().when > deadline) return false;
+    Event ev = queue_.top();
+    queue_.pop();
+    if (*ev.cancelled) continue;
+    now_ = ev.when;
+    ++fired_;
+    ev.fn();
+    return true;
+  }
+  return false;
+}
+
+std::int64_t Engine::run_until(SimTime deadline) {
+  std::int64_t n = 0;
+  while (step(deadline)) ++n;
+  if (deadline != kTimeNever && deadline > now_) now_ = deadline;
+  return n;
+}
+
+void PeriodicTimer::start(Engine& engine, SimDuration period,
+                          std::function<void()> fn, SimDuration initial_delay) {
+  stop();
+  assert(period > 0);
+  engine_ = &engine;
+  period_ = period;
+  fn_ = std::move(fn);
+  running_ = true;
+  pending_ = engine_->schedule_after(initial_delay >= 0 ? initial_delay : period_,
+                                     [this] { arm(); });
+}
+
+void PeriodicTimer::arm() {
+  if (!running_) return;
+  // Re-arm before firing so fn_ may call stop() and win.
+  pending_ = engine_->schedule_after(period_, [this] { arm(); });
+  fn_();
+}
+
+void PeriodicTimer::stop() {
+  running_ = false;
+  pending_.cancel();
+}
+
+}  // namespace integrade::sim

@@ -1,0 +1,155 @@
+// ASCT: application builder invariants and the progress ledger.
+#include <gtest/gtest.h>
+
+#include "asct/asct.hpp"
+#include "orb/transport.hpp"
+#include "sim/engine.hpp"
+
+namespace integrade::asct {
+namespace {
+
+TEST(AppBuilder, SequentialDefaults) {
+  AppBuilder builder("seq");
+  builder.tasks(3, 1000.0);
+  auto spec = builder.build(orb::ObjectRef{});
+  EXPECT_EQ(spec.name, "seq");
+  EXPECT_EQ(spec.kind, protocol::AppKind::kSequential);
+  ASSERT_EQ(spec.tasks.size(), 3u);
+  for (std::size_t i = 0; i < spec.tasks.size(); ++i) {
+    EXPECT_EQ(spec.tasks[i].work, 1000.0);
+    EXPECT_EQ(spec.tasks[i].app, spec.id);
+    EXPECT_EQ(spec.tasks[i].bsp_rank, static_cast<std::int32_t>(i));
+    EXPECT_TRUE(spec.tasks[i].id.valid());
+  }
+  // Task ids unique.
+  EXPECT_NE(spec.tasks[0].id, spec.tasks[1].id);
+}
+
+TEST(AppBuilder, UniqueAppIdsAcrossBuilders) {
+  AppBuilder a("a");
+  AppBuilder b("b");
+  EXPECT_NE(a.id(), b.id());
+}
+
+TEST(AppBuilder, HeterogeneousWorks) {
+  AppBuilder builder("hetero");
+  builder.task_works({100.0, 200.0, 300.0});
+  auto spec = builder.build(orb::ObjectRef{});
+  ASSERT_EQ(spec.tasks.size(), 3u);
+  EXPECT_EQ(spec.tasks[1].work, 200.0);
+}
+
+TEST(AppBuilder, BspShape) {
+  AppBuilder builder("bsp");
+  builder.bsp(8, 100, 500.0, 4096, 10, kMiB).ram(64 * kMiB);
+  auto spec = builder.build(orb::ObjectRef{});
+  EXPECT_EQ(spec.kind, protocol::AppKind::kBsp);
+  ASSERT_EQ(spec.tasks.size(), 8u);
+  const auto& task = spec.tasks[5];
+  EXPECT_EQ(task.bsp_rank, 5);
+  EXPECT_EQ(task.bsp_processes, 8);
+  EXPECT_EQ(task.bsp_supersteps, 100);
+  EXPECT_EQ(task.work, 500.0 * 100);
+  EXPECT_EQ(task.bsp_comm_bytes_per_step, 4096);
+  EXPECT_EQ(task.checkpoint_every, 10);
+  EXPECT_EQ(task.checkpoint_bytes, kMiB);
+  EXPECT_EQ(task.ram_needed, 64 * kMiB);
+}
+
+TEST(AppBuilder, RequirementsAndTopologyCarriedThrough) {
+  AppBuilder builder("req");
+  protocol::TopologySpec topo;
+  topo.groups = {{2, 1e6}};
+  builder.tasks(2, 1.0)
+      .constraint("cpu_mips > 100")
+      .preference("max cpu_mips")
+      .estimated_duration(kHour)
+      .io(kMiB, 2 * kMiB)
+      .platform("java")
+      .topology(topo);
+  orb::ObjectRef notify;
+  notify.host = 9;
+  notify.key = ObjectId(3);
+  auto spec = builder.build(notify);
+  EXPECT_EQ(spec.requirements.constraint, "cpu_mips > 100");
+  EXPECT_EQ(spec.requirements.preference, "max cpu_mips");
+  EXPECT_EQ(spec.estimated_duration, kHour);
+  EXPECT_EQ(spec.notify, notify);
+  EXPECT_EQ(spec.topology.groups.size(), 1u);
+  EXPECT_EQ(spec.tasks[0].input_bytes, kMiB);
+  EXPECT_EQ(spec.tasks[0].output_bytes, 2 * kMiB);
+  EXPECT_EQ(spec.tasks[0].binary_platform, "java");
+}
+
+class AsctFixture : public ::testing::Test {
+ protected:
+  AsctFixture() : orb(1, transport, nullptr), asct(engine, orb) {}
+
+  protocol::AppEvent event(AppId app, protocol::AppEventKind kind) {
+    protocol::AppEvent e;
+    e.app = app;
+    e.kind = kind;
+    e.at = engine.now();
+    return e;
+  }
+
+  sim::Engine engine;
+  orb::DirectTransport transport;
+  orb::Orb orb;
+  Asct asct;
+};
+
+TEST_F(AsctFixture, LedgerTracksEvents) {
+  AppBuilder builder("app");
+  builder.tasks(2, 1.0);
+  auto spec = builder.build(asct.ref());
+  // Submit toward a nonexistent GRM: the reply fails, marking rejection.
+  orb::ObjectRef nowhere;
+  nowhere.host = 99;
+  nowhere.key = ObjectId(1);
+  const AppId id = asct.submit(nowhere, spec);
+  const auto* progress = asct.progress(id);
+  ASSERT_NE(progress, nullptr);
+  EXPECT_TRUE(progress->failed);  // no reply => rejected
+
+  asct.handle_event(event(id, protocol::AppEventKind::kTaskScheduled));
+  asct.handle_event(event(id, protocol::AppEventKind::kTaskCompleted));
+  asct.handle_event(event(id, protocol::AppEventKind::kTaskEvicted));
+  asct.handle_event(event(id, protocol::AppEventKind::kTaskRescheduled));
+  EXPECT_EQ(progress->scheduled, 1);
+  EXPECT_EQ(progress->completed, 1);
+  EXPECT_EQ(progress->evictions, 1);
+  EXPECT_EQ(progress->reschedules, 1);
+  EXPECT_FALSE(asct.done(id));
+
+  asct.handle_event(event(id, protocol::AppEventKind::kAppCompleted));
+  EXPECT_TRUE(asct.done(id));
+  EXPECT_EQ(asct.apps_completed(), 1);
+  EXPECT_EQ(asct.events().size(), 5u);
+}
+
+TEST_F(AsctFixture, DuplicateAppCompletedIsDeduped) {
+  AppBuilder builder("app");
+  builder.tasks(1, 1.0);
+  auto spec = builder.build(asct.ref());
+  orb::ObjectRef nowhere;
+  nowhere.host = 99;
+  nowhere.key = ObjectId(1);
+  const AppId id = asct.submit(nowhere, spec);
+
+  int done_callbacks = 0;
+  asct.set_on_app_done([&](AppId) { ++done_callbacks; });
+  asct.handle_event(event(id, protocol::AppEventKind::kAppCompleted));
+  asct.handle_event(event(id, protocol::AppEventKind::kAppCompleted));
+  EXPECT_EQ(done_callbacks, 1);
+  EXPECT_EQ(asct.apps_completed(), 1);
+}
+
+TEST_F(AsctFixture, EventsForUnknownAppsIgnored) {
+  asct.handle_event(event(AppId(777), protocol::AppEventKind::kTaskCompleted));
+  EXPECT_EQ(asct.progress(AppId(777)), nullptr);
+  EXPECT_EQ(asct.events().size(), 1u);  // still logged
+}
+
+}  // namespace
+}  // namespace integrade::asct

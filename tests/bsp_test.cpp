@@ -1,0 +1,157 @@
+// BSP coordinator: superstep cycle timing, exchange cost, checkpoint
+// cadence, and rollback semantics.
+#include <gtest/gtest.h>
+
+#include "asct/asct.hpp"
+#include "core/grid.hpp"
+#include "core/workloads.hpp"
+
+namespace integrade::bsp {
+namespace {
+
+using asct::AppBuilder;
+
+struct BspRun {
+  core::Grid grid;
+  core::Cluster* cluster;
+
+  explicit BspRun(std::uint64_t seed, int nodes = 8)
+      : grid(seed), cluster(&grid.add_cluster(core::quiet_cluster(nodes, seed))) {
+    grid.run_for(2 * kMinute);
+  }
+
+  AppId submit(int processes, int supersteps, MInstr work, Bytes comm,
+               int ckpt_every, Bytes ckpt_bytes) {
+    AppBuilder builder("bsp");
+    builder.bsp(processes, supersteps, work, comm, ckpt_every, ckpt_bytes);
+    return cluster->asct().submit(cluster->grm_ref(),
+                                  builder.build(cluster->asct().ref()));
+  }
+};
+
+TEST(BspCoordinator, CompletesAllSupersteps) {
+  BspRun run(21);
+  const AppId app = run.submit(4, 25, 2'000.0, 0, 0, 0);
+  ASSERT_TRUE(run.grid.run_until_app_done(*run.cluster, app,
+                                          run.grid.engine().now() + 4 * kHour));
+  const auto* stats = run.cluster->coordinator().stats(app);
+  ASSERT_NE(stats, nullptr);
+  EXPECT_EQ(stats->supersteps_completed, 25);
+  EXPECT_EQ(stats->chunks_issued, 4 * 25);
+  EXPECT_EQ(stats->checkpoints_committed, 0);  // checkpointing off
+}
+
+TEST(BspCoordinator, CheckpointCadence) {
+  BspRun run(22);
+  const AppId app = run.submit(4, 20, 2'000.0, 0, /*every=*/4, 256 * kKiB);
+  ASSERT_TRUE(run.grid.run_until_app_done(*run.cluster, app,
+                                          run.grid.engine().now() + 4 * kHour));
+  const auto* stats = run.cluster->coordinator().stats(app);
+  // Checkpoints after supersteps 3,7,11,15,19 -> 5 commits.
+  EXPECT_EQ(stats->checkpoints_committed, 5);
+  // Repository cleaned after completion.
+  EXPECT_EQ(run.cluster->repository().checkpoint_count(), 0u);
+}
+
+TEST(BspCoordinator, ExchangeVolumeBillsTheNetwork) {
+  BspRun with_comm(23);
+  const auto base_bytes = with_comm.grid.network().stats().bytes;
+  const AppId app = with_comm.submit(4, 10, 1'000.0, kMiB, 0, 0);
+  ASSERT_TRUE(with_comm.grid.run_until_app_done(
+      *with_comm.cluster, app, with_comm.grid.engine().now() + 4 * kHour));
+  const auto exchanged = with_comm.grid.network().stats().bytes - base_bytes;
+  // At least P * steps * comm bytes of h-relation traffic.
+  EXPECT_GE(exchanged, 4 * 10 * static_cast<std::int64_t>(kMiB));
+}
+
+TEST(BspCoordinator, BarrierWaitsForSlowestRank) {
+  // Heterogeneous nodes: the superstep rate is set by the slowest machine.
+  core::Grid grid(24);
+  core::ClusterConfig config = core::quiet_cluster(4, 24);
+  config.nodes[0].spec.cpu_mips = 4000.0;
+  config.nodes[1].spec.cpu_mips = 4000.0;
+  config.nodes[2].spec.cpu_mips = 4000.0;
+  config.nodes[3].spec.cpu_mips = 500.0;  // straggler
+  auto& cluster = grid.add_cluster(config);
+  grid.run_for(2 * kMinute);
+
+  AppBuilder builder("straggler");
+  builder.bsp(4, 10, 5'000.0, 0, 0, 0);
+  const AppId app = cluster.asct().submit(cluster.grm_ref(),
+                                          builder.build(cluster.asct().ref()));
+  const SimTime start = grid.engine().now();
+  ASSERT_TRUE(grid.run_until_app_done(cluster, app, start + 4 * kHour));
+  const auto* stats = cluster.coordinator().stats(app);
+  // Slowest rank: 5000 MInstr / 500 MIPS = 10 s per superstep; 10 steps.
+  EXPECT_GE(stats->elapsed(), 100 * kSecond);
+}
+
+TEST(BspCoordinator, RollbackReplaysFromLastCheckpoint) {
+  BspRun run(25, 6);
+  const AppId app = run.submit(4, 30, 20'000.0, 0, /*every=*/5, 128 * kKiB);
+  run.grid.run_for(6 * kMinute);  // partway in (20s/superstep)
+
+  // Evict one rank by owner return.
+  int victim = -1;
+  for (std::size_t i = 0; i < run.cluster->size(); ++i) {
+    if (run.cluster->lrm(i).running_task_count() > 0) {
+      victim = static_cast<int>(i);
+      break;
+    }
+  }
+  ASSERT_GE(victim, 0);
+  node::OwnerLoad busy;
+  busy.present = true;
+  busy.cpu_fraction = 0.9;
+  run.cluster->machine(static_cast<std::size_t>(victim)).set_owner_load(busy);
+  run.grid.run_for(kMinute);
+  run.cluster->machine(static_cast<std::size_t>(victim))
+      .set_owner_load(node::OwnerLoad{});
+
+  ASSERT_TRUE(run.grid.run_until_app_done(*run.cluster, app,
+                                          run.grid.engine().now() + 12 * kHour));
+  const auto* stats = run.cluster->coordinator().stats(app);
+  EXPECT_GE(stats->rollbacks, 1);
+  EXPECT_GT(stats->supersteps_replayed, 0);
+  // Replay per rollback is bounded by the checkpoint interval (5) plus the
+  // in-flight superstep.
+  EXPECT_LE(stats->supersteps_replayed, stats->rollbacks * 6);
+  EXPECT_EQ(stats->supersteps_completed, 30 + stats->supersteps_replayed);
+}
+
+TEST(BspCoordinator, NoCheckpointMeansFullRestart) {
+  BspRun run(26, 6);
+  const AppId app = run.submit(4, 30, 20'000.0, 0, /*every=*/0, 0);
+  run.grid.run_for(6 * kMinute);
+
+  int victim = -1;
+  for (std::size_t i = 0; i < run.cluster->size(); ++i) {
+    if (run.cluster->lrm(i).running_task_count() > 0) {
+      victim = static_cast<int>(i);
+      break;
+    }
+  }
+  ASSERT_GE(victim, 0);
+  node::OwnerLoad busy;
+  busy.present = true;
+  busy.cpu_fraction = 0.9;
+  run.cluster->machine(static_cast<std::size_t>(victim)).set_owner_load(busy);
+  run.grid.run_for(kMinute);
+  run.cluster->machine(static_cast<std::size_t>(victim))
+      .set_owner_load(node::OwnerLoad{});
+
+  ASSERT_TRUE(run.grid.run_until_app_done(*run.cluster, app,
+                                          run.grid.engine().now() + 12 * kHour));
+  const auto* stats = run.cluster->coordinator().stats(app);
+  ASSERT_GE(stats->rollbacks, 1);
+  // Everything executed before the first eviction replays.
+  EXPECT_GE(stats->supersteps_replayed, 10);
+}
+
+TEST(BspCoordinator, StatsForUnknownAppIsNull) {
+  BspRun run(27, 2);
+  EXPECT_EQ(run.cluster->coordinator().stats(AppId(424242)), nullptr);
+}
+
+}  // namespace
+}  // namespace integrade::bsp

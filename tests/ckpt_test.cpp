@@ -1,0 +1,110 @@
+// Checkpoint repository: versioning, global consistency lines, pruning.
+#include <gtest/gtest.h>
+
+#include "ckpt/repository.hpp"
+
+namespace integrade::ckpt {
+namespace {
+
+Checkpoint make(AppId app, std::int32_t rank, std::int64_t version,
+                std::size_t bytes = 16) {
+  Checkpoint c;
+  c.app = app;
+  c.rank = rank;
+  c.version = version;
+  c.created_at = version * kSecond;
+  c.state.assign(bytes, static_cast<std::uint8_t>(version));
+  return c;
+}
+
+TEST(CkptRepo, StoreAndLatest) {
+  CheckpointRepository repo;
+  const AppId app(1);
+  ASSERT_TRUE(repo.store(make(app, 0, 1)).is_ok());
+  ASSERT_TRUE(repo.store(make(app, 0, 3)).is_ok());
+  ASSERT_NE(repo.latest(app, 0), nullptr);
+  EXPECT_EQ(repo.latest(app, 0)->version, 3);
+  EXPECT_EQ(repo.latest(app, 1), nullptr);
+  EXPECT_EQ(repo.latest(AppId(2), 0), nullptr);
+  EXPECT_EQ(repo.checkpoint_count(), 2u);
+  EXPECT_EQ(repo.stores(), 2);
+}
+
+TEST(CkptRepo, VersionRegressionRejected) {
+  CheckpointRepository repo;
+  const AppId app(1);
+  ASSERT_TRUE(repo.store(make(app, 0, 5)).is_ok());
+  EXPECT_FALSE(repo.store(make(app, 0, 5)).is_ok());  // same version
+  EXPECT_FALSE(repo.store(make(app, 0, 4)).is_ok());  // older
+  EXPECT_EQ(repo.latest(app, 0)->version, 5);
+}
+
+TEST(CkptRepo, AtVersionLookup) {
+  CheckpointRepository repo;
+  const AppId app(1);
+  (void)repo.store(make(app, 0, 1));
+  (void)repo.store(make(app, 0, 2));
+  ASSERT_NE(repo.at_version(app, 0, 1), nullptr);
+  EXPECT_EQ(repo.at_version(app, 0, 1)->version, 1);
+  EXPECT_EQ(repo.at_version(app, 0, 9), nullptr);
+}
+
+TEST(CkptRepo, CompleteVersionNeedsEveryRank) {
+  CheckpointRepository repo;
+  const AppId app(1);
+  // 3-rank app: version 4 complete, version 8 missing rank 2.
+  for (std::int32_t rank = 0; rank < 3; ++rank) {
+    (void)repo.store(make(app, rank, 4));
+  }
+  (void)repo.store(make(app, 0, 8));
+  (void)repo.store(make(app, 1, 8));
+
+  EXPECT_EQ(repo.latest_complete_version(app, 3), 4);
+  EXPECT_EQ(repo.latest_complete_version(app, 4), std::nullopt);  // rank 3 never stored
+  EXPECT_EQ(repo.latest_complete_version(app, 2), 8);  // ranks 0,1 only
+  EXPECT_EQ(repo.latest_complete_version(AppId(9), 3), std::nullopt);
+  EXPECT_EQ(repo.latest_complete_version(app, 0), std::nullopt);
+}
+
+TEST(CkptRepo, PruneDropsOldVersionsAndAccounting) {
+  CheckpointRepository repo;
+  const AppId app(1);
+  (void)repo.store(make(app, 0, 1, 100));
+  (void)repo.store(make(app, 0, 2, 100));
+  (void)repo.store(make(app, 0, 3, 100));
+  EXPECT_EQ(repo.total_bytes(), 300);
+  repo.prune(app, 3);
+  EXPECT_EQ(repo.total_bytes(), 100);
+  EXPECT_EQ(repo.at_version(app, 0, 1), nullptr);
+  EXPECT_NE(repo.at_version(app, 0, 3), nullptr);
+}
+
+TEST(CkptRepo, DropAppRemovesEverything) {
+  CheckpointRepository repo;
+  (void)repo.store(make(AppId(1), 0, 1, 50));
+  (void)repo.store(make(AppId(1), 1, 1, 50));
+  (void)repo.store(make(AppId(2), 0, 1, 50));
+  repo.drop_app(AppId(1));
+  EXPECT_EQ(repo.latest(AppId(1), 0), nullptr);
+  EXPECT_NE(repo.latest(AppId(2), 0), nullptr);
+  EXPECT_EQ(repo.total_bytes(), 50);
+}
+
+TEST(CkptRepo, CheckpointCdrRoundTrip) {
+  auto c = make(AppId(7), 3, 42, 128);
+  auto bytes = cdr::encode_message(c);
+  auto decoded = cdr::decode_message<Checkpoint>(bytes);
+  ASSERT_TRUE(decoded.is_ok());
+  EXPECT_EQ(decoded.value(), c);
+}
+
+TEST(CkptRepo, SequentialStateRoundTrip) {
+  SequentialState state{123456.75};
+  auto bytes = cdr::encode_message(state);
+  auto decoded = cdr::decode_message<SequentialState>(bytes);
+  ASSERT_TRUE(decoded.is_ok());
+  EXPECT_EQ(decoded.value(), state);
+}
+
+}  // namespace
+}  // namespace integrade::ckpt

@@ -1,0 +1,165 @@
+// Foundation types: ids, Result/Status, metrics, logging.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <unordered_set>
+
+#include "common/log.hpp"
+#include "common/result.hpp"
+#include "common/stats.hpp"
+#include "common/types.hpp"
+
+namespace integrade {
+namespace {
+
+TEST(Ids, StrongTypingAndValidity) {
+  NodeId a(1);
+  NodeId b(1);
+  NodeId c(2);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_LT(a, c);
+  EXPECT_TRUE(a.valid());
+  EXPECT_FALSE(NodeId().valid());
+  EXPECT_EQ(to_string(a), "1");
+  EXPECT_EQ(to_string(NodeId()), "<invalid>");
+
+  std::unordered_set<NodeId> set{a, b, c};
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(TimeUnits, ConversionsAndConstants) {
+  EXPECT_EQ(kSecond, 1'000'000);
+  EXPECT_EQ(kDay, 24 * kHour);
+  EXPECT_EQ(kWeek, 7 * kDay);
+  EXPECT_DOUBLE_EQ(to_seconds(90 * kSecond), 90.0);
+  EXPECT_EQ(from_seconds(1.5), 1'500'000);
+}
+
+TEST(StatusTest, CodesAndMessages) {
+  EXPECT_TRUE(Status::ok().is_ok());
+  EXPECT_EQ(Status::ok().to_string(), "OK");
+  Status err(ErrorCode::kNotFound, "missing thing");
+  EXPECT_FALSE(err.is_ok());
+  EXPECT_EQ(err.code(), ErrorCode::kNotFound);
+  EXPECT_EQ(err.to_string(), "NOT_FOUND: missing thing");
+  // Status equality compares codes (used by tests comparing outcomes).
+  EXPECT_EQ(err, Status(ErrorCode::kNotFound, "different text"));
+  EXPECT_NE(err, Status(ErrorCode::kInternal, "missing thing"));
+}
+
+TEST(ResultTest, ValueAndErrorPaths) {
+  Result<int> ok = 42;
+  ASSERT_TRUE(ok.is_ok());
+  EXPECT_EQ(ok.value(), 42);
+  EXPECT_EQ(ok.value_or(7), 42);
+
+  Result<int> bad(ErrorCode::kUnavailable, "down");
+  EXPECT_FALSE(bad.is_ok());
+  EXPECT_FALSE(static_cast<bool>(bad));
+  EXPECT_EQ(bad.status().code(), ErrorCode::kUnavailable);
+  EXPECT_EQ(bad.value_or(7), 7);
+
+  // Move-out path.
+  Result<std::string> s = std::string("hello");
+  std::string moved = std::move(s).value();
+  EXPECT_EQ(moved, "hello");
+}
+
+TEST(CounterTest, AddAndReset) {
+  Counter counter;
+  counter.add();
+  counter.add(4);
+  EXPECT_EQ(counter.value(), 5);
+  counter.reset();
+  EXPECT_EQ(counter.value(), 0);
+}
+
+TEST(SummaryTest, MomentsAndPercentiles) {
+  Summary summary;
+  EXPECT_EQ(summary.count(), 0);
+  EXPECT_DOUBLE_EQ(summary.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(summary.percentile(0.5), 0.0);
+
+  for (int i = 1; i <= 100; ++i) summary.observe(i);
+  EXPECT_EQ(summary.count(), 100);
+  EXPECT_DOUBLE_EQ(summary.mean(), 50.5);
+  EXPECT_DOUBLE_EQ(summary.min(), 1.0);
+  EXPECT_DOUBLE_EQ(summary.max(), 100.0);
+  EXPECT_DOUBLE_EQ(summary.sum(), 5050.0);
+  // Population variance of 1..100 = (n^2-1)/12 = 833.25.
+  EXPECT_NEAR(summary.variance(), 833.25, 1e-9);
+  EXPECT_NEAR(summary.stddev(), std::sqrt(833.25), 1e-9);
+  EXPECT_NEAR(summary.percentile(0.0), 1.0, 1e-9);
+  EXPECT_NEAR(summary.percentile(1.0), 100.0, 1e-9);
+  EXPECT_NEAR(summary.percentile(0.5), 50.5, 1e-9);
+  EXPECT_NEAR(summary.percentile(0.99), 99.01, 0.1);
+
+  summary.reset();
+  EXPECT_EQ(summary.count(), 0);
+}
+
+TEST(SummaryTest, PercentileClampsQuantile) {
+  Summary summary;
+  summary.observe(5);
+  EXPECT_DOUBLE_EQ(summary.percentile(-1.0), 5.0);
+  EXPECT_DOUBLE_EQ(summary.percentile(2.0), 5.0);
+}
+
+TEST(HistogramTest, BucketsAndOutOfRange) {
+  Histogram histogram(1.0, 1000.0, 3);  // log buckets: [1,10) [10,100) [100,1000)
+  histogram.observe(0.5);    // under
+  histogram.observe(5.0);    // bucket 0
+  histogram.observe(50.0);   // bucket 1
+  histogram.observe(500.0);  // bucket 2
+  histogram.observe(5000.0); // over
+  EXPECT_EQ(histogram.count(), 5);
+  const auto& counts = histogram.bucket_counts();
+  ASSERT_EQ(counts.size(), 5u);
+  EXPECT_EQ(counts[0], 1);  // under
+  EXPECT_EQ(counts[1], 1);
+  EXPECT_EQ(counts[2], 1);
+  EXPECT_EQ(counts[3], 1);
+  EXPECT_EQ(counts[4], 1);  // over
+  EXPECT_NEAR(histogram.bucket_lower_bound(0), 1.0, 1e-9);
+  EXPECT_NEAR(histogram.bucket_lower_bound(1), 10.0, 1e-6);
+  EXPECT_FALSE(histogram.to_string().empty());
+}
+
+TEST(MetricRegistryTest, NamedMetricsAndReset) {
+  MetricRegistry registry;
+  registry.counter("a").add(3);
+  registry.summary("b").observe(1.5);
+  EXPECT_EQ(registry.counter_value("a"), 3);
+  EXPECT_EQ(registry.counter_value("nope"), 0);
+  EXPECT_EQ(registry.summaries().at("b").count(), 1);
+  registry.reset();
+  EXPECT_EQ(registry.counter_value("a"), 0);
+  EXPECT_EQ(registry.summaries().at("b").count(), 0);
+}
+
+TEST(LogTest, SinkAndThreshold) {
+  std::vector<std::string> captured;
+  set_log_sink([&](LogLevel, const std::string& message) {
+    captured.push_back(message);
+  });
+  const LogLevel previous = log_level();
+  set_log_level(LogLevel::kWarn);
+
+  log_debug("test", "dropped");
+  log_info("test", "dropped too");
+  log_warn("test", "kept");
+  log_error("test", "kept too");
+  ASSERT_EQ(captured.size(), 2u);
+  EXPECT_NE(captured[0].find("[test] kept"), std::string::npos);
+
+  set_log_level(LogLevel::kOff);
+  log_error("test", "silenced");
+  EXPECT_EQ(captured.size(), 2u);
+
+  set_log_level(previous);
+  set_log_sink(nullptr);
+}
+
+}  // namespace
+}  // namespace integrade

@@ -1,0 +1,302 @@
+// GRM: Trader-backed node registry, constraint building, negotiation waves
+// with stale-hint correction, forecast-aware ranking, topology planning,
+// requeue on eviction, and checkpoint-based restarts.
+#include <gtest/gtest.h>
+
+#include "core/grid.hpp"
+#include "core/workloads.hpp"
+#include "grm/grm.hpp"
+
+namespace integrade::grm {
+namespace {
+
+using asct::AppBuilder;
+
+class GrmFixture : public ::testing::Test {
+ protected:
+  GrmFixture() : grid(77) {}
+
+  core::Grid grid;
+};
+
+TEST_F(GrmFixture, StatusUpdatesPopulateTrader) {
+  auto& cluster = grid.add_cluster(core::quiet_cluster(5, 1));
+  grid.run_for(90 * kSecond);
+  EXPECT_EQ(cluster.grm().known_nodes(), 5u);
+  EXPECT_EQ(cluster.grm().trader().offer_count(protocol::kNodeServiceType), 5u);
+
+  // The stored view matches the LRM's own status.
+  const auto own = cluster.lrm(0).current_status();
+  const auto view = cluster.grm().node_view(own.node);
+  ASSERT_TRUE(view.has_value());
+  EXPECT_EQ(view->cpu_mips, own.cpu_mips);
+  EXPECT_EQ(view->hostname, own.hostname);
+}
+
+TEST_F(GrmFixture, StaleOffersSweptAfterTtl) {
+  auto& cluster = grid.add_cluster(core::quiet_cluster(3, 2));
+  grid.run_for(90 * kSecond);
+  ASSERT_EQ(cluster.grm().known_nodes(), 3u);
+
+  // Silence one LRM (power the machine off stops... the LRM keeps sending;
+  // instead stop the LRM directly).
+  cluster.lrm(0).stop();
+  grid.run_for(5 * kMinute);
+  EXPECT_EQ(cluster.grm().known_nodes(), 2u);
+  EXPECT_GE(cluster.grm().metrics().counter_value("offers_expired"), 1);
+}
+
+TEST_F(GrmFixture, SubmitValidatesExpressions) {
+  auto& cluster = grid.add_cluster(core::quiet_cluster(2, 3));
+  grid.run_for(90 * kSecond);
+
+  AppBuilder bad("bad");
+  bad.tasks(1, 1000.0).constraint("((cpu_mips >");
+  auto spec = bad.build(cluster.asct().ref());
+  auto reply = cluster.grm().handle_submit(spec);
+  EXPECT_FALSE(reply.accepted);
+  EXPECT_NE(reply.reason.find("bad constraint"), std::string::npos);
+
+  AppBuilder bad_pref("badpref");
+  bad_pref.tasks(1, 1000.0).preference("downhill x");
+  reply = cluster.grm().handle_submit(bad_pref.build(cluster.asct().ref()));
+  EXPECT_FALSE(reply.accepted);
+
+  AppBuilder empty("empty");
+  auto empty_spec = empty.kind(protocol::AppKind::kSequential)
+                        .build(cluster.asct().ref());
+  // no tasks() call -> assertion in builder; construct manually instead.
+  empty_spec.tasks.clear();
+  reply = cluster.grm().handle_submit(empty_spec);
+  EXPECT_FALSE(reply.accepted);
+
+  AppBuilder dup("dup");
+  dup.tasks(1, 1000.0);
+  auto dup_spec = dup.build(cluster.asct().ref());
+  EXPECT_TRUE(cluster.grm().handle_submit(dup_spec).accepted);
+  EXPECT_FALSE(cluster.grm().handle_submit(dup_spec).accepted);
+}
+
+TEST_F(GrmFixture, ConstraintRoutesToMatchingNode) {
+  core::ClusterConfig config = core::quiet_cluster(3, 4);
+  config.nodes[1].spec.cpu_mips = 5000.0;  // the only fast node
+  auto& cluster = grid.add_cluster(config);
+  grid.run_for(90 * kSecond);
+
+  AppBuilder app("picky");
+  app.tasks(1, 50'000.0).constraint("cpu_mips >= 4000");
+  const AppId id =
+      cluster.asct().submit(cluster.grm_ref(), app.build(cluster.asct().ref()));
+  ASSERT_TRUE(grid.run_until_app_done(cluster, id, grid.engine().now() + kHour));
+  EXPECT_GT(cluster.lrm(1).total_work_done(), 49'000.0);
+  EXPECT_EQ(cluster.lrm(0).total_work_done(), 0.0);
+  EXPECT_EQ(cluster.lrm(2).total_work_done(), 0.0);
+}
+
+TEST_F(GrmFixture, PreferenceOrdersCandidates) {
+  core::ClusterConfig config = core::quiet_cluster(3, 5);
+  config.nodes[0].spec.cpu_mips = 800.0;
+  config.nodes[1].spec.cpu_mips = 1600.0;
+  config.nodes[2].spec.cpu_mips = 2400.0;
+  auto& cluster = grid.add_cluster(config);
+  grid.run_for(90 * kSecond);
+
+  AppBuilder app("fastest-first");
+  app.tasks(1, 24'000.0).preference("max cpu_mips");
+  const AppId id =
+      cluster.asct().submit(cluster.grm_ref(), app.build(cluster.asct().ref()));
+  ASSERT_TRUE(grid.run_until_app_done(cluster, id, grid.engine().now() + kHour));
+  EXPECT_GT(cluster.lrm(2).total_work_done(), 23'000.0);
+}
+
+TEST_F(GrmFixture, UnsatisfiableConstraintKeepsTaskPending) {
+  auto& cluster = grid.add_cluster(core::quiet_cluster(2, 6));
+  grid.run_for(90 * kSecond);
+
+  AppBuilder app("impossible");
+  app.tasks(1, 1000.0).constraint("cpu_mips >= 999999");
+  const AppId id =
+      cluster.asct().submit(cluster.grm_ref(), app.build(cluster.asct().ref()));
+  grid.run_for(10 * kMinute);
+  EXPECT_FALSE(cluster.asct().done(id));
+  EXPECT_EQ(cluster.grm().pending_tasks(), 1);
+  EXPECT_GT(cluster.grm().metrics().counter_value("waves_no_candidates"), 0);
+}
+
+TEST_F(GrmFixture, NegotiationCorrectsStaleHints) {
+  // 1 node, long update period: the GRM's trader view stays stale while we
+  // submit two apps; the second must discover the truth via negotiation.
+  core::ClusterConfig config = core::quiet_cluster(1, 7);
+  config.lrm.update_period = 10 * kMinute;
+  config.lrm.push_on_state_change = false;
+  config.grm.offer_ttl = 30 * kMinute;  // keep the rarely-refreshed offer alive
+  auto& cluster = grid.add_cluster(config);
+  grid.run_for(11 * kMinute);
+  ASSERT_EQ(cluster.grm().known_nodes(), 1u);
+
+  // The owner returns silently: with state-change pushes off and a 10 min
+  // update period, the GRM's Trader still advertises the node as idle.
+  if (cluster.owner(0) != nullptr) cluster.owner(0)->stop();
+  node::OwnerLoad busy;
+  busy.present = true;
+  busy.cpu_fraction = 0.8;
+  cluster.machine(0).set_owner_load(busy);
+
+  AppBuilder app("stale");
+  app.tasks(1, 600'000.0);
+  cluster.asct().submit(cluster.grm_ref(), app.build(cluster.asct().ref()));
+  grid.run_for(kMinute);
+
+  // Negotiation discovered the truth: the reservation was refused and the
+  // piggy-backed status corrected the Trader entry on the spot.
+  EXPECT_GE(cluster.grm().metrics().counter_value("reservations_refused_remote"),
+            1);
+  EXPECT_EQ(cluster.grm().running_tasks(), 0);
+  EXPECT_EQ(cluster.grm().pending_tasks(), 1);
+  const auto view = cluster.grm().node_view(cluster.lrm(0).node_id());
+  ASSERT_TRUE(view.has_value());
+  EXPECT_FALSE(view->shareable);
+}
+
+TEST_F(GrmFixture, EvictionRequeuesAndEventuallyCompletes) {
+  auto& cluster = grid.add_cluster(core::quiet_cluster(2, 8));
+  grid.run_for(90 * kSecond);
+
+  AppBuilder app("bounce");
+  app.tasks(1, 120'000.0);
+  const AppId id =
+      cluster.asct().submit(cluster.grm_ref(), app.build(cluster.asct().ref()));
+  grid.run_for(kMinute);
+
+  // Owner stomps whichever node runs it.
+  for (std::size_t i = 0; i < cluster.size(); ++i) {
+    if (cluster.lrm(i).running_task_count() > 0) {
+      node::OwnerLoad busy;
+      busy.present = true;
+      busy.cpu_fraction = 0.9;
+      cluster.machine(i).set_owner_load(busy);
+      break;
+    }
+  }
+  ASSERT_TRUE(grid.run_until_app_done(cluster, id, grid.engine().now() + 2 * kHour));
+  const auto* progress = cluster.asct().progress(id);
+  EXPECT_GE(progress->evictions, 1);
+  EXPECT_GE(progress->reschedules, 1);
+  EXPECT_EQ(progress->completed, 1);
+}
+
+TEST_F(GrmFixture, TopologyPlanPinsGroupsToSegments) {
+  auto& cluster = grid.add_cluster(core::segmented_cluster(2, 4, 9));
+  grid.run_for(3 * kMinute);  // mostly_idle profiles + 10min grace? grace is default
+  grid.run_for(10 * kMinute);
+
+  protocol::TopologySpec topo;
+  topo.groups = {{3, 10e6 / 8}, {3, 10e6 / 8}};
+  topo.min_inter_bandwidth = 1e6 / 8;
+
+  AppBuilder app("grouped");
+  app.kind(protocol::AppKind::kParametric).tasks(6, 30'000.0).topology(topo);
+  const AppId id =
+      cluster.asct().submit(cluster.grm_ref(), app.build(cluster.asct().ref()));
+  ASSERT_TRUE(grid.run_until_app_done(cluster, id, grid.engine().now() + 4 * kHour));
+
+  // Count work per segment: both segments must have executed tasks.
+  MInstr seg0 = 0;
+  MInstr seg1 = 0;
+  for (std::size_t i = 0; i < cluster.size(); ++i) {
+    if (i < 4) {
+      seg0 += cluster.lrm(i).total_work_done();
+    } else {
+      seg1 += cluster.lrm(i).total_work_done();
+    }
+  }
+  EXPECT_GT(seg0, 80'000.0);
+  EXPECT_GT(seg1, 80'000.0);
+}
+
+TEST_F(GrmFixture, TopologyRejectedWhenBandwidthImpossible) {
+  auto& cluster = grid.add_cluster(core::segmented_cluster(2, 4, 10));
+  grid.run_for(12 * kMinute);
+
+  protocol::TopologySpec topo;
+  topo.groups = {{3, 10e9}};  // 80 Gbps intra: no segment qualifies
+  AppBuilder app("impossible-topo");
+  app.kind(protocol::AppKind::kParametric).tasks(3, 1000.0).topology(topo);
+  auto reply = cluster.grm().handle_submit(app.build(cluster.asct().ref()));
+  EXPECT_FALSE(reply.accepted);
+  EXPECT_GE(cluster.grm().metrics().counter_value("topology_rejections"), 1);
+}
+
+TEST_F(GrmFixture, ForecastAvoidsSoonBusyNodes) {
+  // Two nodes: one genuinely idle, one whose pattern says "busy at 09:00".
+  // Submit at 08:30 with a 2h estimate — the forecast-aware GRM must pick
+  // the idle one.
+  core::ClusterConfig config = core::quiet_cluster(2, 11);
+  auto& cluster = grid.add_cluster(config);
+
+  // Hand-feed the GUPA a pattern for node 0: busy 09:00-18:00 weekdays.
+  const NodeId node0 = cluster.lrm(0).node_id();
+  protocol::UsagePatternUpload upload;
+  upload.node = node0;
+  protocol::UsageCategory cat;
+  cat.centroid.assign(48, 0.02);
+  for (int s = 18; s < 36; ++s) cat.centroid[static_cast<std::size_t>(s)] = 0.95;
+  cat.weight = 1.0;
+  cat.weekday_fraction = 5.0 / 7.0;
+  upload.categories = {cat};
+  upload.days_observed = 28;
+  cluster.gupa().upload(upload);
+
+  // 08:30 Monday.
+  grid.run_until(8 * kHour + 30 * kMinute);
+
+  AppBuilder app("avoid-busy");
+  app.tasks(1, 60'000.0).estimated_duration(2 * kHour);
+  const AppId id =
+      cluster.asct().submit(cluster.grm_ref(), app.build(cluster.asct().ref()));
+  ASSERT_TRUE(grid.run_until_app_done(cluster, id, grid.engine().now() + kHour));
+  EXPECT_EQ(cluster.lrm(0).total_work_done(), 0.0);
+  EXPECT_GT(cluster.lrm(1).total_work_done(), 59'000.0);
+  EXPECT_GT(cluster.grm().metrics().counter_value("forecast_queries"), 0);
+}
+
+TEST_F(GrmFixture, ConcurrentAppsBothComplete) {
+  auto& cluster = grid.add_cluster(core::quiet_cluster(6, 14));
+  grid.run_for(90 * kSecond);
+
+  AppBuilder first("first");
+  first.kind(protocol::AppKind::kParametric).tasks(6, 120'000.0);
+  AppBuilder second("second");
+  second.kind(protocol::AppKind::kParametric).tasks(6, 120'000.0);
+  const AppId a =
+      cluster.asct().submit(cluster.grm_ref(), first.build(cluster.asct().ref()));
+  const AppId b =
+      cluster.asct().submit(cluster.grm_ref(), second.build(cluster.asct().ref()));
+
+  const SimTime deadline = grid.engine().now() + 6 * kHour;
+  ASSERT_TRUE(grid.run_until_app_done(cluster, a, deadline));
+  ASSERT_TRUE(grid.run_until_app_done(cluster, b, deadline));
+  const auto* pa = cluster.asct().progress(a);
+  const auto* pb = cluster.asct().progress(b);
+  EXPECT_EQ(pa->completed, 6);
+  EXPECT_EQ(pb->completed, 6);
+  // Neither app starves: makespans within 3x of each other.
+  EXPECT_LT(pa->makespan(), 3 * pb->makespan());
+  EXPECT_LT(pb->makespan(), 3 * pa->makespan());
+}
+
+TEST_F(GrmFixture, SummariesFlowUpTheHierarchy) {
+  auto& parent = grid.add_cluster(core::quiet_cluster(2, 12, 1000.0, "hq"));
+  auto& child = grid.add_cluster(core::quiet_cluster(2, 13, 1000.0, "edge"));
+  grid.connect(parent, child);
+  grid.run_for(3 * kMinute);
+  // The parent has heard the child's summary (visible indirectly: remote
+  // submits would route; check via metrics of pushes).
+  EXPECT_GE(child.grm().metrics().counter_value("status_updates_received"), 1);
+  // Child pushed at least two summaries by now (60s cadence).
+  // (No direct getter; verified by the parent adopting in integration_test.)
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace integrade::grm

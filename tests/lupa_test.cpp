@@ -1,0 +1,354 @@
+// LUPA/GUPA: k-means recovery of planted categories, day accumulation,
+// idleness prediction, and the centroid-only (GUPA) forecast.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "lupa/gupa.hpp"
+#include "lupa/kmeans.hpp"
+#include "lupa/lupa.hpp"
+#include "node/owner.hpp"
+
+namespace integrade::lupa {
+namespace {
+
+// --- k-means ---
+
+std::vector<Vector> planted_clusters(int per_cluster, Rng& rng) {
+  // Three well-separated 8-dim centers.
+  const std::vector<Vector> centers = {
+      {0, 0, 0, 0, 1, 1, 1, 1},
+      {1, 1, 1, 1, 0, 0, 0, 0},
+      {0.5, 0.5, 0.5, 0.5, 0.5, 0.5, 0.5, 0.5},
+  };
+  std::vector<Vector> points;
+  for (const auto& center : centers) {
+    for (int i = 0; i < per_cluster; ++i) {
+      Vector p = center;
+      for (double& x : p) x += rng.normal(0.0, 0.05);
+      points.push_back(std::move(p));
+    }
+  }
+  return points;
+}
+
+TEST(KMeans, RecoversPlantedAssignments) {
+  Rng rng(3);
+  auto points = planted_clusters(20, rng);
+  const auto clustering = kmeans(points, 3, rng);
+  EXPECT_EQ(clustering.k(), 3u);
+
+  // All points planted together must be assigned together.
+  for (int c = 0; c < 3; ++c) {
+    const std::size_t base = static_cast<std::size_t>(c) * 20;
+    for (int i = 1; i < 20; ++i) {
+      EXPECT_EQ(clustering.assignment[base], clustering.assignment[base + static_cast<std::size_t>(i)]);
+    }
+  }
+  EXPECT_LT(clustering.distortion / static_cast<double>(points.size()), 0.1);
+}
+
+TEST(KMeans, SelectKFindsThree) {
+  Rng rng(5);
+  auto points = planted_clusters(25, rng);
+  const auto clustering = kmeans_select_k(points, 6, rng);
+  EXPECT_EQ(clustering.k(), 3u);
+}
+
+TEST(KMeans, SelectKCollapsesHomogeneousData) {
+  Rng rng(7);
+  std::vector<Vector> points;
+  for (int i = 0; i < 40; ++i) {
+    Vector p(8, 0.5);
+    for (double& x : p) x += rng.normal(0.0, 0.02);
+    points.push_back(std::move(p));
+  }
+  const auto clustering = kmeans_select_k(points, 6, rng);
+  EXPECT_EQ(clustering.k(), 1u);
+}
+
+TEST(KMeans, SinglePointAndKEqualsN) {
+  Rng rng(9);
+  std::vector<Vector> points = {{1.0, 2.0}};
+  auto c1 = kmeans(points, 1, rng);
+  EXPECT_EQ(c1.k(), 1u);
+  EXPECT_DOUBLE_EQ(c1.distortion, 0.0);
+
+  points.push_back({5.0, 6.0});
+  auto c2 = kmeans(points, 2, rng);
+  EXPECT_DOUBLE_EQ(c2.distortion, 0.0);
+  EXPECT_NE(c2.assignment[0], c2.assignment[1]);
+}
+
+TEST(KMeans, IdenticalPointsDoNotCrash) {
+  Rng rng(11);
+  std::vector<Vector> points(10, Vector{1.0, 1.0});
+  auto c = kmeans(points, 3, rng);
+  EXPECT_DOUBLE_EQ(c.distortion, 0.0);
+}
+
+TEST(KMeans, WeightsSumToOne) {
+  Rng rng(13);
+  auto points = planted_clusters(10, rng);
+  const auto clustering = kmeans(points, 3, rng);
+  double total = 0;
+  for (double w : clustering.weights()) total += w;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(KMeans, NearestCentroidPrefix) {
+  std::vector<Vector> centroids = {{0, 0, 9, 9}, {1, 1, 0, 0}};
+  // Full vector is closer to #0 only in the suffix; prefix of 2 dims says #1.
+  Vector p{1, 1, 9, 9};
+  EXPECT_EQ(nearest_centroid(centroids, p), 0u);
+  EXPECT_EQ(nearest_centroid_prefix(centroids, p, 2), 1u);
+}
+
+// --- Lupa on synthetic day history ---
+
+DayRecord office_day() {
+  DayRecord day;
+  day.weekday = true;
+  day.busy_fraction.assign(48, 0.02);
+  for (int s = 18; s < 36; ++s) day.busy_fraction[static_cast<std::size_t>(s)] = 0.9;  // 09:00-18:00
+  return day;
+}
+
+DayRecord weekend_day() {
+  DayRecord day;
+  day.weekday = false;
+  day.busy_fraction.assign(48, 0.03);
+  return day;
+}
+
+class LupaFixture : public ::testing::Test {
+ protected:
+  LupaFixture()
+      : machine(NodeId(1), node::MachineSpec{}),
+        lupa(engine, machine, Rng(17)) {}
+
+  void train_weeks(int weeks) {
+    for (int w = 0; w < weeks; ++w) {
+      for (int d = 0; d < 5; ++d) lupa.ingest_day(office_day());
+      for (int d = 0; d < 2; ++d) lupa.ingest_day(weekend_day());
+    }
+    lupa.recluster();
+  }
+
+  sim::Engine engine;
+  node::Machine machine;
+  Lupa lupa;
+};
+
+TEST_F(LupaFixture, DiscoversWorkdayAndWeekendCategories) {
+  train_weeks(4);
+  ASSERT_TRUE(lupa.has_model());
+  EXPECT_EQ(lupa.categories().size(), 2u);
+
+  // One category is weekday-dominant, the other weekend-dominant, with
+  // weights ~5/7 and ~2/7.
+  double weekday_weight = 0;
+  double weekend_weight = 0;
+  for (const auto& cat : lupa.categories()) {
+    if (cat.weekday_fraction > 0.5) {
+      weekday_weight += cat.weight;
+    } else {
+      weekend_weight += cat.weight;
+    }
+  }
+  EXPECT_NEAR(weekday_weight, 5.0 / 7.0, 0.05);
+  EXPECT_NEAR(weekend_weight, 2.0 / 7.0, 0.05);
+}
+
+TEST_F(LupaFixture, PredictsOvernightIdleAndWorkdayBusy) {
+  train_weeks(4);
+  // 20:00: an office machine almost surely stays idle for 2 hours.
+  const SimTime evening = 20 * kHour;
+  EXPECT_GT(lupa.p_idle_through(evening, 2 * kHour), 0.6);
+  // 08:30 on a weekday: the workday is about to start; 4 idle hours are
+  // unlikely (the residual probability is the "absent day" mass).
+  const SimTime morning = 8 * kHour + 30 * kMinute;
+  EXPECT_LT(lupa.p_idle_through(morning, 4 * kHour), 0.25);
+  // Expected idle at 20:00 reaches well into the night; at 08:30 it is
+  // short — and strictly shorter than the evening's.
+  EXPECT_GT(lupa.expected_idle_remaining(evening), 4 * kHour);
+  EXPECT_LT(lupa.expected_idle_remaining(morning), 6 * kHour);
+  EXPECT_LT(lupa.expected_idle_remaining(morning),
+            lupa.expected_idle_remaining(evening));
+}
+
+TEST_F(LupaFixture, NoModelIsPessimistic) {
+  EXPECT_FALSE(lupa.has_model());
+  EXPECT_DOUBLE_EQ(lupa.p_idle_through(0, kHour), 0.0);
+  EXPECT_EQ(lupa.expected_idle_remaining(0), 0);
+}
+
+TEST_F(LupaFixture, PosteriorSumsToOne) {
+  train_weeks(3);
+  const auto posterior = lupa.category_posterior(12 * kHour);
+  double total = 0;
+  for (double w : posterior) total += w;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST_F(LupaFixture, HistoryWindowIsBounded) {
+  LupaOptions options;
+  options.max_history_days = 10;
+  Lupa bounded(engine, machine, Rng(3), options);
+  for (int i = 0; i < 30; ++i) bounded.ingest_day(office_day());
+  EXPECT_EQ(bounded.days_observed(), 10);
+}
+
+TEST_F(LupaFixture, UploadCarriesCategories) {
+  train_weeks(2);
+  const auto upload = lupa.build_upload();
+  EXPECT_EQ(upload.node, NodeId(1));
+  EXPECT_EQ(upload.categories.size(), lupa.categories().size());
+  EXPECT_EQ(upload.days_observed, 14);
+}
+
+// Live sampling: run a real owner process and verify the finalized days
+// reflect its behaviour.
+TEST(LupaLive, SamplesOwnerIntoDayVectors) {
+  sim::Engine engine;
+  node::Machine machine(NodeId(2), node::MachineSpec{});
+  node::OwnerWorkload owner(engine, machine, node::office_worker_profile(),
+                            Rng(5));
+  LupaOptions options;
+  options.recluster_every_days = 2;
+  Lupa lupa(engine, machine, Rng(6), options);
+  owner.start();
+  lupa.start();
+  engine.run_until(10 * kDay);
+
+  EXPECT_GE(lupa.days_observed(), 9);
+  ASSERT_TRUE(lupa.has_model());
+
+  // The learned weekday busy fraction around 10:30 must exceed the one
+  // around 03:00 markedly.
+  double work = 0;
+  double night = 0;
+  for (const auto& cat : lupa.categories()) {
+    if (cat.weekday_fraction > 0.5) {
+      work = cat.centroid[21];   // 10:30
+      night = cat.centroid[6];   // 03:00
+    }
+  }
+  EXPECT_GT(work, night + 0.3);
+}
+
+// --- Gupa ---
+
+TEST(GupaTest, ForecastFromUploadedPattern) {
+  sim::Engine engine;
+  node::Machine machine(NodeId(3), node::MachineSpec{});
+  Lupa lupa(engine, machine, Rng(23));
+  for (int w = 0; w < 4; ++w) {
+    for (int d = 0; d < 5; ++d) lupa.ingest_day(office_day());
+    for (int d = 0; d < 2; ++d) lupa.ingest_day(weekend_day());
+  }
+  lupa.recluster();
+
+  Gupa gupa;
+  EXPECT_FALSE(gupa.has(NodeId(3)));
+  gupa.upload(lupa.build_upload());
+  ASSERT_TRUE(gupa.has(NodeId(3)));
+  EXPECT_EQ(gupa.node_count(), 1u);
+
+  protocol::ForecastRequest request;
+  request.node = NodeId(3);
+  request.at = 20 * kHour;
+  request.horizon = 2 * kHour;
+  auto evening = gupa.forecast(request);
+  EXPECT_TRUE(evening.known);
+
+  request.at = 8 * kHour + 30 * kMinute;
+  request.horizon = 4 * kHour;
+  auto morning = gupa.forecast(request);
+  // Centroid-only prediction (no partial-day evidence) must still order
+  // evening >> morning.
+  EXPECT_GT(evening.p_idle_through, morning.p_idle_through + 0.3);
+  EXPECT_GT(evening.expected_idle_remaining, morning.expected_idle_remaining);
+}
+
+TEST(GupaTest, UnknownNodeForecastsUnknown) {
+  Gupa gupa;
+  protocol::ForecastRequest request;
+  request.node = NodeId(404);
+  request.at = 0;
+  request.horizon = kHour;
+  EXPECT_FALSE(gupa.forecast(request).known);
+}
+
+// Paper §3: categories should map to periods "such as lunch-breaks,
+// nights, holidays, working periods". Holidays are full quiet days cut
+// from an otherwise-busy weekday rhythm; after enough of them, the quiet
+// day-shape must be a discoverable category distinct from workdays.
+TEST(LupaLive, HolidaysFormAQuietCategory) {
+  sim::Engine engine;
+  node::Machine machine(NodeId(4), node::MachineSpec{});
+  auto profile = node::office_worker_profile();
+  profile.holiday_rate = 0.15;  // generous, to gather holidays quickly
+  node::OwnerWorkload owner(engine, machine, profile, Rng(31));
+  LupaOptions options;
+  options.recluster_every_days = 7;
+  Lupa lupa(engine, machine, Rng(32), options);
+  owner.start();
+  lupa.start();
+  engine.run_until(8 * kWeek);
+  lupa.recluster();
+
+  ASSERT_TRUE(lupa.has_model());
+  ASSERT_GE(owner.holidays().size(), 3u);
+
+  // Every *weekday* holiday's day-vector must classify into a category
+  // whose working-hours centroid is quiet; normal weekdays into a busy one.
+  const auto& history = lupa.history();
+  const int first_day = 8 * 7 - static_cast<int>(history.size());
+  std::vector<Vector> centroids;
+  for (const auto& cat : lupa.categories()) centroids.push_back(cat.centroid);
+  auto working_hours_mean = [](const Vector& v) {
+    double sum = 0;
+    for (int s = 18; s < 36; ++s) sum += v[static_cast<std::size_t>(s)];
+    return sum / 18.0;
+  };
+
+  int holiday_quiet = 0;
+  int holiday_total = 0;
+  int workday_busy = 0;
+  int workday_total = 0;
+  for (std::size_t i = 0; i < history.size(); ++i) {
+    const int day = first_day + static_cast<int>(i);
+    if (!history[i].weekday) continue;
+    const bool is_holiday =
+        std::find(owner.holidays().begin(), owner.holidays().end(), day) !=
+        owner.holidays().end();
+    const auto assigned = nearest_centroid(centroids, history[i].busy_fraction);
+    const double busyness = working_hours_mean(centroids[assigned]);
+    if (is_holiday) {
+      ++holiday_total;
+      if (busyness < 0.3) ++holiday_quiet;
+    } else {
+      ++workday_total;
+      if (busyness > 0.4) ++workday_busy;
+    }
+  }
+  ASSERT_GT(holiday_total, 0);
+  ASSERT_GT(workday_total, 0);
+  EXPECT_GT(static_cast<double>(holiday_quiet) / holiday_total, 0.7);
+  EXPECT_GT(static_cast<double>(workday_busy) / workday_total, 0.7);
+}
+
+TEST(GupaTest, ForgetDropsPattern) {
+  Gupa gupa;
+  protocol::UsagePatternUpload upload;
+  upload.node = NodeId(1);
+  upload.categories.push_back({Vector(48, 0.1), 1.0, 1.0});
+  gupa.upload(upload);
+  EXPECT_TRUE(gupa.has(NodeId(1)));
+  gupa.forget(NodeId(1));
+  EXPECT_FALSE(gupa.has(NodeId(1)));
+}
+
+}  // namespace
+}  // namespace integrade::lupa

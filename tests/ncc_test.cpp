@@ -1,0 +1,164 @@
+// NCC sharing policy: idleness definition, grace periods, caps, blackouts.
+#include <gtest/gtest.h>
+
+#include "ncc/ncc.hpp"
+
+namespace integrade::ncc {
+namespace {
+
+node::Machine idle_machine() {
+  node::Machine machine(NodeId(1), node::MachineSpec{});
+  node::OwnerLoad load;
+  load.cpu_fraction = 0.02;
+  machine.set_owner_load(load);
+  return machine;
+}
+
+TEST(NccTest, DefaultPolicyRequiresGracePeriod) {
+  auto machine = idle_machine();
+  Ncc ncc;  // defaults: grace 10 min
+  const SimTime quiet_start = kHour;
+  EXPECT_FALSE(ncc.shareable(machine, quiet_start + 5 * kMinute, quiet_start));
+  EXPECT_TRUE(ncc.shareable(machine, quiet_start + 10 * kMinute, quiet_start));
+  EXPECT_FALSE(ncc.shareable(machine, quiet_start + kHour, std::nullopt));
+}
+
+TEST(NccTest, ExportableCpuRespectsCapAndLeftover) {
+  auto machine = idle_machine();
+  SharingPolicy policy;
+  policy.cpu_export_cap = 0.5;
+  policy.idle_grace = 0;
+  Ncc ncc(policy);
+  // Leftover is 0.98 but the cap is 0.5.
+  EXPECT_DOUBLE_EQ(ncc.exportable_cpu(machine, 0, 0), 0.5);
+
+  policy.cpu_export_cap = 1.0;
+  ncc.set_policy(policy);
+  EXPECT_DOUBLE_EQ(ncc.exportable_cpu(machine, 0, 0), 0.98);
+}
+
+TEST(NccTest, StrictModeExportsNothingWhileOwnerActive) {
+  auto machine = idle_machine();
+  Ncc ncc;
+  EXPECT_DOUBLE_EQ(ncc.exportable_cpu(machine, kHour, std::nullopt), 0.0);
+}
+
+TEST(NccTest, PartialShareModeExportsLeftoverDuringSessions) {
+  node::Machine machine(NodeId(1), node::MachineSpec{});
+  node::OwnerLoad load;
+  load.present = true;
+  load.cpu_fraction = 0.6;
+  machine.set_owner_load(load);
+
+  SharingPolicy policy;
+  policy.require_owner_away = false;
+  policy.cpu_export_cap = 0.8;
+  Ncc ncc(policy);
+  EXPECT_TRUE(ncc.shareable(machine, 0, std::nullopt));
+  EXPECT_NEAR(ncc.exportable_cpu(machine, 0, std::nullopt), 0.4, 1e-9);
+  EXPECT_FALSE(ncc.must_evict(machine, 0));
+}
+
+TEST(NccTest, EvictionOnOwnerReturnIsImmediate) {
+  node::Machine machine(NodeId(1), node::MachineSpec{});
+  Ncc ncc;
+  EXPECT_FALSE(ncc.must_evict(machine, 0));
+  node::OwnerLoad load;
+  load.present = true;
+  machine.set_owner_load(load);
+  EXPECT_TRUE(ncc.must_evict(machine, 0));
+  // CPU spike above threshold triggers too, even without a console session.
+  load.present = false;
+  load.cpu_fraction = 0.5;
+  machine.set_owner_load(load);
+  EXPECT_TRUE(ncc.must_evict(machine, 0));
+}
+
+TEST(NccTest, RamCapAndFreeRamBound) {
+  node::Machine machine(NodeId(1), node::MachineSpec{});  // 256 MiB
+  SharingPolicy policy;
+  policy.ram_export_cap = 0.5;
+  Ncc ncc(policy);
+  EXPECT_EQ(ncc.exportable_ram(machine), 128 * kMiB);
+
+  node::OwnerLoad load;
+  load.ram = 200 * kMiB;  // owner eats most of it
+  machine.set_owner_load(load);
+  EXPECT_EQ(ncc.exportable_ram(machine), 56 * kMiB);
+}
+
+TEST(NccTest, SharingDisabledBeatsEverything) {
+  auto machine = idle_machine();
+  SharingPolicy policy;
+  policy.sharing_enabled = false;
+  Ncc ncc(policy);
+  EXPECT_FALSE(ncc.shareable(machine, kDay, 0));
+  EXPECT_DOUBLE_EQ(ncc.exportable_cpu(machine, kDay, 0), 0.0);
+  EXPECT_TRUE(ncc.must_evict(machine, kDay));
+}
+
+TEST(NccTest, DownMachineNeverShareable) {
+  auto machine = idle_machine();
+  machine.set_up(false);
+  Ncc ncc(dedicated_policy());
+  EXPECT_FALSE(ncc.shareable(machine, kDay, 0));
+  EXPECT_TRUE(ncc.must_evict(machine, kDay));
+}
+
+TEST(BlackoutTest, SimpleWindow) {
+  BlackoutWindow window;
+  window.from_slot = 18;  // Monday 09:00
+  window.to_slot = 36;    // Monday 18:00
+  EXPECT_FALSE(window.contains(8 * kHour));
+  EXPECT_TRUE(window.contains(9 * kHour));
+  EXPECT_TRUE(window.contains(17 * kHour + 59 * kMinute));
+  EXPECT_FALSE(window.contains(18 * kHour));
+  EXPECT_FALSE(window.contains(kDay + 9 * kHour));  // Tuesday: outside
+}
+
+TEST(BlackoutTest, WrappingWindow) {
+  BlackoutWindow window;
+  // Sunday 22:00 through Monday 06:00.
+  window.from_slot = 6 * node::kSlotsPerDay + 44;
+  window.to_slot = 12;
+  EXPECT_TRUE(window.contains(6 * kDay + 23 * kHour));
+  EXPECT_TRUE(window.contains(3 * kHour));  // Monday early
+  EXPECT_FALSE(window.contains(7 * kHour));
+}
+
+TEST(BlackoutTest, PolicyHonoursBlackouts) {
+  auto machine = idle_machine();
+  SharingPolicy policy;
+  policy.idle_grace = 0;
+  BlackoutWindow window;
+  window.from_slot = 0;
+  window.to_slot = node::kSlotsPerDay;  // all Monday
+  policy.blackouts = {window};
+  Ncc ncc(policy);
+
+  EXPECT_FALSE(ncc.shareable(machine, 10 * kHour, 0));          // Monday
+  EXPECT_TRUE(ncc.must_evict(machine, 10 * kHour));
+  EXPECT_TRUE(ncc.shareable(machine, kDay + 10 * kHour, 0));    // Tuesday
+}
+
+TEST(NccTest, DedicatedPolicySharesAlways) {
+  node::Machine machine(NodeId(1), node::MachineSpec{});
+  Ncc ncc(dedicated_policy());
+  EXPECT_TRUE(ncc.shareable(machine, 0, std::nullopt));
+  node::OwnerLoad load;
+  load.present = true;
+  load.cpu_fraction = 0.9;
+  machine.set_owner_load(load);
+  EXPECT_FALSE(ncc.must_evict(machine, 0));
+}
+
+TEST(NccTest, ConservativePolicyIsTighter) {
+  const auto conservative = conservative_policy();
+  const SharingPolicy defaults;
+  EXPECT_LT(conservative.cpu_export_cap, defaults.cpu_export_cap);
+  EXPECT_LT(conservative.ram_export_cap, defaults.ram_export_cap);
+  EXPECT_GT(conservative.idle_grace, defaults.idle_grace);
+}
+
+}  // namespace
+}  // namespace integrade::ncc

@@ -1,0 +1,287 @@
+// ORB: framing, dispatch, request/reply semantics, timeouts, failures.
+#include <gtest/gtest.h>
+
+#include "orb/message.hpp"
+#include "orb/orb.hpp"
+#include "orb/transport.hpp"
+#include "protocol/messages.hpp"
+#include "sim/network.hpp"
+
+namespace integrade::orb {
+namespace {
+
+// A trivial echo servant: "echo" returns its string argument; "add" sums
+// two i32s; "boom" raises a system exception.
+class EchoServant final : public SkeletonBase {
+ public:
+  EchoServant() {
+    register_raw("echo", [](cdr::Reader& r, cdr::Writer& w) {
+      w.write_string(r.read_string());
+      return Status::ok();
+    });
+    register_raw("add", [](cdr::Reader& r, cdr::Writer& w) {
+      const auto a = r.read_i32();
+      const auto b = r.read_i32();
+      w.write_i32(a + b);
+      return Status::ok();
+    });
+    register_raw("boom", [](cdr::Reader&, cdr::Writer&) {
+      return Status(ErrorCode::kInternal, "deliberate failure");
+    });
+  }
+  [[nodiscard]] const char* type_id() const override { return "IDL:test/Echo:1.0"; }
+};
+
+TEST(FrameTest, RequestRoundTrip) {
+  RequestHeader header;
+  header.request_id = RequestId(42);
+  header.object_key = ObjectId(7);
+  header.operation = "echo";
+  std::vector<std::uint8_t> payload{1, 2, 3};
+  auto wire = frame_request(header, payload);
+
+  auto parsed = parse_frame(wire);
+  ASSERT_TRUE(parsed.is_ok());
+  EXPECT_EQ(parsed.value().type, MessageType::kRequest);
+  EXPECT_EQ(parsed.value().request.request_id, RequestId(42));
+  EXPECT_EQ(parsed.value().request.object_key, ObjectId(7));
+  EXPECT_EQ(parsed.value().request.operation, "echo");
+  EXPECT_TRUE(parsed.value().request.response_expected);
+  EXPECT_EQ(parsed.value().payload, payload);
+}
+
+TEST(FrameTest, ReplyRoundTrip) {
+  ReplyHeader header;
+  header.request_id = RequestId(9);
+  header.status = ReplyStatus::kSystemException;
+  header.exception_detail = "bad";
+  auto wire = frame_reply(header, {});
+  auto parsed = parse_frame(wire);
+  ASSERT_TRUE(parsed.is_ok());
+  EXPECT_EQ(parsed.value().type, MessageType::kReply);
+  EXPECT_EQ(parsed.value().reply.status, ReplyStatus::kSystemException);
+  EXPECT_EQ(parsed.value().reply.exception_detail, "bad");
+}
+
+TEST(FrameTest, RejectsBadMagicVersionAndTruncation) {
+  RequestHeader header;
+  header.request_id = RequestId(1);
+  header.object_key = ObjectId(1);
+  header.operation = "x";
+  auto wire = frame_request(header, {});
+
+  auto bad_magic = wire;
+  bad_magic[0] ^= 0xFF;
+  EXPECT_FALSE(parse_frame(bad_magic).is_ok());
+
+  auto bad_version = wire;
+  bad_version[4] = 99;
+  EXPECT_FALSE(parse_frame(bad_version).is_ok());
+
+  auto truncated = wire;
+  truncated.resize(truncated.size() - 3);
+  EXPECT_FALSE(parse_frame(truncated).is_ok());
+
+  EXPECT_FALSE(parse_frame({1, 2, 3}).is_ok());
+}
+
+class OrbPairFixture : public ::testing::Test {
+ protected:
+  OrbPairFixture()
+      : client(1, transport, nullptr), server(2, transport, nullptr) {
+    echo_ref = server.activate(std::make_shared<EchoServant>());
+  }
+
+  DirectTransport transport;
+  Orb client;
+  Orb server;
+  ObjectRef echo_ref;
+};
+
+TEST_F(OrbPairFixture, InvokeReturnsResultSynchronouslyOnDirectTransport) {
+  cdr::Writer args;
+  args.write_i32(20);
+  args.write_i32(22);
+  int result = 0;
+  client.invoke(echo_ref, "add", args.take_buffer(),
+                [&](Result<std::vector<std::uint8_t>> reply) {
+                  ASSERT_TRUE(reply.is_ok());
+                  cdr::Reader r(reply.value());
+                  result = r.read_i32();
+                });
+  EXPECT_EQ(result, 42);
+}
+
+TEST_F(OrbPairFixture, TypedCallHelpers) {
+  bool called = false;
+  // Use a protocol message as a typed payload through the generic helper.
+  protocol::CancelTask request{TaskId(5)};
+  // Register a typed op on a fresh servant.
+  class TypedServant final : public SkeletonBase {
+   public:
+    TypedServant() {
+      register_op<protocol::CancelTask, protocol::CancelTask>(
+          "identity",
+          [](const protocol::CancelTask& c) -> Result<protocol::CancelTask> {
+            return c;
+          });
+    }
+    [[nodiscard]] const char* type_id() const override { return "IDL:test/T:1.0"; }
+  };
+  auto ref = server.activate(std::make_shared<TypedServant>());
+  call<protocol::CancelTask, protocol::CancelTask>(
+      client, ref, "identity", request,
+      [&](Result<protocol::CancelTask> reply) {
+        ASSERT_TRUE(reply.is_ok());
+        EXPECT_EQ(reply.value().task, TaskId(5));
+        called = true;
+      });
+  EXPECT_TRUE(called);
+}
+
+TEST_F(OrbPairFixture, UnknownObjectYieldsNotFound) {
+  ObjectRef bogus = echo_ref;
+  bogus.key = ObjectId(999);
+  Status status;
+  client.invoke(bogus, "echo", {}, [&](Result<std::vector<std::uint8_t>> reply) {
+    status = reply.status();
+  });
+  EXPECT_EQ(status.code(), ErrorCode::kNotFound);
+}
+
+TEST_F(OrbPairFixture, UnknownOperationYieldsInvalidArgument) {
+  Status status;
+  client.invoke(echo_ref, "nope", {}, [&](Result<std::vector<std::uint8_t>> reply) {
+    status = reply.status();
+  });
+  EXPECT_EQ(status.code(), ErrorCode::kInvalidArgument);
+}
+
+TEST_F(OrbPairFixture, ServantExceptionPropagates) {
+  Status status;
+  client.invoke(echo_ref, "boom", {}, [&](Result<std::vector<std::uint8_t>> reply) {
+    status = reply.status();
+  });
+  EXPECT_EQ(status.code(), ErrorCode::kInternal);
+}
+
+TEST_F(OrbPairFixture, NilReferenceFailsFast) {
+  Status status;
+  client.invoke(nil_ref(), "echo", {}, [&](Result<std::vector<std::uint8_t>> reply) {
+    status = reply.status();
+  });
+  EXPECT_EQ(status.code(), ErrorCode::kInvalidArgument);
+}
+
+TEST_F(OrbPairFixture, DeactivatedServantGone) {
+  server.deactivate(echo_ref.key);
+  Status status;
+  client.invoke(echo_ref, "echo", {}, [&](Result<std::vector<std::uint8_t>> reply) {
+    status = reply.status();
+  });
+  EXPECT_EQ(status.code(), ErrorCode::kNotFound);
+}
+
+TEST_F(OrbPairFixture, BlackholedHostFailsWithoutEngine) {
+  transport.set_blackhole(2, true);
+  Status status;
+  client.invoke(echo_ref, "echo", {}, [&](Result<std::vector<std::uint8_t>> reply) {
+    status = reply.status();
+  });
+  // No engine => fail immediately rather than hanging forever.
+  EXPECT_EQ(status.code(), ErrorCode::kUnavailable);
+}
+
+TEST_F(OrbPairFixture, ShutdownFailsPendingAndStopsReceiving) {
+  client.shutdown();
+  Status status;
+  client.invoke(echo_ref, "echo", {}, [&](Result<std::vector<std::uint8_t>> reply) {
+    status = reply.status();
+  });
+  EXPECT_EQ(status.code(), ErrorCode::kUnavailable);
+}
+
+TEST(OrbSimTransport, TimeoutFiresWhenHostDark) {
+  sim::Engine engine;
+  sim::Network network(engine, Rng(3));
+  auto lan = network.add_segment(sim::SegmentSpec{});
+  network.attach(1, lan);
+  network.attach(2, lan);
+  SimNetworkTransport transport(network);
+  Orb client(1, transport, &engine);
+  // Host 2 attached to the network but runs no ORB: requests vanish.
+  ObjectRef dark;
+  dark.host = 2;
+  dark.key = ObjectId(1);
+
+  Status status;
+  bool completed = false;
+  client.invoke(dark, "echo", {},
+                [&](Result<std::vector<std::uint8_t>> reply) {
+                  completed = true;
+                  status = reply.status();
+                },
+                2 * kSecond);
+  engine.run_until(10 * kSecond);
+  EXPECT_TRUE(completed);
+  EXPECT_EQ(status.code(), ErrorCode::kDeadlineExceeded);
+  EXPECT_EQ(client.metrics().counter_value("requests_timed_out"), 1);
+}
+
+TEST(OrbSimTransport, RequestReplyOverSimulatedNetworkTakesLatency) {
+  sim::Engine engine;
+  sim::Network network(engine, Rng(3));
+  network.set_jitter(0.0);
+  auto lan = network.add_segment(sim::SegmentSpec{});
+  network.attach(1, lan);
+  network.attach(2, lan);
+  SimNetworkTransport transport(network);
+  Orb client(1, transport, &engine);
+  Orb server(2, transport, &engine);
+  auto ref = server.activate(std::make_shared<EchoServant>());
+
+  SimTime completed_at = -1;
+  cdr::Writer args;
+  args.write_string("hi");
+  client.invoke(ref, "echo", args.take_buffer(),
+                [&](Result<std::vector<std::uint8_t>> reply) {
+                  ASSERT_TRUE(reply.is_ok());
+                  completed_at = engine.now();
+                });
+  engine.run();
+  // Two one-way latencies at least (200us each by default).
+  EXPECT_GE(completed_at, 400);
+  EXPECT_LT(completed_at, 10 * kMillisecond);
+}
+
+TEST(OrbSimTransport, LateReplyAfterTimeoutIsDiscarded) {
+  sim::Engine engine;
+  sim::Network network(engine, Rng(3));
+  network.set_jitter(0.0);
+  sim::SegmentSpec slow;
+  slow.latency = 10 * kMillisecond;  // round trip 20ms > 15ms deadline
+  auto lan = network.add_segment(slow);
+  network.attach(1, lan);
+  network.attach(2, lan);
+  SimNetworkTransport transport(network);
+  Orb client(1, transport, &engine);
+  Orb server(2, transport, &engine);
+  auto ref = server.activate(std::make_shared<EchoServant>());
+
+  int completions = 0;
+  Status status;
+  cdr::Writer args;
+  args.write_string("hi");
+  client.invoke(ref, "echo", args.take_buffer(),
+                [&](Result<std::vector<std::uint8_t>> reply) {
+                  ++completions;
+                  status = reply.status();
+                },
+                15 * kMillisecond);
+  engine.run();
+  EXPECT_EQ(completions, 1);  // exactly once, with the timeout
+  EXPECT_EQ(status.code(), ErrorCode::kDeadlineExceeded);
+}
+
+}  // namespace
+}  // namespace integrade::orb

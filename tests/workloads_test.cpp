@@ -1,0 +1,101 @@
+// Canned workload builders: population mixes, segment topologies, and the
+// cross-"architecture" portability of checkpoint state.
+#include <gtest/gtest.h>
+
+#include "ckpt/repository.hpp"
+#include "core/workloads.hpp"
+
+namespace integrade::core {
+namespace {
+
+TEST(Workloads, CampusMixCountsAddUp) {
+  CampusMix mix;
+  mix.office_workers = 10;
+  mix.lab_machines = 5;
+  mix.nocturnal = 3;
+  mix.mostly_idle = 2;
+  mix.busy_servers = 1;
+  mix.dedicated = 4;
+  EXPECT_EQ(mix.total(), 25);
+
+  const auto config = campus_cluster(mix, 1);
+  EXPECT_EQ(config.nodes.size(), 25u);
+  int dedicated = 0;
+  for (const auto& node : config.nodes) {
+    if (node.dedicated) ++dedicated;
+    EXPECT_GE(node.spec.cpu_mips, 500.0);
+    EXPECT_LE(node.spec.cpu_mips, 2000.0);
+    EXPECT_GE(node.spec.ram, 128 * kMiB);
+  }
+  EXPECT_EQ(dedicated, 4);
+}
+
+TEST(Workloads, CampusByCountApproximatesProportions) {
+  const auto config = campus_cluster(50, 2);
+  EXPECT_EQ(config.nodes.size(), 50u);
+  // ~2/5 office + ~2/5 lab dominate.
+  int office_like = 0;
+  for (const auto& node : config.nodes) {
+    if (node.profile.name == "office_worker" ||
+        node.profile.name == "student_lab") {
+      ++office_like;
+    }
+  }
+  EXPECT_GE(office_like, 35);
+}
+
+TEST(Workloads, SegmentedClusterAssignsSegments) {
+  const auto config = segmented_cluster(3, 4, 3);
+  EXPECT_EQ(config.segments.size(), 3u);
+  ASSERT_EQ(config.nodes.size(), 12u);
+  for (std::size_t i = 0; i < config.nodes.size(); ++i) {
+    EXPECT_EQ(config.nodes[i].segment, static_cast<int>(i / 4));
+  }
+  EXPECT_DOUBLE_EQ(config.segments[0].bandwidth, 100.0 * 1000 * 1000 / 8);
+  EXPECT_DOUBLE_EQ(config.segments[0].uplink_bandwidth, 10.0 * 1000 * 1000 / 8);
+}
+
+TEST(Workloads, QuietClusterOwnersNeverAppear) {
+  const auto config = quiet_cluster(3, 4);
+  for (const auto& node : config.nodes) {
+    for (double p : node.profile.presence_prob) EXPECT_EQ(p, 0.0);
+    EXPECT_EQ(node.policy.idle_grace, kMinute);
+  }
+}
+
+TEST(Workloads, DeterministicGivenSeed) {
+  const auto a = campus_cluster(20, 7);
+  const auto b = campus_cluster(20, 7);
+  ASSERT_EQ(a.nodes.size(), b.nodes.size());
+  for (std::size_t i = 0; i < a.nodes.size(); ++i) {
+    EXPECT_EQ(a.nodes[i].spec.cpu_mips, b.nodes[i].spec.cpu_mips);
+    EXPECT_EQ(a.nodes[i].spec.ram, b.nodes[i].spec.ram);
+    EXPECT_EQ(a.nodes[i].profile.name, b.nodes[i].profile.name);
+  }
+  const auto c = campus_cluster(20, 8);
+  bool any_difference = false;
+  for (std::size_t i = 0; i < a.nodes.size(); ++i) {
+    if (a.nodes[i].spec.cpu_mips != c.nodes[i].spec.cpu_mips) {
+      any_difference = true;
+    }
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+// The paper requires checkpoints to be "machine and operating system
+// independent": state written by a big-endian node restores on a
+// little-endian one because CDR tags the byte order explicitly.
+TEST(CheckpointPortability, CrossEndianRestore) {
+  const ckpt::SequentialState state{123456.789};
+  for (auto writer_order :
+       {cdr::ByteOrder::kLittleEndian, cdr::ByteOrder::kBigEndian}) {
+    const auto bytes = cdr::encode_message(state, writer_order);
+    const auto restored =
+        cdr::decode_message<ckpt::SequentialState>(bytes, writer_order);
+    ASSERT_TRUE(restored.is_ok());
+    EXPECT_EQ(restored.value(), state);
+  }
+}
+
+}  // namespace
+}  // namespace integrade::core
