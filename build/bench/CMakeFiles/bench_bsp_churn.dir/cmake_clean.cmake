@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_bsp_churn.dir/bench_bsp_churn.cpp.o"
+  "CMakeFiles/bench_bsp_churn.dir/bench_bsp_churn.cpp.o.d"
+  "bench_bsp_churn"
+  "bench_bsp_churn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bsp_churn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

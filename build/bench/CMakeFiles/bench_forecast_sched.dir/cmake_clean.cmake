@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_forecast_sched.dir/bench_forecast_sched.cpp.o"
+  "CMakeFiles/bench_forecast_sched.dir/bench_forecast_sched.cpp.o.d"
+  "bench_forecast_sched"
+  "bench_forecast_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_forecast_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

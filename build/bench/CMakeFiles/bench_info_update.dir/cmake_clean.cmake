@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_info_update.dir/bench_info_update.cpp.o"
+  "CMakeFiles/bench_info_update.dir/bench_info_update.cpp.o.d"
+  "bench_info_update"
+  "bench_info_update.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_info_update.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

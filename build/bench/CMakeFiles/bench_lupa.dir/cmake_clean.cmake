@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lupa.dir/bench_lupa.cpp.o"
+  "CMakeFiles/bench_lupa.dir/bench_lupa.cpp.o.d"
+  "bench_lupa"
+  "bench_lupa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lupa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_orb.dir/bench_orb.cpp.o"
+  "CMakeFiles/bench_orb.dir/bench_orb.cpp.o.d"
+  "bench_orb"
+  "bench_orb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_orb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

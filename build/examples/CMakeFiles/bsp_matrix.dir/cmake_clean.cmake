@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsp_matrix.dir/bsp_matrix.cpp.o"
+  "CMakeFiles/bsp_matrix.dir/bsp_matrix.cpp.o.d"
+  "bsp_matrix"
+  "bsp_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsp_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

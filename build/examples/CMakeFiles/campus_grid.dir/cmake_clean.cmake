@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/campus_grid.dir/campus_grid.cpp.o"
+  "CMakeFiles/campus_grid.dir/campus_grid.cpp.o.d"
+  "campus_grid"
+  "campus_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/campus_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topology_aware.dir/topology_aware.cpp.o"
+  "CMakeFiles/topology_aware.dir/topology_aware.cpp.o.d"
+  "topology_aware"
+  "topology_aware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topology_aware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("cdr")
+subdirs("orb")
+subdirs("services")
+subdirs("security")
+subdirs("sim")
+subdirs("node")
+subdirs("protocol")
+subdirs("lupa")
+subdirs("ncc")
+subdirs("ckpt")
+subdirs("lrm")
+subdirs("grm")
+subdirs("asct")
+subdirs("bsp")
+subdirs("baselines")
+subdirs("core")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ig_asct.dir/asct.cpp.o"
+  "CMakeFiles/ig_asct.dir/asct.cpp.o.d"
+  "libig_asct.a"
+  "libig_asct.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ig_asct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ig_baselines.dir/boinc.cpp.o"
+  "CMakeFiles/ig_baselines.dir/boinc.cpp.o.d"
+  "CMakeFiles/ig_baselines.dir/condor.cpp.o"
+  "CMakeFiles/ig_baselines.dir/condor.cpp.o.d"
+  "libig_baselines.a"
+  "libig_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ig_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

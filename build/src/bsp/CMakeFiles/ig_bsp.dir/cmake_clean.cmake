@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ig_bsp.dir/coordinator.cpp.o"
+  "CMakeFiles/ig_bsp.dir/coordinator.cpp.o.d"
+  "libig_bsp.a"
+  "libig_bsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ig_bsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

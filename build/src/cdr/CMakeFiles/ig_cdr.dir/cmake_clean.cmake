@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ig_cdr.dir/cdr.cpp.o"
+  "CMakeFiles/ig_cdr.dir/cdr.cpp.o.d"
+  "CMakeFiles/ig_cdr.dir/value.cpp.o"
+  "CMakeFiles/ig_cdr.dir/value.cpp.o.d"
+  "libig_cdr.a"
+  "libig_cdr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ig_cdr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

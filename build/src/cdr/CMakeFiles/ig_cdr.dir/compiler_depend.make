@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ig_cdr.
+# This may be replaced when dependencies are built.

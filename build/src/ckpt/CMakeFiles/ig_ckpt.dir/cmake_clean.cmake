@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ig_ckpt.dir/repository.cpp.o"
+  "CMakeFiles/ig_ckpt.dir/repository.cpp.o.d"
+  "libig_ckpt.a"
+  "libig_ckpt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ig_ckpt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ig_common.dir/log.cpp.o"
+  "CMakeFiles/ig_common.dir/log.cpp.o.d"
+  "CMakeFiles/ig_common.dir/rng.cpp.o"
+  "CMakeFiles/ig_common.dir/rng.cpp.o.d"
+  "CMakeFiles/ig_common.dir/stats.cpp.o"
+  "CMakeFiles/ig_common.dir/stats.cpp.o.d"
+  "libig_common.a"
+  "libig_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ig_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

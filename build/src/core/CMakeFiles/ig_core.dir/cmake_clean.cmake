@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ig_core.dir/grid.cpp.o"
+  "CMakeFiles/ig_core.dir/grid.cpp.o.d"
+  "CMakeFiles/ig_core.dir/workloads.cpp.o"
+  "CMakeFiles/ig_core.dir/workloads.cpp.o.d"
+  "libig_core.a"
+  "libig_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ig_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ig_grm.dir/grm.cpp.o"
+  "CMakeFiles/ig_grm.dir/grm.cpp.o.d"
+  "libig_grm.a"
+  "libig_grm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ig_grm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

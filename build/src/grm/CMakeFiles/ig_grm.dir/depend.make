@@ -1,0 +1,2 @@
+# Empty dependencies file for ig_grm.
+# This may be replaced when dependencies are built.

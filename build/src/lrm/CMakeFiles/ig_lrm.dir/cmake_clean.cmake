@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ig_lrm.dir/lrm.cpp.o"
+  "CMakeFiles/ig_lrm.dir/lrm.cpp.o.d"
+  "libig_lrm.a"
+  "libig_lrm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ig_lrm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

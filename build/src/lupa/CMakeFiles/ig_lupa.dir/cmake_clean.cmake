@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ig_lupa.dir/gupa.cpp.o"
+  "CMakeFiles/ig_lupa.dir/gupa.cpp.o.d"
+  "CMakeFiles/ig_lupa.dir/kmeans.cpp.o"
+  "CMakeFiles/ig_lupa.dir/kmeans.cpp.o.d"
+  "CMakeFiles/ig_lupa.dir/lupa.cpp.o"
+  "CMakeFiles/ig_lupa.dir/lupa.cpp.o.d"
+  "libig_lupa.a"
+  "libig_lupa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ig_lupa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

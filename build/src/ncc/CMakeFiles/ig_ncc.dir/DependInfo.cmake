@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ncc/ncc.cpp" "src/ncc/CMakeFiles/ig_ncc.dir/ncc.cpp.o" "gcc" "src/ncc/CMakeFiles/ig_ncc.dir/ncc.cpp.o.d"
+  "/root/repo/src/ncc/policy_parser.cpp" "src/ncc/CMakeFiles/ig_ncc.dir/policy_parser.cpp.o" "gcc" "src/ncc/CMakeFiles/ig_ncc.dir/policy_parser.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ig_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/node/CMakeFiles/ig_node.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ig_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ig_ncc.dir/ncc.cpp.o"
+  "CMakeFiles/ig_ncc.dir/ncc.cpp.o.d"
+  "CMakeFiles/ig_ncc.dir/policy_parser.cpp.o"
+  "CMakeFiles/ig_ncc.dir/policy_parser.cpp.o.d"
+  "libig_ncc.a"
+  "libig_ncc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ig_ncc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

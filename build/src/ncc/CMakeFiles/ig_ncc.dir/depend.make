@@ -1,0 +1,2 @@
+# Empty dependencies file for ig_ncc.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/node/machine.cpp" "src/node/CMakeFiles/ig_node.dir/machine.cpp.o" "gcc" "src/node/CMakeFiles/ig_node.dir/machine.cpp.o.d"
+  "/root/repo/src/node/owner.cpp" "src/node/CMakeFiles/ig_node.dir/owner.cpp.o" "gcc" "src/node/CMakeFiles/ig_node.dir/owner.cpp.o.d"
+  "/root/repo/src/node/usage_profile.cpp" "src/node/CMakeFiles/ig_node.dir/usage_profile.cpp.o" "gcc" "src/node/CMakeFiles/ig_node.dir/usage_profile.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ig_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ig_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ig_node.dir/machine.cpp.o"
+  "CMakeFiles/ig_node.dir/machine.cpp.o.d"
+  "CMakeFiles/ig_node.dir/owner.cpp.o"
+  "CMakeFiles/ig_node.dir/owner.cpp.o.d"
+  "CMakeFiles/ig_node.dir/usage_profile.cpp.o"
+  "CMakeFiles/ig_node.dir/usage_profile.cpp.o.d"
+  "libig_node.a"
+  "libig_node.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ig_node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

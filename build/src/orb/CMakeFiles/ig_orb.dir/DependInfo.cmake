@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/orb/message.cpp" "src/orb/CMakeFiles/ig_orb.dir/message.cpp.o" "gcc" "src/orb/CMakeFiles/ig_orb.dir/message.cpp.o.d"
+  "/root/repo/src/orb/orb.cpp" "src/orb/CMakeFiles/ig_orb.dir/orb.cpp.o" "gcc" "src/orb/CMakeFiles/ig_orb.dir/orb.cpp.o.d"
+  "/root/repo/src/orb/transport.cpp" "src/orb/CMakeFiles/ig_orb.dir/transport.cpp.o" "gcc" "src/orb/CMakeFiles/ig_orb.dir/transport.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ig_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/cdr/CMakeFiles/ig_cdr.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ig_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ig_orb.dir/message.cpp.o"
+  "CMakeFiles/ig_orb.dir/message.cpp.o.d"
+  "CMakeFiles/ig_orb.dir/orb.cpp.o"
+  "CMakeFiles/ig_orb.dir/orb.cpp.o.d"
+  "CMakeFiles/ig_orb.dir/transport.cpp.o"
+  "CMakeFiles/ig_orb.dir/transport.cpp.o.d"
+  "libig_orb.a"
+  "libig_orb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ig_orb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

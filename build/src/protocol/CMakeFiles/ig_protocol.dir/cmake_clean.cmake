@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ig_protocol.dir/messages.cpp.o"
+  "CMakeFiles/ig_protocol.dir/messages.cpp.o.d"
+  "CMakeFiles/ig_protocol.dir/properties.cpp.o"
+  "CMakeFiles/ig_protocol.dir/properties.cpp.o.d"
+  "libig_protocol.a"
+  "libig_protocol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ig_protocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ig_security.dir/auth.cpp.o"
+  "CMakeFiles/ig_security.dir/auth.cpp.o.d"
+  "CMakeFiles/ig_security.dir/hmac.cpp.o"
+  "CMakeFiles/ig_security.dir/hmac.cpp.o.d"
+  "CMakeFiles/ig_security.dir/sandbox.cpp.o"
+  "CMakeFiles/ig_security.dir/sandbox.cpp.o.d"
+  "CMakeFiles/ig_security.dir/sha256.cpp.o"
+  "CMakeFiles/ig_security.dir/sha256.cpp.o.d"
+  "libig_security.a"
+  "libig_security.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ig_security.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/services/constraint.cpp" "src/services/CMakeFiles/ig_services.dir/constraint.cpp.o" "gcc" "src/services/CMakeFiles/ig_services.dir/constraint.cpp.o.d"
+  "/root/repo/src/services/naming.cpp" "src/services/CMakeFiles/ig_services.dir/naming.cpp.o" "gcc" "src/services/CMakeFiles/ig_services.dir/naming.cpp.o.d"
+  "/root/repo/src/services/property.cpp" "src/services/CMakeFiles/ig_services.dir/property.cpp.o" "gcc" "src/services/CMakeFiles/ig_services.dir/property.cpp.o.d"
+  "/root/repo/src/services/servants.cpp" "src/services/CMakeFiles/ig_services.dir/servants.cpp.o" "gcc" "src/services/CMakeFiles/ig_services.dir/servants.cpp.o.d"
+  "/root/repo/src/services/trader.cpp" "src/services/CMakeFiles/ig_services.dir/trader.cpp.o" "gcc" "src/services/CMakeFiles/ig_services.dir/trader.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ig_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/cdr/CMakeFiles/ig_cdr.dir/DependInfo.cmake"
+  "/root/repo/build/src/orb/CMakeFiles/ig_orb.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ig_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ig_services.dir/constraint.cpp.o"
+  "CMakeFiles/ig_services.dir/constraint.cpp.o.d"
+  "CMakeFiles/ig_services.dir/naming.cpp.o"
+  "CMakeFiles/ig_services.dir/naming.cpp.o.d"
+  "CMakeFiles/ig_services.dir/property.cpp.o"
+  "CMakeFiles/ig_services.dir/property.cpp.o.d"
+  "CMakeFiles/ig_services.dir/servants.cpp.o"
+  "CMakeFiles/ig_services.dir/servants.cpp.o.d"
+  "CMakeFiles/ig_services.dir/trader.cpp.o"
+  "CMakeFiles/ig_services.dir/trader.cpp.o.d"
+  "libig_services.a"
+  "libig_services.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ig_services.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

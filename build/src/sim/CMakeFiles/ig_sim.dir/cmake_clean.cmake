@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ig_sim.dir/engine.cpp.o"
+  "CMakeFiles/ig_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/ig_sim.dir/network.cpp.o"
+  "CMakeFiles/ig_sim.dir/network.cpp.o.d"
+  "libig_sim.a"
+  "libig_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ig_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/asct_test.cpp" "tests/CMakeFiles/asct_test.dir/asct_test.cpp.o" "gcc" "tests/CMakeFiles/asct_test.dir/asct_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ig_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/asct/CMakeFiles/ig_asct.dir/DependInfo.cmake"
+  "/root/repo/build/src/bsp/CMakeFiles/ig_bsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/grm/CMakeFiles/ig_grm.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/ig_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/lrm/CMakeFiles/ig_lrm.dir/DependInfo.cmake"
+  "/root/repo/build/src/ncc/CMakeFiles/ig_ncc.dir/DependInfo.cmake"
+  "/root/repo/build/src/security/CMakeFiles/ig_security.dir/DependInfo.cmake"
+  "/root/repo/build/src/lupa/CMakeFiles/ig_lupa.dir/DependInfo.cmake"
+  "/root/repo/build/src/protocol/CMakeFiles/ig_protocol.dir/DependInfo.cmake"
+  "/root/repo/build/src/services/CMakeFiles/ig_services.dir/DependInfo.cmake"
+  "/root/repo/build/src/orb/CMakeFiles/ig_orb.dir/DependInfo.cmake"
+  "/root/repo/build/src/node/CMakeFiles/ig_node.dir/DependInfo.cmake"
+  "/root/repo/build/src/ckpt/CMakeFiles/ig_ckpt.dir/DependInfo.cmake"
+  "/root/repo/build/src/cdr/CMakeFiles/ig_cdr.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ig_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ig_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

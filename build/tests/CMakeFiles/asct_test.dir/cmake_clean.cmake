@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asct_test.dir/asct_test.cpp.o"
+  "CMakeFiles/asct_test.dir/asct_test.cpp.o.d"
+  "asct_test"
+  "asct_test.pdb"
+  "asct_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asct_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

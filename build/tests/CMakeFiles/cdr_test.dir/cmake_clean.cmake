@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdr_test.dir/cdr_test.cpp.o"
+  "CMakeFiles/cdr_test.dir/cdr_test.cpp.o.d"
+  "cdr_test"
+  "cdr_test.pdb"
+  "cdr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

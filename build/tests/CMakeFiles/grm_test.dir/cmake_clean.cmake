@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grm_test.dir/grm_test.cpp.o"
+  "CMakeFiles/grm_test.dir/grm_test.cpp.o.d"
+  "grm_test"
+  "grm_test.pdb"
+  "grm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lrm_property_test.dir/lrm_property_test.cpp.o"
+  "CMakeFiles/lrm_property_test.dir/lrm_property_test.cpp.o.d"
+  "lrm_property_test"
+  "lrm_property_test.pdb"
+  "lrm_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lrm_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lrm_test.dir/lrm_test.cpp.o"
+  "CMakeFiles/lrm_test.dir/lrm_test.cpp.o.d"
+  "lrm_test"
+  "lrm_test.pdb"
+  "lrm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lrm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

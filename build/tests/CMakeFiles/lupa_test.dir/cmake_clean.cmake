@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lupa_test.dir/lupa_test.cpp.o"
+  "CMakeFiles/lupa_test.dir/lupa_test.cpp.o.d"
+  "lupa_test"
+  "lupa_test.pdb"
+  "lupa_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lupa_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ncc_test.dir/ncc_test.cpp.o"
+  "CMakeFiles/ncc_test.dir/ncc_test.cpp.o.d"
+  "ncc_test"
+  "ncc_test.pdb"
+  "ncc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ncc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

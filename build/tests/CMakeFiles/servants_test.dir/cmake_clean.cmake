@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/servants_test.dir/servants_test.cpp.o"
+  "CMakeFiles/servants_test.dir/servants_test.cpp.o.d"
+  "servants_test"
+  "servants_test.pdb"
+  "servants_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/servants_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
