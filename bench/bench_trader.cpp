@@ -1,0 +1,297 @@
+// P1 — Trader hot paths: indexed store vs the pre-PR linear scan.
+//
+// The GRM "relies on the Trading Service to maintain the information about
+// resources", so Trader query/modify throughput bounds how large a grid one
+// GRM can serve. This bench loads the Trader with 1k/10k/100k node offers
+// and measures, at each size:
+//
+//   export      offers/sec registered (index maintenance included)
+//   heartbeat   offers/sec refreshed in place vs rebuilt (Information
+//               Update Protocol's per-period cost)
+//   q-first8    queries/sec, selective constraint, `first` preference,
+//               max_matches=8 — the early-exit path
+//   q-max8      queries/sec, selective constraint, `max` preference,
+//               max_matches=8 — full bucket scan + top-k rank
+//   provider    find_by_provider lookups/sec (hash index vs full scan)
+//
+// Each query workload runs through both the indexed path (string query with
+// the compiled-expression LRU, as production callers use it) and the linear
+// reference `query_linear` with a parse per call, exactly the pre-PR
+// Trader::query. Results are asserted equal before timing. The table prints
+// the indexed/linear ratio; the same numbers are written as JSON (argv[1],
+// default BENCH_trader.json) for the perf trajectory.
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "protocol/properties.hpp"
+#include "services/trader.hpp"
+
+// Keep the correctness gates alive in Release builds (assert is compiled
+// out under NDEBUG).
+#define BENCH_CHECK(cond)                                            \
+  do {                                                               \
+    if (!(cond)) {                                                   \
+      std::fprintf(stderr, "BENCH_CHECK failed at %s:%d: %s\n",      \
+                   __FILE__, __LINE__, #cond);                       \
+      return {};                                                     \
+    }                                                                \
+  } while (0)
+
+using namespace integrade;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+protocol::NodeStatus synth_status(std::uint64_t i, Rng& rng) {
+  protocol::NodeStatus s;
+  s.node = NodeId(i);
+  s.hostname = "host-" + std::to_string(i);
+  s.cpu_mips = rng.uniform(500.0, 3000.0);
+  s.ram_total = static_cast<Bytes>(rng.uniform(512, 4096)) * kMiB;
+  s.os = "linux";
+  s.arch = "x86";
+  s.platforms = {"linux-x86"};
+  s.segment = static_cast<std::int32_t>(i % 16);
+  s.owner_cpu = rng.uniform(0.0, 1.0);
+  s.exportable_cpu = rng.uniform(0.0, 1.0);
+  s.free_ram = static_cast<Bytes>(rng.uniform(64, 2048)) * kMiB;
+  s.owner_present = rng.bernoulli(0.4);
+  s.shareable = rng.bernoulli(0.7);
+  return s;
+}
+
+orb::ObjectRef lrm_ref(std::uint64_t i) {
+  orb::ObjectRef ref;
+  ref.host = i;
+  ref.key = ObjectId(i);
+  ref.type_id = "IDL:integrade/Lrm:1.0";
+  return ref;
+}
+
+struct SizeResult {
+  std::size_t offers;
+  double export_per_sec;
+  double heartbeat_rebuild_per_sec;  // modify(to_properties(...)) — pre-PR
+  double heartbeat_refresh_per_sec;  // refresh(update_properties) — indexed
+  double qfirst_linear_per_sec;
+  double qfirst_indexed_per_sec;
+  double qmax_linear_per_sec;
+  double qmax_indexed_per_sec;
+  double provider_linear_per_sec;
+  double provider_indexed_per_sec;
+};
+
+/// Pre-PR provider lookup: full scan of every offer of every type.
+const services::ServiceOffer* find_by_provider_linear(
+    const services::Trader& trader, const std::vector<services::OfferId>& ids,
+    const orb::ObjectRef& provider) {
+  for (const services::OfferId id : ids) {
+    const auto* offer = trader.lookup(id);
+    if (offer != nullptr && offer->provider == provider) return offer;
+  }
+  return nullptr;
+}
+
+SizeResult run_size(std::size_t n) {
+  // The selective constraint the GRM's scheduler shape produces: a boolean
+  // gate plus a numeric threshold that ~5% of offers pass.
+  const std::string constraint =
+      "shareable == true and exportable_mips > 2500";
+  const std::string pref_first = "first";
+  const std::string pref_max = "max exportable_mips";
+
+  Rng rng(4242);
+  services::Trader trader;
+  std::vector<protocol::NodeStatus> statuses;
+  statuses.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) statuses.push_back(synth_status(i, rng));
+
+  SizeResult out{};
+  out.offers = n;
+
+  // --- export ---
+  std::vector<services::OfferId> ids;
+  ids.reserve(n);
+  auto t0 = Clock::now();
+  for (std::size_t i = 0; i < n; ++i) {
+    ids.push_back(trader.export_offer(protocol::kNodeServiceType, lrm_ref(i),
+                                      protocol::to_properties(statuses[i]),
+                                      0));
+  }
+  out.export_per_sec = static_cast<double>(n) / seconds_since(t0);
+
+  // --- heartbeat refresh: rebuild vs in place ---
+  const std::size_t heartbeat_rounds = n >= 100000 ? 2 : 20;
+  t0 = Clock::now();
+  for (std::size_t round = 0; round < heartbeat_rounds; ++round) {
+    for (std::size_t i = 0; i < n; ++i) {
+      (void)trader.modify(ids[i], protocol::to_properties(statuses[i]),
+                          static_cast<SimTime>(round));
+    }
+  }
+  out.heartbeat_rebuild_per_sec =
+      static_cast<double>(n * heartbeat_rounds) / seconds_since(t0);
+  t0 = Clock::now();
+  for (std::size_t round = 0; round < heartbeat_rounds; ++round) {
+    for (std::size_t i = 0; i < n; ++i) {
+      (void)trader.refresh(
+          ids[i],
+          [&](services::PropertySet& props) {
+            protocol::update_properties(statuses[i], props);
+          },
+          static_cast<SimTime>(round));
+    }
+  }
+  out.heartbeat_refresh_per_sec =
+      static_cast<double>(n * heartbeat_rounds) / seconds_since(t0);
+
+  // --- queries ---
+  auto compiled_constraint = services::Constraint::parse(constraint);
+  BENCH_CHECK(compiled_constraint.is_ok());
+  const std::size_t query_rounds = n >= 100000 ? 40 : 400;
+
+  const auto run_queries = [&](const std::string& pref, double& linear_qps,
+                               double& indexed_qps) {
+    auto compiled_pref = services::Preference::parse(pref);
+    if (!compiled_pref.is_ok()) std::abort();
+    // Equivalence gate before timing: indexed results must be byte-identical.
+    const auto expect = trader.query_linear(protocol::kNodeServiceType,
+                                            compiled_constraint.value(),
+                                            compiled_pref.value(), 8, nullptr);
+    const auto got =
+        trader.query(protocol::kNodeServiceType, constraint, pref, 8, nullptr);
+    if (!got.is_ok() || !(got.value() == expect)) {
+      std::fprintf(stderr, "equivalence violation (pref %s)\n", pref.c_str());
+      std::abort();
+    }
+    (void)expect;
+
+    auto start = Clock::now();
+    std::size_t sink = 0;
+    for (std::size_t q = 0; q < query_rounds; ++q) {
+      // Pre-PR string query: parse both expressions, then scan the full map.
+      auto c = services::Constraint::parse(constraint);
+      auto p = services::Preference::parse(pref);
+      sink += trader
+                  .query_linear(protocol::kNodeServiceType, c.value(),
+                                p.value(), 8, nullptr)
+                  .size();
+    }
+    linear_qps = static_cast<double>(query_rounds) / seconds_since(start);
+    start = Clock::now();
+    for (std::size_t q = 0; q < query_rounds; ++q) {
+      sink += trader.query(protocol::kNodeServiceType, constraint, pref, 8,
+                           nullptr)
+                  .value()
+                  .size();
+    }
+    indexed_qps = static_cast<double>(query_rounds) / seconds_since(start);
+    if (sink == 0) std::printf("(no matches?)\n");
+  };
+  run_queries(pref_first, out.qfirst_linear_per_sec, out.qfirst_indexed_per_sec);
+  run_queries(pref_max, out.qmax_linear_per_sec, out.qmax_indexed_per_sec);
+
+  // --- provider lookup (Information Update Protocol correlation) ---
+  const std::size_t lookups = n >= 100000 ? 200 : 2000;
+  std::vector<std::uint64_t> probe;
+  probe.reserve(lookups);
+  for (std::size_t i = 0; i < lookups; ++i) {
+    probe.push_back(static_cast<std::uint64_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(n) - 1)));
+  }
+  t0 = Clock::now();
+  std::size_t hits = 0;
+  for (const auto i : probe) {
+    hits += find_by_provider_linear(trader, ids, lrm_ref(i)) != nullptr;
+  }
+  out.provider_linear_per_sec = static_cast<double>(lookups) / seconds_since(t0);
+  t0 = Clock::now();
+  for (const auto i : probe) {
+    hits += trader.find_by_provider(protocol::kNodeServiceType, lrm_ref(i)) !=
+            nullptr;
+  }
+  out.provider_indexed_per_sec =
+      static_cast<double>(lookups) / seconds_since(t0);
+  if (hits != 2 * lookups) std::abort();
+  (void)hits;
+
+  if (!trader.check_invariants().is_ok()) std::abort();
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::banner("P1", "Trader hot paths: indexed store vs linear scan",
+                "resource-information lookup is the scalability bottleneck "
+                "of a directory-based grid");
+
+  bench::Table table({"offers", "export/s", "hbeat/s", "hb-x", "qfirst8/s",
+                      "qf-x", "qmax8/s", "qm-x", "provider/s", "pv-x"});
+  std::vector<SizeResult> results;
+  for (const std::size_t n : {std::size_t{1000}, std::size_t{10000},
+                              std::size_t{100000}}) {
+    const auto r = run_size(n);
+    results.push_back(r);
+    table.row({bench::fmt("%zu", r.offers),
+               bench::fmt("%.0f", r.export_per_sec),
+               bench::fmt("%.0f", r.heartbeat_refresh_per_sec),
+               bench::fmt("%.2f",
+                          r.heartbeat_refresh_per_sec /
+                              r.heartbeat_rebuild_per_sec),
+               bench::fmt("%.0f", r.qfirst_indexed_per_sec),
+               bench::fmt("%.1f",
+                          r.qfirst_indexed_per_sec / r.qfirst_linear_per_sec),
+               bench::fmt("%.0f", r.qmax_indexed_per_sec),
+               bench::fmt("%.2f", r.qmax_indexed_per_sec / r.qmax_linear_per_sec),
+               bench::fmt("%.0f", r.provider_indexed_per_sec),
+               bench::fmt("%.0f",
+                          r.provider_indexed_per_sec /
+                              r.provider_linear_per_sec)});
+  }
+
+  const char* json_path = argc > 1 ? argv[1] : "BENCH_trader.json";
+  if (FILE* f = std::fopen(json_path, "w")) {
+    std::fprintf(f, "{\n  \"bench\": \"trader_hot_paths\",\n  \"sizes\": [\n");
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const auto& r = results[i];
+      std::fprintf(
+          f,
+          "    {\"offers\": %zu, \"export_per_sec\": %.0f,\n"
+          "     \"heartbeat_rebuild_per_sec\": %.0f, "
+          "\"heartbeat_refresh_per_sec\": %.0f,\n"
+          "     \"query_first8_linear_per_sec\": %.1f, "
+          "\"query_first8_indexed_per_sec\": %.1f,\n"
+          "     \"query_max8_linear_per_sec\": %.1f, "
+          "\"query_max8_indexed_per_sec\": %.1f,\n"
+          "     \"provider_linear_per_sec\": %.0f, "
+          "\"provider_indexed_per_sec\": %.0f}%s\n",
+          r.offers, r.export_per_sec, r.heartbeat_rebuild_per_sec,
+          r.heartbeat_refresh_per_sec, r.qfirst_linear_per_sec,
+          r.qfirst_indexed_per_sec, r.qmax_linear_per_sec,
+          r.qmax_indexed_per_sec, r.provider_linear_per_sec,
+          r.provider_indexed_per_sec, i + 1 < results.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("\nwrote %s\n", json_path);
+  } else {
+    std::fprintf(stderr, "\nwarning: cannot write %s\n", json_path);
+  }
+
+  // Acceptance gate: >= 5x queries/sec at 10k offers for the selective
+  // early-exit query; equivalence was asserted before every timing loop.
+  const auto& mid = results[1];
+  const double gate = mid.qfirst_indexed_per_sec / mid.qfirst_linear_per_sec;
+  std::printf("selective query speedup at 10k offers: %.1fx\n", gate);
+  std::printf("reproduction: %s\n", gate >= 5.0 ? "HOLDS" : "CHECK");
+  return gate >= 5.0 ? 0 : 1;
+}

@@ -138,8 +138,14 @@ void Grm::on_update(const protocol::NodeStatus& status) {
   }
   it->second.status = status;
   it->second.last_update = engine_.now();
-  (void)trader_.modify(it->second.offer, protocol::to_properties(status),
-                       engine_.now());
+  // Refresh the existing offer in place: every LRM heartbeat lands here, so
+  // rebuilding the property set from scratch each period is pure churn.
+  (void)trader_.refresh(
+      it->second.offer,
+      [&status](services::PropertySet& props) {
+        protocol::update_properties(status, props);
+      },
+      engine_.now());
 }
 
 void Grm::sweep_stale_offers() {
@@ -335,13 +341,9 @@ std::vector<const services::ServiceOffer*> Grm::candidates_for(
     const TaskRecord& task) {
   const AppRecord& app = apps_.at(task.app);
 
-  auto constraint = services::Constraint::parse(build_constraint(task));
-  if (!constraint.is_ok()) return {};  // validated at submit; belt and braces
   const std::string& pref_src = app.spec.requirements.preference.empty()
                                     ? options_.default_preference
                                     : app.spec.requirements.preference;
-  auto preference = services::Preference::parse(pref_src);
-  if (!preference.is_ok()) return {};
 
   // With forecasting on, pull a deep candidate list: the safe-but-ordinary
   // machines the forecast favours would otherwise be truncated away by the
@@ -349,9 +351,12 @@ std::vector<const services::ServiceOffer*> Grm::candidates_for(
   const std::size_t pool_depth =
       static_cast<std::size_t>(options_.max_candidates_per_wave) *
       (options_.use_forecast && gupa_ != nullptr ? 16 : 3);
-  auto offers = trader_.query_compiled(protocol::kNodeServiceType,
-                                       constraint.value(), preference.value(),
-                                       pool_depth, &rng_);
+  // The string query path memoizes compiled expressions in the Trader's LRU,
+  // so repeat waves of the same task shape skip the parse entirely.
+  auto query = trader_.query(protocol::kNodeServiceType, build_constraint(task),
+                             pref_src, pool_depth, &rng_);
+  if (!query.is_ok()) return {};  // validated at submit; belt and braces
+  auto offers = std::move(query).value();
 
   if (options_.use_forecast && gupa_ != nullptr && !offers.empty()) {
     // Re-rank by the probability the node stays idle long enough. The
@@ -481,9 +486,12 @@ void Grm::continue_wave(const std::shared_ptr<Wave>& wave) {
             node_it->second.status.free_ram = reply.value().free_ram;
             node_it->second.status.shareable =
                 reply.value().exportable_cpu > 0.0;
-            (void)trader_.modify(node_it->second.offer,
-                                 protocol::to_properties(node_it->second.status),
-                                 engine_.now());
+            (void)trader_.refresh(
+                node_it->second.offer,
+                [&node_it](services::PropertySet& props) {
+                  protocol::update_properties(node_it->second.status, props);
+                },
+                engine_.now());
           }
           continue_wave(wave);
           return;
@@ -551,9 +559,12 @@ void Grm::task_placed(TaskId id, const Placement& placement) {
     node_it->second.status.exportable_cpu = std::max(
         0.0, node_it->second.status.exportable_cpu - options_.cpu_request);
     node_it->second.status.running_tasks += 1;
-    (void)trader_.modify(node_it->second.offer,
-                         protocol::to_properties(node_it->second.status),
-                         engine_.now());
+    (void)trader_.refresh(
+        node_it->second.offer,
+        [&node_it](services::PropertySet& props) {
+          protocol::update_properties(node_it->second.status, props);
+        },
+        engine_.now());
   }
 
   if (app.spec.kind == AppKind::kBsp) {

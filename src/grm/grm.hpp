@@ -26,6 +26,7 @@
 #include <memory>
 #include <optional>
 #include <set>
+#include <unordered_map>
 #include <vector>
 
 #include "ckpt/repository.hpp"
@@ -204,7 +205,10 @@ class Grm {
   sim::Network* network_ = nullptr;
 
   services::Trader trader_;
-  std::map<NodeId, NodeRecord> nodes_;
+  /// Hash-keyed: the heartbeat path hits this once per update and nothing
+  /// depends on ordered iteration (sweeps, summaries, and capacity counts
+  /// are all order-insensitive).
+  std::unordered_map<NodeId, NodeRecord> nodes_;
   std::map<AppId, AppRecord> apps_;
   std::map<TaskId, TaskRecord> tasks_;
   std::deque<TaskId> queue_;
@@ -217,7 +221,7 @@ class Grm {
 
   /// Reserve requests currently in flight per node: concurrent waves use
   /// this to spread across candidates instead of stampeding the best one.
-  std::map<NodeId, int> inflight_;
+  std::unordered_map<NodeId, int> inflight_;
 
   sim::PeriodicTimer sweep_timer_;
   sim::PeriodicTimer summary_timer_;

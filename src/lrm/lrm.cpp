@@ -119,23 +119,28 @@ void Lrm::stop() {
 // Status & information updates
 // ---------------------------------------------------------------------------
 
-protocol::NodeStatus Lrm::current_status() const {
+const protocol::NodeStatus& Lrm::current_status() const {
   const SimTime now = engine_.now();
-  const auto& spec = machine_.spec();
 
-  protocol::NodeStatus status;
-  status.node = machine_.id();
-  status.lrm = self_ref_;
-  status.hostname = spec.hostname;
-  status.cpu_mips = spec.cpu_mips;
-  status.ram_total = spec.ram;
-  status.disk_total = spec.disk;
-  status.os = spec.os;
-  status.arch = spec.arch;
-  status.platforms = spec.platforms;
+  protocol::NodeStatus& status = status_scratch_;
+  if (!status_scratch_primed_) {
+    // Identity fields never change after start; fill them once so the
+    // per-heartbeat refresh below stays allocation-free.
+    const auto& spec = machine_.spec();
+    status.node = machine_.id();
+    status.hostname = spec.hostname;
+    status.cpu_mips = spec.cpu_mips;
+    status.ram_total = spec.ram;
+    status.disk_total = spec.disk;
+    status.os = spec.os;
+    status.arch = spec.arch;
+    status.platforms = spec.platforms;
+    status_scratch_primed_ = true;
+  }
   status.segment = network_ != nullptr && network_->attached(orb_.address())
                        ? network_->segment_of(orb_.address())
                        : 0;
+  status.lrm = self_ref_;
   status.dedicated = !options_.run_lupa && !ncc_.policy().require_owner_away;
 
   status.owner_cpu = machine_.owner_load().cpu_fraction;

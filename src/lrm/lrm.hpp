@@ -74,7 +74,12 @@ class Lrm {
   [[nodiscard]] lupa::Lupa* lupa() { return lupa_.get(); }
   [[nodiscard]] MetricRegistry& metrics() { return metrics_; }
 
-  [[nodiscard]] protocol::NodeStatus current_status() const;
+  /// Current node status, refreshed on every call. Returns a reference to an
+  /// internal scratch record: the static identity fields (hostname, OS,
+  /// platform list) are filled once and only the dynamic load fields are
+  /// rewritten per call, so the heartbeat path allocates nothing. Copy the
+  /// result to keep it past the next call.
+  [[nodiscard]] const protocol::NodeStatus& current_status() const;
   [[nodiscard]] int running_task_count() const {
     return static_cast<int>(tasks_.size());
   }
@@ -161,6 +166,12 @@ class Lrm {
   bool started_ = false;
 
   MInstr total_work_done_ = 0;
+
+  /// Scratch record returned by current_status(); static fields are filled
+  /// on first use, dynamic fields on every call.
+  mutable protocol::NodeStatus status_scratch_;
+  mutable bool status_scratch_primed_ = false;
+
   MetricRegistry metrics_;
 };
 

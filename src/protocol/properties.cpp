@@ -10,6 +10,11 @@ std::int64_t to_mb(Bytes b) { return b / kMiB; }
 
 services::PropertySet to_properties(const NodeStatus& s) {
   services::PropertySet props;
+  update_properties(s, props);
+  return props;
+}
+
+void update_properties(const NodeStatus& s, services::PropertySet& props) {
   props.set(kPropNodeId, cdr::Value(static_cast<std::int64_t>(s.node.value)));
   props.set(kPropHostname, cdr::Value(s.hostname));
   props.set(kPropCpuMips, cdr::Value(s.cpu_mips));
@@ -33,7 +38,6 @@ services::PropertySet to_properties(const NodeStatus& s) {
   props.set(kPropRunningTasks,
             cdr::Value(static_cast<std::int64_t>(s.running_tasks)));
   props.set(kPropTimestamp, cdr::Value(static_cast<std::int64_t>(s.timestamp)));
-  return props;
 }
 
 NodeStatus from_properties(const services::PropertySet& props) {

@@ -37,6 +37,12 @@ inline constexpr const char* kPropTimestamp = "timestamp_us";
 
 services::PropertySet to_properties(const NodeStatus& status);
 
+/// Overwrite `props` in place with `status`'s fields. Equivalent to
+/// `props = to_properties(status)` but reuses the set's existing map nodes
+/// and key strings — the allocation-light path the Information Update
+/// Protocol takes for every heartbeat refresh of an existing offer.
+void update_properties(const NodeStatus& status, services::PropertySet& props);
+
 /// Reconstruct the scheduling-relevant fields from a property set. Fields
 /// not represented in the schema (e.g. the LRM object ref, which the Trader
 /// keeps as the offer's provider) are left defaulted.

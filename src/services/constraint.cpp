@@ -638,23 +638,49 @@ Preference Preference::first() { return Preference(Kind::kFirst, nullptr); }
 
 std::vector<std::size_t> Preference::rank(
     const std::vector<const PropertySet*>& sets, Rng* rng) const {
+  return top(sets, 0, rng);
+}
+
+std::vector<std::size_t> Preference::top(
+    const std::vector<const PropertySet*>& sets, std::size_t k,
+    Rng* rng) const {
   std::vector<std::size_t> order(sets.size());
   for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  const bool partial = k > 0 && k < order.size();
 
   switch (kind_) {
     case Kind::kFirst:
+      if (partial) order.resize(k);
       return order;
     case Kind::kRandom: {
+      // Always a full shuffle: the number of Rng draws must not depend on k,
+      // or experiments replay differently through top-k vs full-rank paths.
       if (rng != nullptr) rng->shuffle(order);
+      if (partial) order.resize(k);
       return order;
     }
     case Kind::kWith: {
-      std::stable_sort(order.begin(), order.end(),
-                       [&](std::size_t a, std::size_t b) {
-                         const bool ma = services::matches(*expr_, *sets[a]);
-                         const bool mb = services::matches(*expr_, *sets[b]);
-                         return ma && !mb;
-                       });
+      std::vector<char> match(sets.size());
+      for (std::size_t i = 0; i < sets.size(); ++i) {
+        match[i] = services::matches(*expr_, *sets[i]) ? 1 : 0;
+      }
+      if (partial) {
+        // A stable sort under comparator c equals an ordinary sort under the
+        // total order (c, index); partial_sort under that total order yields
+        // exactly the first k of the stable full rank.
+        std::partial_sort(order.begin(),
+                          order.begin() + static_cast<std::ptrdiff_t>(k),
+                          order.end(), [&](std::size_t a, std::size_t b) {
+                            if (match[a] != match[b]) return match[a] > match[b];
+                            return a < b;
+                          });
+        order.resize(k);
+      } else {
+        std::stable_sort(order.begin(), order.end(),
+                         [&](std::size_t a, std::size_t b) {
+                           return match[a] != 0 && match[b] == 0;
+                         });
+      }
       return order;
     }
     case Kind::kMax:
@@ -670,15 +696,26 @@ std::vector<std::size_t> Preference::rank(
         }
       }
       const bool maximize = kind_ == Kind::kMax;
-      std::stable_sort(order.begin(), order.end(),
-                       [&](std::size_t a, std::size_t b) {
-                         if (score[a].first != score[b].first) {
-                           return score[a].first;  // defined before undefined
-                         }
-                         if (!score[a].first) return false;
-                         return maximize ? score[a].second > score[b].second
-                                         : score[a].second < score[b].second;
-                       });
+      const auto before = [&](std::size_t a, std::size_t b) {
+        if (score[a].first != score[b].first) {
+          return score[a].first;  // defined before undefined
+        }
+        if (!score[a].first) return false;
+        return maximize ? score[a].second > score[b].second
+                        : score[a].second < score[b].second;
+      };
+      if (partial) {
+        std::partial_sort(order.begin(),
+                          order.begin() + static_cast<std::ptrdiff_t>(k),
+                          order.end(), [&](std::size_t a, std::size_t b) {
+                            if (before(a, b)) return true;
+                            if (before(b, a)) return false;
+                            return a < b;
+                          });
+        order.resize(k);
+      } else {
+        std::stable_sort(order.begin(), order.end(), before);
+      }
       return order;
     }
   }

@@ -165,6 +165,15 @@ class Preference {
   [[nodiscard]] std::vector<std::size_t> rank(
       const std::vector<const PropertySet*>& sets, Rng* rng = nullptr) const;
 
+  /// First `k` indices of `rank`'s order without sorting the full set
+  /// (partial_sort, O(n log k)); `k == 0` or `k >= sets.size()` degrades to
+  /// a full rank. Output is bit-identical to `rank(sets, rng)` truncated to
+  /// k. kRandom consumes the same Rng draws regardless of k so seeded
+  /// experiments replay identically whichever overload ran.
+  [[nodiscard]] std::vector<std::size_t> top(
+      const std::vector<const PropertySet*>& sets, std::size_t k,
+      Rng* rng = nullptr) const;
+
  private:
   Preference(Kind kind, std::shared_ptr<const Expr> expr)
       : kind_(kind), expr_(std::move(expr)) {}

@@ -4,6 +4,50 @@
 
 namespace integrade::services {
 
+namespace {
+
+inline void hash_mix(std::size_t& seed, std::size_t v) {
+  seed ^= v + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2);
+}
+
+}  // namespace
+
+std::size_t Trader::ProviderKeyHash::operator()(
+    const ProviderKey& k) const noexcept {
+  std::size_t seed = std::hash<std::string>{}(k.service_type);
+  hash_mix(seed, std::hash<std::uint64_t>{}(k.provider.host));
+  hash_mix(seed, std::hash<std::uint64_t>{}(k.provider.key.value));
+  hash_mix(seed, std::hash<std::string>{}(k.provider.type_id));
+  return seed;
+}
+
+void Trader::index_offer(const ServiceOffer& offer) {
+  // Ids are handed out monotonically, so appending keeps buckets id-sorted.
+  by_type_[offer.service_type].push_back(&offer);
+  by_provider_[ProviderKey{offer.service_type, offer.provider}].push_back(
+      offer.id);
+}
+
+void Trader::unindex_offer(const ServiceOffer& offer) {
+  auto type_it = by_type_.find(offer.service_type);
+  if (type_it != by_type_.end()) {
+    auto& bucket = type_it->second;
+    auto pos = std::lower_bound(bucket.begin(), bucket.end(), offer.id,
+                                [](const ServiceOffer* o, OfferId id) {
+                                  return o->id < id;
+                                });
+    if (pos != bucket.end() && (*pos)->id == offer.id) bucket.erase(pos);
+    if (bucket.empty()) by_type_.erase(type_it);
+  }
+  auto prov_it = by_provider_.find(ProviderKey{offer.service_type, offer.provider});
+  if (prov_it != by_provider_.end()) {
+    auto& ids = prov_it->second;
+    auto pos = std::lower_bound(ids.begin(), ids.end(), offer.id);
+    if (pos != ids.end() && *pos == offer.id) ids.erase(pos);
+    if (ids.empty()) by_provider_.erase(prov_it);
+  }
+}
+
 OfferId Trader::export_offer(const std::string& service_type,
                              const orb::ObjectRef& provider,
                              PropertySet properties, SimTime now) {
@@ -15,14 +59,19 @@ OfferId Trader::export_offer(const std::string& service_type,
   offer.properties = std::move(properties);
   offer.exported_at = now;
   offer.modified_at = now;
-  offers_.emplace(id, std::move(offer));
+  auto [it, inserted] = offers_.emplace(id, std::move(offer));
+  (void)inserted;
+  index_offer(it->second);
   return id;
 }
 
 Status Trader::withdraw(OfferId id) {
-  if (offers_.erase(id) == 0) {
+  auto it = offers_.find(id);
+  if (it == offers_.end()) {
     return Status(ErrorCode::kNotFound, "no offer " + to_string(id));
   }
+  unindex_offer(it->second);
+  offers_.erase(it);
   return Status::ok();
 }
 
@@ -43,26 +92,74 @@ const ServiceOffer* Trader::lookup(OfferId id) const {
 
 const ServiceOffer* Trader::find_by_provider(const std::string& service_type,
                                              const orb::ObjectRef& provider) const {
-  for (const auto& [_, offer] : offers_) {
-    if (offer.service_type == service_type && offer.provider == provider) {
-      return &offer;
-    }
-  }
-  return nullptr;
+  auto it = by_provider_.find(ProviderKey{service_type, provider});
+  if (it == by_provider_.end() || it->second.empty()) return nullptr;
+  return lookup(it->second.front());
 }
 
 Result<std::vector<const ServiceOffer*>> Trader::query(
     const std::string& service_type, const std::string& constraint,
     const std::string& preference, std::size_t max_matches, Rng* rng) const {
-  auto parsed_constraint = Constraint::parse(constraint);
-  if (!parsed_constraint.is_ok()) return parsed_constraint.status();
-  auto parsed_preference = Preference::parse(preference);
-  if (!parsed_preference.is_ok()) return parsed_preference.status();
-  return query_compiled(service_type, parsed_constraint.value(),
-                        parsed_preference.value(), max_matches, rng);
+  // Compiled expressions are copied out of the caches (cheap: a source
+  // string + shared AST root) so later insertions can never evict an entry
+  // still in use.
+  Constraint compiled_constraint = Constraint::always();
+  if (const Constraint* cached = constraint_cache_.get(constraint)) {
+    compiled_constraint = *cached;
+  } else {
+    auto parsed = Constraint::parse(constraint);
+    if (!parsed.is_ok()) return parsed.status();
+    compiled_constraint = *constraint_cache_.put(constraint,
+                                                 std::move(parsed).value());
+  }
+  Preference compiled_preference = Preference::first();
+  if (const Preference* cached = preference_cache_.get(preference)) {
+    compiled_preference = *cached;
+  } else {
+    auto parsed = Preference::parse(preference);
+    if (!parsed.is_ok()) return parsed.status();
+    compiled_preference = *preference_cache_.put(preference,
+                                                 std::move(parsed).value());
+  }
+  return query_compiled(service_type, compiled_constraint, compiled_preference,
+                        max_matches, rng);
 }
 
 std::vector<const ServiceOffer*> Trader::query_compiled(
+    const std::string& service_type, const Constraint& constraint,
+    const Preference& preference, std::size_t max_matches, Rng* rng) const {
+  auto type_it = by_type_.find(service_type);
+  if (type_it == by_type_.end()) return {};
+
+  // `first` preference keeps discovery (id) order, so a bounded query can
+  // stop scanning at the max_matches-th match — the dominant cost of a
+  // selective query is evaluating the constraint per offer, and this skips
+  // the whole tail of the bucket. Every other preference needs the full
+  // match set (kMax/kMin/kWith rank it; kRandom's shuffle must draw from
+  // exactly the full set to stay replay-identical with the linear path).
+  const bool stop_at_limit =
+      max_matches > 0 && preference.kind() == Preference::Kind::kFirst;
+
+  std::vector<const ServiceOffer*> matched;
+  for (const ServiceOffer* offer : type_it->second) {
+    if (constraint.matches(offer->properties)) {
+      matched.push_back(offer);
+      if (stop_at_limit && matched.size() == max_matches) break;
+    }
+  }
+
+  std::vector<const PropertySet*> sets;
+  sets.reserve(matched.size());
+  for (const auto* offer : matched) sets.push_back(&offer->properties);
+  const std::vector<std::size_t> order = preference.top(sets, max_matches, rng);
+
+  std::vector<const ServiceOffer*> out;
+  out.reserve(order.size());
+  for (const std::size_t i : order) out.push_back(matched[i]);
+  return out;
+}
+
+std::vector<const ServiceOffer*> Trader::query_linear(
     const std::string& service_type, const Constraint& constraint,
     const Preference& preference, std::size_t max_matches, Rng* rng) const {
   std::vector<const ServiceOffer*> matched;
@@ -85,20 +182,78 @@ std::vector<const ServiceOffer*> Trader::query_compiled(
 }
 
 std::size_t Trader::offer_count(const std::string& service_type) const {
-  std::size_t n = 0;
-  for (const auto& [_, offer] : offers_) {
-    if (offer.service_type == service_type) ++n;
-  }
-  return n;
+  auto it = by_type_.find(service_type);
+  return it == by_type_.end() ? 0 : it->second.size();
 }
 
 std::vector<const ServiceOffer*> Trader::offers_of_type(
     const std::string& service_type) const {
-  std::vector<const ServiceOffer*> out;
-  for (const auto& [_, offer] : offers_) {
-    if (offer.service_type == service_type) out.push_back(&offer);
+  auto it = by_type_.find(service_type);
+  if (it == by_type_.end()) return {};
+  return it->second;
+}
+
+Status Trader::check_invariants() const {
+  std::size_t bucketed = 0;
+  for (const auto& [type, bucket] : by_type_) {
+    if (bucket.empty()) {
+      return Status(ErrorCode::kInternal, "empty type bucket for " + type);
+    }
+    for (std::size_t i = 0; i < bucket.size(); ++i) {
+      const ServiceOffer* offer = bucket[i];
+      const ServiceOffer* live = lookup(offer->id);
+      if (live != offer) {
+        return Status(ErrorCode::kInternal,
+                      "type bucket " + type + " holds stale offer pointer");
+      }
+      if (offer->service_type != type) {
+        return Status(ErrorCode::kInternal,
+                      "offer " + to_string(offer->id) + " in wrong bucket " + type);
+      }
+      if (i > 0 && !(bucket[i - 1]->id < offer->id)) {
+        return Status(ErrorCode::kInternal,
+                      "type bucket " + type + " not id-ascending");
+      }
+    }
+    bucketed += bucket.size();
   }
-  return out;
+  if (bucketed != offers_.size()) {
+    return Status(ErrorCode::kInternal,
+                  "type buckets cover " + std::to_string(bucketed) + " of " +
+                      std::to_string(offers_.size()) + " offers");
+  }
+
+  std::size_t provider_entries = 0;
+  for (const auto& [key, ids] : by_provider_) {
+    if (ids.empty()) {
+      return Status(ErrorCode::kInternal,
+                    "empty provider entry for " + key.service_type);
+    }
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      const ServiceOffer* offer = lookup(ids[i]);
+      if (offer == nullptr) {
+        return Status(ErrorCode::kInternal,
+                      "provider index holds dead offer " + to_string(ids[i]));
+      }
+      if (offer->service_type != key.service_type ||
+          !(offer->provider == key.provider)) {
+        return Status(ErrorCode::kInternal,
+                      "provider index misfiled offer " + to_string(ids[i]));
+      }
+      if (i > 0 && !(ids[i - 1] < ids[i])) {
+        return Status(ErrorCode::kInternal,
+                      "provider entry for " + key.service_type +
+                          " not id-ascending");
+      }
+    }
+    provider_entries += ids.size();
+  }
+  if (provider_entries != offers_.size()) {
+    return Status(ErrorCode::kInternal,
+                  "provider index covers " + std::to_string(provider_entries) +
+                      " of " + std::to_string(offers_.size()) + " offers");
+  }
+  return Status::ok();
 }
 
 }  // namespace integrade::services

@@ -78,6 +78,102 @@ TEST(EngineTest, StepFiresExactlyOne) {
   EXPECT_FALSE(engine.step());
 }
 
+// Payload whose copies/moves are observable: the event core must never copy
+// a scheduled closure after the initial schedule (Event is move-only; a copy
+// inside the heap machinery would show up here as copies > 0).
+struct CountingPayload {
+  int* copies;
+  int* moves;
+  CountingPayload(int* c, int* m) : copies(c), moves(m) {}
+  CountingPayload(const CountingPayload& o) : copies(o.copies), moves(o.moves) {
+    ++*copies;
+  }
+  CountingPayload(CountingPayload&& o) noexcept
+      : copies(o.copies), moves(o.moves) {
+    ++*moves;
+  }
+  void operator()() const {}
+};
+
+TEST(EngineTest, SchedulingAndSteppingNeverCopiesEvents) {
+  Engine engine;
+  int copies = 0;
+  int moves = 0;
+  constexpr int kEvents = 1000;
+  for (int i = 0; i < kEvents; ++i) {
+    // Constructed in place: every transfer from here on must be a move.
+    engine.schedule_at(i, std::function<void()>(
+                              CountingPayload(&copies, &moves)));
+  }
+  EXPECT_EQ(copies, 0);
+  int fired = 0;
+  while (engine.step()) ++fired;
+  EXPECT_EQ(fired, kEvents);
+  EXPECT_EQ(copies, 0) << "heap machinery copied a closure";
+}
+
+TEST(EngineTest, SlotSlabIsReusedAcrossWaves) {
+  Engine engine;
+  constexpr int kWave = 64;
+  for (int wave = 0; wave < 20; ++wave) {
+    for (int i = 0; i < kWave; ++i) {
+      engine.schedule_after(1 + i, [] {});
+    }
+    engine.run();
+  }
+  // 20 waves of 64 events must not grow the slab past one wave's worth:
+  // released slots are recycled through the free list.
+  EXPECT_LE(engine.slot_capacity(), static_cast<std::size_t>(kWave));
+}
+
+TEST(EngineTest, MassCancellationCompactsTheHeap) {
+  Engine engine;
+  std::vector<EventHandle> handles;
+  constexpr int kEvents = 1000;
+  int fired = 0;
+  for (int i = 0; i < kEvents; ++i) {
+    handles.push_back(engine.schedule_at(10 + i, [&] { ++fired; }));
+  }
+  // Cancel all but every 10th event: cancelled entries exceed half the
+  // queue, so the engine compacts instead of carrying them to the top.
+  for (std::size_t i = 0; i < handles.size(); ++i) {
+    if (i % 10 != 0) handles[i].cancel();
+  }
+  EXPECT_LT(engine.pending(), static_cast<std::size_t>(kEvents) / 2);
+  engine.run();
+  EXPECT_EQ(fired, kEvents / 10);
+}
+
+TEST(EngineTest, HandleOutlivingFireIsInertEvenAfterSlotReuse) {
+  Engine engine;
+  int first_fired = 0;
+  auto stale = engine.schedule_at(1, [&] { ++first_fired; });
+  engine.run();
+  EXPECT_EQ(first_fired, 1);
+  EXPECT_FALSE(stale.active());
+
+  // The fired event's slot is recycled for the next schedule; the stale
+  // handle's generation no longer matches, so cancel() must not touch it.
+  bool second_fired = false;
+  engine.schedule_at(2, [&] { second_fired = true; });
+  stale.cancel();
+  engine.run();
+  EXPECT_TRUE(second_fired);
+  EXPECT_EQ(first_fired, 1);
+}
+
+TEST(EngineTest, CancelledEventsPastDeadlineStillDrain) {
+  Engine engine;
+  auto h = engine.schedule_at(100, [] {});
+  h.cancel();
+  engine.schedule_at(5, [] {});
+  engine.run_until(50);
+  // The cancelled event at t=100 is unreachable garbage; it must not keep
+  // the queue artificially non-empty forever.
+  engine.run();
+  EXPECT_TRUE(engine.empty());
+}
+
 TEST(PeriodicTimerTest, FiresAtPeriodUntilStopped) {
   Engine engine;
   PeriodicTimer timer;
