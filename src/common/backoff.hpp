@@ -1,0 +1,48 @@
+// Retry backoff schedules.
+//
+// The GRM requeues tasks whose negotiation wave failed (no offers, reserve
+// refused, node died mid-run). A fixed delay synchronises those retries —
+// after a partition heals, every stranded task hammers the Trader in the
+// same wave. BackoffPolicy generalises the fixed delay to capped exponential
+// growth with optional decorrelated jitter (the AWS-architecture-blog
+// variant: next drawn uniformly from [base, 3*prev]), which spreads the
+// storm while keeping the expected wait bounded by `cap`.
+//
+// The defaults (multiplier 1, jitter off) reproduce the legacy fixed
+// `retry_backoff` exactly and draw nothing from the Rng, so existing runs
+// stay byte-identical.
+#pragma once
+
+#include <algorithm>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace integrade {
+
+struct BackoffPolicy {
+  SimDuration base = 20 * kSecond;  // first retry delay (legacy retry_backoff)
+  SimDuration cap = 5 * kMinute;    // delays never exceed this
+  double multiplier = 1.0;          // growth per consecutive failure
+  bool decorrelated_jitter = false; // draw next from [base, 3*prev]
+};
+
+/// Next delay given the previous one (`prev <= 0` means first failure —
+/// resets happen by the caller zeroing its stored delay on success).
+/// Draws from `rng` only when decorrelated_jitter is on.
+inline SimDuration next_backoff(const BackoffPolicy& policy, SimDuration prev,
+                                Rng& rng) {
+  if (policy.decorrelated_jitter) {
+    const double lo = static_cast<double>(policy.base);
+    const double hi =
+        std::max(lo + 1.0, 3.0 * static_cast<double>(prev <= 0 ? policy.base : prev));
+    const auto drawn = static_cast<SimDuration>(rng.uniform(lo, hi));
+    return std::clamp(drawn, policy.base, policy.cap);
+  }
+  if (prev <= 0) return std::min(policy.base, policy.cap);
+  const auto grown =
+      static_cast<SimDuration>(static_cast<double>(prev) * policy.multiplier);
+  return std::clamp(grown, policy.base, policy.cap);
+}
+
+}  // namespace integrade

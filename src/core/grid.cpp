@@ -60,7 +60,7 @@ Cluster::Cluster(Grid& grid, ClusterId id, ClusterConfig config)
   // --- Cluster Manager node ---
   const auto manager_addr = grid_.allocate_endpoint(segment_ids_.front());
   manager_orb_ = std::make_unique<orb::Orb>(manager_addr, grid_.transport(),
-                                            &grid_.engine());
+                                            &grid_.engine(), config_.orb);
   gupa_ref_ = manager_orb_->activate(std::make_shared<GupaServant>(gupa_));
   ckpt_ref_ =
       manager_orb_->activate(std::make_shared<CheckpointServant>(repository_));
@@ -72,10 +72,25 @@ Cluster::Cluster(Grid& grid, ClusterId id, ClusterConfig config)
       config_.bsp);
   coordinator_->start();
 
+  // --- Warm-standby Cluster Manager (optional) ---
+  // Runs from the start on its own node with an empty Trader. It shares
+  // the co-located GUPA/checkpoint services (they live on the primary's
+  // node and have their own liveness); its state rebuilds from LRM
+  // re-announcements after a failover — the paper's information update
+  // protocol makes that state soft by construction.
+  if (config_.standby_grm) {
+    const auto standby_addr = grid_.allocate_endpoint(segment_ids_.front());
+    standby_orb_ = std::make_unique<orb::Orb>(standby_addr, grid_.transport(),
+                                              &grid_.engine(), config_.orb);
+    standby_grm_ = std::make_unique<grm::Grm>(grid_.engine(), *standby_orb_, id_,
+                                              grid_.fork_rng(), config_.grm);
+    standby_grm_->start(&gupa_, &repository_, &grid_.network());
+  }
+
   // --- User node ---
   const auto user_addr = grid_.allocate_endpoint(segment_ids_.front());
-  user_orb_ =
-      std::make_unique<orb::Orb>(user_addr, grid_.transport(), &grid_.engine());
+  user_orb_ = std::make_unique<orb::Orb>(user_addr, grid_.transport(),
+                                         &grid_.engine(), config_.orb);
   asct_ = std::make_unique<asct::Asct>(grid_.engine(), *user_orb_);
 
   // Publish the cluster's well-known objects in the grid Naming service so
@@ -101,8 +116,8 @@ Cluster::Cluster(Grid& grid, ClusterId id, ClusterConfig config)
     const auto segment =
         segment_ids_.at(static_cast<std::size_t>(node_config.segment));
     const auto addr = grid_.allocate_endpoint(segment);
-    worker->orb =
-        std::make_unique<orb::Orb>(addr, grid_.transport(), &grid_.engine());
+    worker->orb = std::make_unique<orb::Orb>(addr, grid_.transport(),
+                                             &grid_.engine(), config_.orb);
 
     lrm::LrmOptions lrm_options = config_.lrm;
     ncc::SharingPolicy policy = node_config.policy;
@@ -121,6 +136,7 @@ Cluster::Cluster(Grid& grid, ClusterId id, ClusterConfig config)
                                              ncc::Ncc(policy),
                                              grid_.fork_rng(), lrm_options);
     worker->lrm->start(grm_->ref(), gupa_ref_, ckpt_ref_, &grid_.network());
+    if (standby_grm_) worker->lrm->set_standby_grm(standby_grm_->ref());
     workers_.push_back(std::move(worker));
   }
 }
@@ -132,6 +148,7 @@ Cluster::~Cluster() {
     worker->lrm->stop();
   }
   coordinator_->stop();
+  if (standby_grm_) standby_grm_->stop();
   grm_->stop();
 }
 

@@ -61,6 +61,12 @@ struct ClusterConfig {
   grm::GrmOptions grm;
   lrm::LrmOptions lrm;
   bsp::BspOptions bsp;
+  /// Reliability options applied to every ORB in the cluster (manager,
+  /// user, providers). Defaults preserve historical behaviour.
+  orb::OrbOptions orb;
+  /// Run a warm-standby GRM on its own node; every LRM gets it as the
+  /// failover target (requires lrm.reliable_updates to actually fail over).
+  bool standby_grm = false;
 };
 
 class Grid;
@@ -78,6 +84,8 @@ class Cluster {
 
   [[nodiscard]] grm::Grm& grm() { return *grm_; }
   [[nodiscard]] const orb::ObjectRef& grm_ref() const { return grm_->ref(); }
+  /// Warm-standby GRM; null unless ClusterConfig::standby_grm was set.
+  [[nodiscard]] grm::Grm* standby_grm() { return standby_grm_.get(); }
   [[nodiscard]] lupa::Gupa& gupa() { return gupa_; }
   [[nodiscard]] ckpt::CheckpointRepository& repository() { return repository_; }
   [[nodiscard]] bsp::BspCoordinator& coordinator() { return *coordinator_; }
@@ -88,6 +96,17 @@ class Cluster {
   [[nodiscard]] lrm::Lrm& lrm(std::size_t i) { return *workers_[i]->lrm; }
   [[nodiscard]] node::Machine& machine(std::size_t i) {
     return *workers_[i]->machine;
+  }
+  /// Network endpoint of provider `i` / the Cluster Manager node — the ids
+  /// the FaultInjector crashes and partitions operate on.
+  [[nodiscard]] orb::NodeAddress worker_address(std::size_t i) const {
+    return workers_[i]->orb->address();
+  }
+  [[nodiscard]] orb::NodeAddress manager_address() const {
+    return manager_orb_->address();
+  }
+  [[nodiscard]] orb::NodeAddress user_address() const {
+    return user_orb_->address();
   }
   /// Null for dedicated nodes (no owner process).
   [[nodiscard]] node::OwnerWorkload* owner(std::size_t i) {
@@ -123,6 +142,10 @@ class Cluster {
   orb::ObjectRef ckpt_ref_;
   std::unique_ptr<grm::Grm> grm_;
   std::unique_ptr<bsp::BspCoordinator> coordinator_;
+
+  // Warm-standby Cluster Manager (optional).
+  std::unique_ptr<orb::Orb> standby_orb_;
+  std::unique_ptr<grm::Grm> standby_grm_;
 
   // User node.
   std::unique_ptr<orb::Orb> user_orb_;

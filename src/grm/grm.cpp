@@ -87,6 +87,7 @@ Grm::Grm(sim::Engine& engine, orb::Orb& orb, ClusterId cluster, Rng rng,
       orb_(orb),
       cluster_(cluster),
       rng_(rng),
+      backoff_rng_(0x6a09e667f3bcc908ULL ^ cluster.value),
       options_(options) {}
 
 Grm::~Grm() { stop(); }
@@ -154,9 +155,48 @@ void Grm::sweep_stale_offers() {
     if (it->second.last_update < cutoff) {
       (void)trader_.withdraw(it->second.offer);
       metrics_.counter("offers_expired").add();
+      const NodeId dead = it->first;
+      NodeRecord record = std::move(it->second);
       it = nodes_.erase(it);
+      on_node_dead(dead, record);
     } else {
       ++it;
+    }
+  }
+}
+
+void Grm::on_node_dead(NodeId node, const NodeRecord& record) {
+  // The node may come back (sweeps are a liveness heuristic), but from the
+  // scheduler's view it is gone: forget its negotiation load and reclaim
+  // every task it was running. Leaving the inflight_ count behind would
+  // make later waves under-select the node forever after it re-registers.
+  inflight_.erase(node);
+
+  for (auto& [task_id, task] : tasks_) {
+    if (task.state != TaskState::kRunning || task.placement.node != node) {
+      continue;
+    }
+    // Best-effort cancel in case the node is alive after all: its copy of
+    // the task (and the reservation holding it) should die, not race the
+    // replacement we are about to place.
+    if (record.status.lrm.valid()) {
+      orb::oneway(orb_, record.status.lrm, "cancel", protocol::CancelTask{task_id});
+    }
+    ++task.evictions;
+    metrics_.counter("tasks_node_failed").add();
+    auto app_it = apps_.find(task.app);
+    if (app_it != apps_.end()) {
+      AppRecord& app = app_it->second;
+      --app.running;
+      notify(app, AppEventKind::kTaskEvicted, task_id, node,
+             "node declared dead by stale sweep");
+      if (app.spec.kind == AppKind::kBsp && bsp_lost_) {
+        bsp_lost_(app.spec.id, task.desc.bsp_rank);
+      }
+      requeue(task, 1 * kSecond);
+      notify(app, AppEventKind::kTaskRescheduled, task_id, NodeId(), "");
+    } else {
+      requeue(task, 1 * kSecond);
     }
   }
 }
@@ -432,7 +472,7 @@ void Grm::begin_wave(TaskRecord& task) {
         (parent_.valid() || !children_.empty())) {
       forward_remote(task);
     } else {
-      requeue(task, options_.retry_backoff);
+      requeue_backoff(task);
     }
     return;
   }
@@ -534,7 +574,7 @@ void Grm::wave_failed(const std::shared_ptr<Wave>& wave) {
       (parent_.valid() || !children_.empty())) {
     forward_remote(task);
   } else {
-    requeue(task, options_.retry_backoff);
+    requeue_backoff(task);
   }
 }
 
@@ -542,9 +582,21 @@ void Grm::task_placed(TaskId id, const Placement& placement) {
   auto it = tasks_.find(id);
   if (it == tasks_.end()) return;
   TaskRecord& task = it->second;
+  if (task.state != TaskState::kNegotiating) {
+    // The task moved on while the Execute reply was in flight (e.g. its
+    // node was declared dead and the task requeued, or a duplicate reply
+    // slipped past the ORB window). Don't double-place: tell the node to
+    // drop its copy.
+    metrics_.counter("placements_discarded").add();
+    if (placement.lrm.valid()) {
+      orb::oneway(orb_, placement.lrm, "cancel", protocol::CancelTask{id});
+    }
+    return;
+  }
   task.state = TaskState::kRunning;
   task.placement = placement;
   task.waves = 0;
+  task.backoff = 0;  // success resets the retry schedule
   metrics_.counter("tasks_placed").add();
 
   auto app_it = apps_.find(task.app);
@@ -585,6 +637,11 @@ void Grm::requeue(TaskRecord& task, SimDuration delay) {
   kick_scheduler(std::max<SimDuration>(delay, 1));
 }
 
+void Grm::requeue_backoff(TaskRecord& task) {
+  task.backoff = next_backoff(options_.backoff, task.backoff, backoff_rng_);
+  requeue(task, task.backoff);
+}
+
 std::vector<std::uint8_t> Grm::restore_state_for(const TaskRecord& task) const {
   if (checkpoints_ == nullptr || task.desc.kind == AppKind::kBsp) return {};
   const auto* checkpoint =
@@ -605,23 +662,39 @@ void Grm::handle_report(const protocol::TaskReport& report) {
   if (app_it == apps_.end()) return;
   AppRecord& app = app_it->second;
 
-  if (task.state == TaskState::kRunning) --app.running;
-
   switch (report.outcome) {
     case TaskOutcome::kCompleted: {
+      if (task.state == TaskState::kCompleted) {
+        // Duplicate completion: the node was declared dead (and the task
+        // replayed elsewhere) or the report frame was duplicated. The app's
+        // accounting already saw this task finish exactly once.
+        metrics_.counter("duplicate_reports_ignored").add();
+        break;
+      }
+      if (task.state == TaskState::kRunning) --app.running;
+      task.remote_timeout.cancel();
       task.state = TaskState::kCompleted;
       --app.outstanding;
       metrics_.counter("tasks_completed").add();
       notify(app, AppEventKind::kTaskCompleted, report.task, report.node, "");
       if (app.adopted_remote && app.origin.valid()) {
         // Relay to the origin cluster, which owns the app's lifecycle.
-        orb::oneway(orb_, app.origin, "report", report);
+        orb::reliable_oneway(orb_, app.origin, "report", report);
       }
       maybe_app_done(task.app);
       break;
     }
     case TaskOutcome::kEvicted:
     case TaskOutcome::kNodeFailed: {
+      if (task.state != TaskState::kRunning ||
+          task.placement.node != report.node) {
+        // Stale: the task is not (or no longer) running on the reporter —
+        // e.g. the dead-node sweep already reclaimed it, or this is a
+        // duplicated frame. Acting on it would requeue the task twice.
+        metrics_.counter("stale_reports_ignored").add();
+        break;
+      }
+      --app.running;
       ++task.evictions;
       metrics_.counter(report.outcome == TaskOutcome::kEvicted
                            ? "tasks_evicted"
@@ -651,7 +724,7 @@ void Grm::notify(const AppRecord& app, AppEventKind kind, TaskId task,
   event.node = node;
   event.at = engine_.now();
   event.detail = detail;
-  orb::oneway(orb_, app.spec.notify, "app_event", event);
+  orb::reliable_oneway(orb_, app.spec.notify, "app_event", event);
 }
 
 void Grm::maybe_app_done(AppId app_id) {
@@ -785,7 +858,7 @@ void Grm::forward_remote(TaskRecord& task) {
   }
   if (!hop.valid()) hop = parent_;
   if (!hop.valid()) {
-    requeue(task, options_.retry_backoff);
+    requeue_backoff(task);
     return;
   }
 
@@ -800,7 +873,7 @@ void Grm::forward_remote(TaskRecord& task) {
     if (it == tasks_.end() || it->second.state != TaskState::kRemote) return;
     metrics_.counter("remote_timeouts").add();
     it->second.waves = 0;  // start the local/remote cycle over
-    requeue(it->second, options_.retry_backoff);
+    requeue_backoff(it->second);
   });
 }
 

@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "ckpt/repository.hpp"
+#include "common/backoff.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "lupa/gupa.hpp"
@@ -50,7 +51,11 @@ struct GrmOptions {
   SimDuration reservation_hold = 30 * kSecond;
   /// Candidates tried per negotiation wave before backing off.
   int max_candidates_per_wave = 8;
-  SimDuration retry_backoff = 20 * kSecond;
+  /// Retry schedule for fruitless waves. The default (multiplier 1, no
+  /// jitter) is the historical fixed 20 s delay; chaos configurations turn
+  /// on capped exponential growth + decorrelated jitter so post-partition
+  /// retry storms spread out instead of re-synchronising.
+  BackoffPolicy backoff;
   /// After this many fruitless waves, try the cluster hierarchy.
   int forward_after_waves = 2;
   /// Consult the GUPA when ranking candidates (the E5 ablation switch).
@@ -149,6 +154,7 @@ class Grm {
     Placement placement;
     int waves = 0;      // fruitless negotiation waves so far
     int evictions = 0;
+    SimDuration backoff = 0;  // last retry delay; 0 until the first failure
     SimTime eligible_at = 0;
     std::int32_t topology_segment = -1;  // pinned segment, -1 = anywhere
     sim::EventHandle remote_timeout;
@@ -169,6 +175,7 @@ class Grm {
 
   void on_update(const protocol::NodeStatus& status);
   void sweep_stale_offers();
+  void on_node_dead(NodeId node, const NodeRecord& record);
   void kick_scheduler(SimDuration delay = 0);
   void scheduler_pass();
   void begin_wave(TaskRecord& task);
@@ -176,6 +183,8 @@ class Grm {
   void wave_failed(const std::shared_ptr<Wave>& wave);
   void task_placed(TaskId task, const Placement& placement);
   void requeue(TaskRecord& task, SimDuration delay);
+  /// Requeue after a fruitless wave, advancing the task's backoff delay.
+  void requeue_backoff(TaskRecord& task);
   void forward_remote(TaskRecord& task);
   void notify(const AppRecord& app, protocol::AppEventKind kind, TaskId task,
               NodeId node, const std::string& detail);
@@ -195,6 +204,10 @@ class Grm {
   orb::Orb& orb_;
   ClusterId cluster_;
   Rng rng_;
+  /// Dedicated stream for backoff jitter: it must not share (or fork from)
+  /// rng_, or enabling jitter would perturb the trader's tie-break draws
+  /// and break reproducibility against non-jittered runs.
+  Rng backoff_rng_;
   GrmOptions options_;
 
   orb::ObjectRef self_ref_;

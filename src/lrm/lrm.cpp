@@ -113,6 +113,66 @@ void Lrm::stop() {
   if (lupa_) lupa_->stop();
   evict_all(TaskOutcome::kNodeFailed, "LRM stopped");
   orb_.deactivate(self_ref_.key);
+  crashed_ = false;
+  orphans_.clear();
+}
+
+void Lrm::crash() {
+  if (!started_ || crashed_) return;
+  crashed_ = true;
+  metrics_.counter("crashes").add();
+  update_timer_.stop();
+  if (lupa_) lupa_->stop();
+
+  // Everything volatile dies with the process. Unlike stop(), nothing is
+  // reported on the way out — a crashed node cannot say goodbye; the
+  // orphaned tasks' failure reports wait for restart().
+  for (auto& [_, held] : reservations_) held.expiry.cancel();
+  reservations_.clear();
+  auto victims = std::move(tasks_);
+  tasks_.clear();
+  for (auto& [id, task] : victims) {
+    task->completion.cancel();
+    task->checkpoint_timer.stop();
+    orphans_.push_back(Orphan{id, task->report_to});
+  }
+  orb_.deactivate(self_ref_.key);
+}
+
+void Lrm::restart() {
+  if (!started_ || !crashed_) return;
+  crashed_ = false;
+  metrics_.counter("restarts").add();
+
+  // Same object key: the LRM references held by the GRM's offers and any
+  // BSP coordinator survive the outage.
+  self_ref_ = orb_.activate(std::make_shared<LrmServant>(*this), self_ref_.key);
+
+  update_quiet_tracking();
+  last_owner_present_ = machine_.owner_load().present;
+  if (lupa_) lupa_->start();
+
+  // Deferred failure reports: the manager requeues these tasks, restoring
+  // from their last checkpoint where one exists.
+  for (const Orphan& orphan : orphans_) {
+    if (!orphan.report_to.valid()) continue;
+    protocol::TaskReport report;
+    report.task = orphan.task;
+    report.node = machine_.id();
+    report.outcome = TaskOutcome::kNodeFailed;
+    report.detail = "node crashed and restarted";
+    orb::reliable_oneway(orb_, orphan.report_to, "report", report);
+  }
+  orphans_.clear();
+
+  // Re-announce immediately (the information update protocol makes GRM
+  // state soft — re-registration IS recovery), then resume the periodic
+  // heartbeat with a fresh stagger so mass restarts don't re-synchronise.
+  push_update();
+  const SimDuration stagger = static_cast<SimDuration>(
+      rng_.uniform(0.0, static_cast<double>(options_.update_period)));
+  update_timer_.start(engine_, options_.update_period, [this] { push_update(); },
+                      stagger);
 }
 
 // ---------------------------------------------------------------------------
@@ -160,9 +220,32 @@ const protocol::NodeStatus& Lrm::current_status() const {
 }
 
 void Lrm::push_update() {
-  if (!grm_.valid()) return;
+  if (!grm_.valid() || crashed_) return;
   metrics_.counter("status_updates_sent").add();
-  orb::oneway(orb_, grm_, "update_status", current_status());
+  if (!options_.reliable_updates || !standby_grm_.valid()) {
+    orb::oneway(orb_, grm_, "update_status", current_status());
+    return;
+  }
+  // Reliable mode: a two-way update doubles as a liveness probe of the
+  // Cluster Manager. After `grm_failure_threshold` consecutive misses the
+  // primary is presumed dead and the standby takes its place; the old
+  // primary becomes the standby, so a later flip-back works the same way.
+  orb::call<protocol::NodeStatus, cdr::Empty>(
+      orb_, grm_, "update_status", current_status(),
+      [this](Result<cdr::Empty> reply) {
+        if (crashed_) return;
+        if (reply.is_ok()) {
+          grm_misses_ = 0;
+          return;
+        }
+        if (++grm_misses_ < options_.grm_failure_threshold) return;
+        grm_misses_ = 0;
+        std::swap(grm_, standby_grm_);
+        metrics_.counter("grm_failovers").add();
+        // Re-announce at once: the standby rebuilds its Trader state from
+        // exactly these re-registration updates (soft-state recovery).
+        push_update();
+      });
 }
 
 void Lrm::update_quiet_tracking() {
@@ -177,6 +260,7 @@ void Lrm::update_quiet_tracking() {
 }
 
 void Lrm::on_machine_change() {
+  if (crashed_) return;  // a dead process observes nothing
   update_quiet_tracking();
 
   if (!tasks_.empty() && ncc_.must_evict(machine_, engine_.now())) {
@@ -589,7 +673,7 @@ void Lrm::report(const RunningTask& task, TaskOutcome outcome,
   report.outcome = outcome;
   report.work_done = task.done;
   report.detail = detail;
-  orb::oneway(orb_, task.report_to, "report", report);
+  orb::reliable_oneway(orb_, task.report_to, "report", report);
 }
 
 void Lrm::checkpoint_task(RunningTask& task) {

@@ -22,6 +22,7 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <vector>
 
 #include "common/rng.hpp"
 #include "common/stats.hpp"
@@ -49,6 +50,11 @@ struct LrmOptions {
   /// Owner's task-admission sandbox (paper §3 security requirement);
   /// tasks exceeding its limits are refused at Execute time.
   security::Sandbox sandbox;
+  /// Two-way status updates: the LRM watches for GRM replies and fails over
+  /// to the standby GRM (set_standby_grm) after `grm_failure_threshold`
+  /// consecutive misses. Off by default — oneway updates, no failover.
+  bool reliable_updates = false;
+  int grm_failure_threshold = 3;
 };
 
 class Lrm {
@@ -66,6 +72,22 @@ class Lrm {
              const orb::ObjectRef& checkpoint_service = {},
              sim::Network* network = nullptr);
   void stop();
+
+  /// Sudden death: all volatile state (running tasks, reservations, timers)
+  /// is lost and nothing is reported on the way out — the manager only
+  /// learns via its stale sweep or the kNodeFailed reports sent after
+  /// restart(). Idempotent while crashed.
+  void crash();
+  /// Come back after crash(): re-activate under the same object key (held
+  /// refs stay valid), report orphaned tasks as kNodeFailed so checkpoint
+  /// resume replaces them, and re-announce to the GRM.
+  void restart();
+  [[nodiscard]] bool crashed() const { return crashed_; }
+
+  /// Warm-standby Cluster Manager to fail over to when reliable_updates
+  /// detects the primary is gone.
+  void set_standby_grm(const orb::ObjectRef& standby) { standby_grm_ = standby; }
+  [[nodiscard]] const orb::ObjectRef& grm() const { return grm_; }
 
   [[nodiscard]] const orb::ObjectRef& ref() const { return self_ref_; }
   [[nodiscard]] NodeId node_id() const { return machine_.id(); }
@@ -123,6 +145,13 @@ class Lrm {
     sim::EventHandle expiry;
   };
 
+  /// A task that died in a crash; its failure report is deferred to the
+  /// restart (a crashed process cannot say goodbye).
+  struct Orphan {
+    TaskId task;
+    orb::ObjectRef report_to;
+  };
+
   void on_machine_change();
   void settle_all();
   void settle(RunningTask& task);
@@ -150,6 +179,7 @@ class Lrm {
 
   orb::ObjectRef self_ref_;
   orb::ObjectRef grm_;
+  orb::ObjectRef standby_grm_;
   orb::ObjectRef gupa_;
   orb::ObjectRef checkpoint_service_;
   sim::Network* network_ = nullptr;
@@ -164,6 +194,9 @@ class Lrm {
   bool last_owner_present_ = false;
   bool last_shareable_ = false;
   bool started_ = false;
+  bool crashed_ = false;
+  int grm_misses_ = 0;  // consecutive unanswered reliable updates
+  std::vector<Orphan> orphans_;
 
   MInstr total_work_done_ = 0;
 

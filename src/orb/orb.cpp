@@ -21,8 +21,13 @@ void SkeletonBase::register_raw(const std::string& operation, RawHandler handler
   handlers_[operation] = std::move(handler);
 }
 
-Orb::Orb(NodeAddress self, Transport& transport, sim::Engine* engine)
-    : self_(self), transport_(transport), engine_(engine) {
+Orb::Orb(NodeAddress self, Transport& transport, sim::Engine* engine,
+         OrbOptions options)
+    : self_(self),
+      transport_(transport),
+      engine_(engine),
+      options_(options),
+      dedup_(options.dedup_window) {
   transport_.bind(self_, [this](NodeAddress src, const std::vector<std::uint8_t>& f) {
     on_frame(src, f);
   });
@@ -39,15 +44,24 @@ void Orb::shutdown() {
   pending_.clear();
   for (auto& [id, p] : pending) {
     p.timeout.cancel();
+    p.retransmit.cancel();
     p.callback(Status(ErrorCode::kUnavailable, "ORB shut down"));
   }
 }
 
 ObjectRef Orb::activate(std::shared_ptr<Servant> servant) {
+  return activate(std::move(servant), ObjectId(next_object_key_++));
+}
+
+ObjectRef Orb::activate(std::shared_ptr<Servant> servant, ObjectId reuse_key) {
   assert(servant != nullptr);
+  assert(reuse_key.valid());
+  assert(!servants_.contains(reuse_key) && "object key already active");
+  // Keep fresh keys ahead of any reused one so they never collide.
+  if (reuse_key.value >= next_object_key_) next_object_key_ = reuse_key.value + 1;
   ObjectRef ref;
   ref.host = self_;
-  ref.key = ObjectId(next_object_key_++);
+  ref.key = reuse_key;
   ref.type_id = servant->type_id();
   servants_[ref.key] = std::move(servant);
   return ref;
@@ -84,9 +98,17 @@ void Orb::invoke(const ObjectRef& target, const std::string& operation,
     });
   }
   const RequestId id = header.request_id;
-  pending_[id] = std::move(pending);
 
   auto frame = frame_request(header, args);
+  if (engine_ != nullptr && options_.request_retries > 0) {
+    pending.frame = frame;  // keep a copy for retransmission
+    pending.dest = target.host;
+    pending.attempts_left = options_.request_retries;
+    pending.retransmit = engine_->schedule_after(options_.retransmit_timeout,
+                                                 [this, id] { retransmit(id); });
+  }
+  pending_[id] = std::move(pending);
+
   metrics_.counter("bytes_sent").add(static_cast<std::int64_t>(frame.size()));
   transport_.send(self_, target.host, std::move(frame));
 
@@ -131,9 +153,42 @@ void Orb::on_frame(NodeAddress source, const std::vector<std::uint8_t>& bytes) {
   }
 }
 
+void Orb::retransmit(RequestId id) {
+  auto it = pending_.find(id);
+  if (it == pending_.end()) return;
+  Pending& p = it->second;
+  if (p.attempts_left <= 0) return;  // budget spent; the deadline decides
+  --p.attempts_left;
+  metrics_.counter("requests_retransmitted").add();
+  auto copy = p.frame;
+  metrics_.counter("bytes_sent").add(static_cast<std::int64_t>(copy.size()));
+  transport_.send(self_, p.dest, std::move(copy));
+  // The transport may deliver synchronously and complete the request,
+  // invalidating `it`/`p` — re-find before rearming.
+  it = pending_.find(id);
+  if (it == pending_.end() || it->second.attempts_left <= 0) return;
+  it->second.retransmit = engine_->schedule_after(options_.retransmit_timeout,
+                                                  [this, id] { retransmit(id); });
+}
+
 void Orb::handle_request(NodeAddress source, const ParsedFrame& frame) {
   metrics_.counter("requests_received").add();
   const RequestHeader& req = frame.request;
+
+  // At-most-once: a request we already executed (retransmission or network
+  // duplicate) is never re-dispatched — replay the cached reply instead.
+  const DedupKey key{source, req.request_id.value};
+  if (options_.dedup_window > 0) {
+    if (auto* cached = dedup_.get(key); cached != nullptr) {
+      metrics_.counter("duplicate_requests").add();
+      if (req.response_expected && !cached->empty()) {
+        auto wire = *cached;
+        metrics_.counter("bytes_sent").add(static_cast<std::int64_t>(wire.size()));
+        transport_.send(self_, source, std::move(wire));
+      }
+      return;
+    }
+  }
 
   ReplyHeader reply;
   reply.request_id = req.request_id;
@@ -155,8 +210,13 @@ void Orb::handle_request(NodeAddress source, const ParsedFrame& frame) {
     }
   }
 
-  if (!req.response_expected) return;
+  if (!req.response_expected) {
+    // Remember the oneway so a duplicate delivery doesn't dispatch twice.
+    if (options_.dedup_window > 0) dedup_.put(key, {});
+    return;
+  }
   auto wire = frame_reply(reply, out.buffer());
+  if (options_.dedup_window > 0) dedup_.put(key, wire);
   metrics_.counter("bytes_sent").add(static_cast<std::int64_t>(wire.size()));
   transport_.send(self_, source, std::move(wire));
 }
@@ -186,6 +246,7 @@ void Orb::complete(RequestId id, Result<std::vector<std::uint8_t>> result) {
   Pending pending = std::move(it->second);
   pending_.erase(it);
   pending.timeout.cancel();
+  pending.retransmit.cancel();
   pending.callback(std::move(result));
 }
 

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "cdr/cdr.hpp"
+#include "common/lru.hpp"
 #include "common/result.hpp"
 #include "common/stats.hpp"
 #include "orb/ior.hpp"
@@ -73,20 +74,41 @@ class SkeletonBase : public Servant {
 
 using InvokeCallback = std::function<void(Result<std::vector<std::uint8_t>>)>;
 
+/// Reliability knobs. The defaults are exactly the historical behaviour:
+/// no retransmission (a lost request waits out its deadline) and a dedup
+/// window that is pure bookkeeping unless the network duplicates frames.
+struct OrbOptions {
+  /// Extra sends of an unanswered request before the deadline fires.
+  /// 0 = never retransmit. Retransmission makes duplicate delivery
+  /// possible, which is why the server side keeps a dedup window.
+  int request_retries = 0;
+  /// Gap between retransmissions of the same request.
+  SimDuration retransmit_timeout = 1 * kSecond;
+  /// Per-server at-most-once window: the last N (caller, request-id) pairs
+  /// whose replies are cached and replayed instead of re-dispatching.
+  /// 0 disables dedup entirely.
+  std::size_t dedup_window = 256;
+};
+
 class Orb {
  public:
   /// `engine` may be null only with a synchronous transport (unit tests);
   /// without an engine there are no deadlines — an unanswered request fails
   /// immediately after send.
-  Orb(NodeAddress self, Transport& transport, sim::Engine* engine);
+  Orb(NodeAddress self, Transport& transport, sim::Engine* engine,
+      OrbOptions options = {});
   ~Orb();
   Orb(const Orb&) = delete;
   Orb& operator=(const Orb&) = delete;
 
   [[nodiscard]] NodeAddress address() const { return self_; }
+  [[nodiscard]] const OrbOptions& options() const { return options_; }
 
   /// Activate a servant; returns the reference clients use to reach it.
   ObjectRef activate(std::shared_ptr<Servant> servant);
+  /// Re-activate under a fixed key — lets a restarted server keep the
+  /// object references other nodes already hold (persistent-IOR style).
+  ObjectRef activate(std::shared_ptr<Servant> servant, ObjectId reuse_key);
   void deactivate(ObjectId key);
 
   /// Invoke `operation` on a remote object. `args` is the CDR-encoded
@@ -112,20 +134,48 @@ class Orb {
   void handle_request(NodeAddress source, const ParsedFrame& frame);
   void handle_reply(const ParsedFrame& frame);
   void complete(RequestId id, Result<std::vector<std::uint8_t>> result);
+  void retransmit(RequestId id);
 
   struct Pending {
     InvokeCallback callback;
     sim::EventHandle timeout;
+    // Retransmission state (populated only when request_retries > 0).
+    sim::EventHandle retransmit;
+    std::vector<std::uint8_t> frame;
+    NodeAddress dest = 0;
+    int attempts_left = 0;
+  };
+
+  /// Requests are identified at-most-once by who sent them plus their
+  /// per-caller monotonic id.
+  struct DedupKey {
+    NodeAddress source = 0;
+    std::uint64_t request_id = 0;
+    bool operator==(const DedupKey&) const = default;
+  };
+  struct DedupKeyHash {
+    std::size_t operator()(const DedupKey& k) const noexcept {
+      // splitmix-style mix of the two words.
+      std::uint64_t x = k.source * 0x9e3779b97f4a7c15ULL ^ k.request_id;
+      x ^= x >> 30;
+      x *= 0xbf58476d1ce4e5b9ULL;
+      x ^= x >> 27;
+      return static_cast<std::size_t>(x);
+    }
   };
 
   NodeAddress self_;
   Transport& transport_;
   sim::Engine* engine_;
+  OrbOptions options_;
   bool shutdown_ = false;
   std::uint64_t next_object_key_ = 1;
   std::uint64_t next_request_id_ = 1;
   std::unordered_map<ObjectId, std::shared_ptr<Servant>> servants_;
   std::unordered_map<RequestId, Pending> pending_;
+  /// Cached reply wire frames for recently executed requests; an empty
+  /// vector marks a deduped request with no response (oneway).
+  LruCache<DedupKey, std::vector<std::uint8_t>, DedupKeyHash> dedup_;
   MetricRegistry metrics_;
 };
 
@@ -153,6 +203,22 @@ template <class Req>
 void oneway(Orb& orb, const ObjectRef& target, const std::string& operation,
             const Req& request) {
   orb.send_oneway(target, operation, cdr::encode_message(request));
+}
+
+/// Critical control messages (task reports, application events): plain
+/// fire-and-forget by default, but when this ORB is configured for
+/// retransmission the message upgrades to an acknowledged call so the
+/// at-most-once machinery can recover a lost frame. The target operation
+/// must be registered with an Empty reply.
+template <class Req>
+void reliable_oneway(Orb& orb, const ObjectRef& target,
+                     const std::string& operation, const Req& request) {
+  if (orb.options().request_retries > 0) {
+    call<Req, cdr::Empty>(orb, target, operation, request,
+                          [](Result<cdr::Empty>) { /* best effort */ });
+  } else {
+    oneway(orb, target, operation, request);
+  }
 }
 
 }  // namespace integrade::orb

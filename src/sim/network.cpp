@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "sim/faults.hpp"
+
 namespace integrade::sim {
 
 SegmentId Network::add_segment(SegmentSpec spec) {
@@ -61,12 +63,20 @@ void Network::send(EndpointId src, EndpointId dst, Bytes bytes,
 
   const SegmentId sa = segment_of(src);
   const SegmentId sb = segment_of(dst);
+
+  // Fault layer: crashed endpoints, partitions, loss, duplication, delay.
+  FaultInjector::SendPlan plan;
+  if (faults_ != nullptr) {
+    plan = faults_->plan_send(src, sa, dst, sb);
+    if (plan.copies == 0) return;
+  }
+
   const BytesPerSec bw = path_bandwidth(src, dst);
   const SimDuration latency = path_latency(src, dst);
 
   double transfer_s = static_cast<double>(bytes) / bw;
   if (jitter_ > 0.0) transfer_s *= 1.0 + rng_.uniform(0.0, jitter_);
-  const SimDuration delay = latency + from_seconds(transfer_s);
+  const SimDuration delay = latency + from_seconds(transfer_s) + plan.extra_delay;
 
   ++stats_.messages;
   stats_.bytes += bytes;
@@ -76,10 +86,24 @@ void Network::send(EndpointId src, EndpointId dst, Bytes bytes,
     backbone_bytes_ += bytes;
   }
 
-  engine_.schedule_after(delay, [this, dst, fn = std::move(on_delivered)] {
-    // Deliver only if the destination is still attached at arrival time.
-    if (attached(dst)) fn();
-  });
+  auto deliver = [this, src, dst](const std::function<void()>& fn) {
+    // Deliver only if both ends are still attached at arrival time: a
+    // detached source means the message died with the sender's NIC, and a
+    // crashed endpoint (either side) kills it too.
+    if (!attached(src) || !attached(dst)) return;
+    if (faults_ != nullptr &&
+        (faults_->endpoint_down(src) || faults_->endpoint_down(dst))) {
+      return;
+    }
+    fn();
+  };
+
+  if (plan.copies > 1) {
+    // Duplicate copy shares the delivery predicate but not the closure.
+    engine_.schedule_after(delay, [deliver, fn = on_delivered] { deliver(fn); });
+  }
+  engine_.schedule_after(delay,
+                         [deliver, fn = std::move(on_delivered)] { deliver(fn); });
 }
 
 std::int64_t Network::bytes_on_segment(SegmentId id) const {

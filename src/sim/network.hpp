@@ -24,6 +24,8 @@
 
 namespace integrade::sim {
 
+class FaultInjector;
+
 using SegmentId = std::int32_t;
 using EndpointId = std::uint64_t;  // shared with orb::NodeAddress
 
@@ -63,10 +65,16 @@ class Network {
   [[nodiscard]] SimDuration path_latency(EndpointId a, EndpointId b) const;
 
   /// Deliver `bytes` from `src` to `dst`, invoking `on_delivered` at the
-  /// simulated arrival time. If dst detaches before arrival the message is
-  /// silently dropped (datagram semantics; the ORB layers timeouts on top).
+  /// simulated arrival time. If either side detaches (or its endpoint is
+  /// crashed by the FaultInjector) before arrival the message is silently
+  /// dropped (datagram semantics; the ORB layers timeouts on top).
   void send(EndpointId src, EndpointId dst, Bytes bytes,
             std::function<void()> on_delivered);
+
+  /// Install (or clear, with nullptr) a fault injector consulted on every
+  /// send. Normally managed by the FaultInjector's own ctor/dtor.
+  void set_faults(FaultInjector* faults) { faults_ = faults; }
+  [[nodiscard]] FaultInjector* faults() const { return faults_; }
 
   /// Relative jitter applied to transfer time, default 5%.
   void set_jitter(double fraction) { jitter_ = fraction; }
@@ -79,6 +87,7 @@ class Network {
  private:
   Engine& engine_;
   Rng rng_;
+  FaultInjector* faults_ = nullptr;
   double jitter_ = 0.05;
   std::vector<SegmentSpec> segments_;
   std::vector<std::int64_t> segment_bytes_;

@@ -1,0 +1,109 @@
+// BackoffPolicy / next_backoff schedules.
+#include <gtest/gtest.h>
+
+#include "common/backoff.hpp"
+#include "common/rng.hpp"
+
+namespace integrade {
+namespace {
+
+TEST(BackoffTest, DefaultPolicyReproducesLegacyFixedDelay) {
+  BackoffPolicy policy;  // multiplier 1.0, no jitter
+  Rng rng(1);
+  const auto before = Rng(1).next_u64();
+  SimDuration prev = 0;
+  for (int i = 0; i < 5; ++i) {
+    prev = next_backoff(policy, prev, rng);
+    EXPECT_EQ(prev, 20 * kSecond);
+  }
+  // And it must consume zero randomness, or enabling/disabling other
+  // components would shift every later draw.
+  EXPECT_EQ(rng.next_u64(), before);
+}
+
+TEST(BackoffTest, ExponentialGrowthIsCapped) {
+  BackoffPolicy policy;
+  policy.base = 1 * kSecond;
+  policy.cap = 10 * kSecond;
+  policy.multiplier = 2.0;
+  Rng rng(2);
+  SimDuration prev = 0;
+  std::vector<SimDuration> seen;
+  for (int i = 0; i < 6; ++i) {
+    prev = next_backoff(policy, prev, rng);
+    seen.push_back(prev);
+  }
+  EXPECT_EQ(seen[0], 1 * kSecond);
+  EXPECT_EQ(seen[1], 2 * kSecond);
+  EXPECT_EQ(seen[2], 4 * kSecond);
+  EXPECT_EQ(seen[3], 8 * kSecond);
+  EXPECT_EQ(seen[4], 10 * kSecond);  // capped
+  EXPECT_EQ(seen[5], 10 * kSecond);  // stays capped
+}
+
+TEST(BackoffTest, ResetOnSuccessRestartsFromBase) {
+  BackoffPolicy policy;
+  policy.base = 1 * kSecond;
+  policy.cap = 60 * kSecond;
+  policy.multiplier = 3.0;
+  Rng rng(3);
+  SimDuration prev = next_backoff(policy, 0, rng);
+  prev = next_backoff(policy, prev, rng);
+  EXPECT_EQ(prev, 3 * kSecond);
+  // The caller models success by zeroing its stored delay.
+  prev = next_backoff(policy, 0, rng);
+  EXPECT_EQ(prev, 1 * kSecond);
+}
+
+TEST(BackoffTest, DecorrelatedJitterStaysWithinBounds) {
+  BackoffPolicy policy;
+  policy.base = 1 * kSecond;
+  policy.cap = 30 * kSecond;
+  policy.decorrelated_jitter = true;
+  Rng rng(4);
+  SimDuration prev = 0;
+  for (int i = 0; i < 500; ++i) {
+    const SimDuration next = next_backoff(policy, prev, rng);
+    EXPECT_GE(next, policy.base);
+    EXPECT_LE(next, policy.cap);
+    // Decorrelated jitter: next <= 3 * prev (or 3 * base on first failure).
+    const SimDuration ceiling = 3 * std::max(policy.base, prev);
+    EXPECT_LE(next, std::min<SimDuration>(ceiling, policy.cap));
+    prev = next;
+  }
+}
+
+TEST(BackoffTest, JitterActuallySpreads) {
+  BackoffPolicy policy;
+  policy.base = 1 * kSecond;
+  policy.cap = 30 * kSecond;
+  policy.decorrelated_jitter = true;
+  Rng a(5);
+  Rng b(6);
+  // Two tasks with different streams must not retry in lockstep.
+  int differing = 0;
+  SimDuration prev_a = 0, prev_b = 0;
+  for (int i = 0; i < 20; ++i) {
+    prev_a = next_backoff(policy, prev_a, a);
+    prev_b = next_backoff(policy, prev_b, b);
+    if (prev_a != prev_b) ++differing;
+  }
+  EXPECT_GT(differing, 15);
+}
+
+TEST(BackoffTest, JitterIsDeterministicPerSeed) {
+  BackoffPolicy policy;
+  policy.base = 2 * kSecond;
+  policy.decorrelated_jitter = true;
+  Rng a(7);
+  Rng b(7);
+  SimDuration prev_a = 0, prev_b = 0;
+  for (int i = 0; i < 50; ++i) {
+    prev_a = next_backoff(policy, prev_a, a);
+    prev_b = next_backoff(policy, prev_b, b);
+    EXPECT_EQ(prev_a, prev_b);
+  }
+}
+
+}  // namespace
+}  // namespace integrade

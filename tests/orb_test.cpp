@@ -5,6 +5,7 @@
 #include "orb/orb.hpp"
 #include "orb/transport.hpp"
 #include "protocol/messages.hpp"
+#include "sim/faults.hpp"
 #include "sim/network.hpp"
 
 namespace integrade::orb {
@@ -281,6 +282,137 @@ TEST(OrbSimTransport, LateReplyAfterTimeoutIsDiscarded) {
   engine.run();
   EXPECT_EQ(completions, 1);  // exactly once, with the timeout
   EXPECT_EQ(status.code(), ErrorCode::kDeadlineExceeded);
+}
+
+// Observable side effects: "count" bumps a counter and returns it, so a
+// re-executed duplicate is visible as a second increment.
+class CountingServant final : public SkeletonBase {
+ public:
+  CountingServant() {
+    register_raw("count", [this](cdr::Reader&, cdr::Writer& w) {
+      ++executions;
+      w.write_i32(executions);
+      return Status::ok();
+    });
+  }
+  [[nodiscard]] const char* type_id() const override {
+    return "IDL:test/Count:1.0";
+  }
+  int executions = 0;
+};
+
+TEST(OrbDedup, DuplicatedRequestExecutesOnceAndReplaysReply) {
+  sim::Engine engine;
+  sim::Network network(engine, Rng(3));
+  network.set_jitter(0.0);
+  auto lan = network.add_segment(sim::SegmentSpec{});
+  network.attach(1, lan);
+  network.attach(2, lan);
+  sim::FaultInjector faults(engine, network, Rng(4));
+  faults.set_duplication(1.0);  // every frame arrives twice
+  SimNetworkTransport transport(network);
+  Orb client(1, transport, &engine);
+  Orb server(2, transport, &engine);
+  auto counting = std::make_shared<CountingServant>();
+  auto ref = server.activate(counting);
+
+  int completions = 0;
+  client.invoke(ref, "count", {},
+                [&](Result<std::vector<std::uint8_t>> reply) {
+                  ASSERT_TRUE(reply.is_ok());
+                  ++completions;
+                });
+  engine.run();
+  EXPECT_EQ(counting->executions, 1);  // at-most-once on the server
+  EXPECT_EQ(completions, 1);           // exactly one callback on the client
+  EXPECT_EQ(server.metrics().counter_value("duplicate_requests"), 1);
+}
+
+TEST(OrbDedup, RetransmissionRecoversDroppedRequest) {
+  sim::Engine engine;
+  sim::Network network(engine, Rng(3));
+  network.set_jitter(0.0);
+  auto lan = network.add_segment(sim::SegmentSpec{});
+  network.attach(1, lan);
+  network.attach(2, lan);
+  sim::FaultInjector faults(engine, network, Rng(4));
+  SimNetworkTransport transport(network);
+  OrbOptions opts;
+  opts.request_retries = 2;
+  opts.retransmit_timeout = 1 * kSecond;
+  Orb client(1, transport, &engine, opts);
+  Orb server(2, transport, &engine);
+  auto counting = std::make_shared<CountingServant>();
+  auto ref = server.activate(counting);
+
+  // The server is dark for the first send, back before the retransmit.
+  faults.crash_endpoint(2);
+  engine.schedule_at(500 * kMillisecond,
+                     [&faults] { faults.restart_endpoint(2); });
+
+  int completions = 0;
+  bool ok = false;
+  client.invoke(ref, "count", {},
+                [&](Result<std::vector<std::uint8_t>> reply) {
+                  ++completions;
+                  ok = reply.is_ok();
+                },
+                30 * kSecond);
+  engine.run();
+  EXPECT_EQ(completions, 1);
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(counting->executions, 1);
+  EXPECT_EQ(client.metrics().counter_value("requests_retransmitted"), 1);
+}
+
+TEST(OrbDedup, LateDuplicateAfterWindowExpiryIsSafe) {
+  DirectTransport transport;
+  Orb client(1, transport, nullptr);  // absorbs replies to crafted requests
+  OrbOptions opts;
+  opts.dedup_window = 1;  // tiny window so expiry is easy to reach
+  Orb server(2, transport, nullptr, opts);
+  auto counting = std::make_shared<CountingServant>();
+  auto ref = server.activate(counting);
+
+  auto send_raw = [&](std::uint64_t request_id) {
+    RequestHeader header;
+    header.request_id = RequestId(request_id);
+    header.object_key = ref.key;
+    header.operation = "count";
+    transport.send(1, 2, frame_request(header, {}));
+  };
+
+  send_raw(100);
+  EXPECT_EQ(counting->executions, 1);
+  send_raw(100);  // inside the window: deduped, cached reply replayed
+  EXPECT_EQ(counting->executions, 1);
+  EXPECT_EQ(server.metrics().counter_value("duplicate_requests"), 1);
+
+  send_raw(101);  // evicts request 100 from the single-slot window
+  EXPECT_EQ(counting->executions, 2);
+  // A duplicate arriving after its window slot expired re-executes — the
+  // at-most-once guarantee is bounded by the window — but it must be
+  // handled as a normal request, not corrupt state or crash.
+  send_raw(100);
+  EXPECT_EQ(counting->executions, 3);
+}
+
+TEST(OrbDedup, DuplicateOnewayIsSuppressed) {
+  DirectTransport transport;
+  Orb server(2, transport, nullptr);
+  auto counting = std::make_shared<CountingServant>();
+  auto ref = server.activate(counting);
+
+  RequestHeader header;
+  header.request_id = RequestId(500);
+  header.object_key = ref.key;
+  header.operation = "count";
+  header.response_expected = false;
+  const auto wire = frame_request(header, {});
+  transport.send(1, 2, wire);
+  transport.send(1, 2, wire);
+  EXPECT_EQ(counting->executions, 1);
+  EXPECT_EQ(server.metrics().counter_value("duplicate_requests"), 1);
 }
 
 }  // namespace

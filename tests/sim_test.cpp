@@ -261,6 +261,17 @@ TEST_F(NetworkFixture, DetachedDestinationDropsInFlight) {
   EXPECT_FALSE(delivered);
 }
 
+TEST_F(NetworkFixture, DetachedSourceDropsInFlight) {
+  // Regression: a message already in flight must die when its *sender*
+  // detaches, just as it does when the destination detaches — a crashed
+  // machine's frames never arrive.
+  bool delivered = false;
+  network.send(1, 3, 1'250'000, [&] { delivered = true; });
+  network.detach(1);
+  engine.run();
+  EXPECT_FALSE(delivered);
+}
+
 TEST_F(NetworkFixture, UnknownDestinationDropsImmediately) {
   bool delivered = false;
   network.send(1, 99, 10, [&] { delivered = true; });
