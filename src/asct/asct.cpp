@@ -3,6 +3,8 @@
 #include <atomic>
 #include <cassert>
 
+#include "protocol/trace_names.hpp"
+
 namespace integrade::asct {
 
 namespace {
@@ -177,9 +179,24 @@ AppId Asct::submit(const orb::ObjectRef& grm,
   apps_[spec.id] = std::move(progress);
   metrics_.counter("apps_submitted").add();
 
+  // Root of the submission's trace tree: everything downstream (GRM
+  // admission, trader queries, negotiation, execution, reports) links back
+  // to this span through the context the TraceScope stamps on the call.
+  obs::Tracer* tr = orb_.tracer();
+  obs::Tracer::ActiveSpan root;
+  if (tr != nullptr && tr->enabled()) {
+    root = tr->start(protocol::kSpanAsctSubmit, obs::TraceContext{},
+                     engine_.now());
+    root.app = spec.id.value;
+  }
+  orb::TraceScope trace_scope(orb_, root.context());
   orb::call<protocol::ApplicationSpec, protocol::SubmitReply>(
       orb_, grm, "submit", spec,
-      [this, id = spec.id](Result<protocol::SubmitReply> reply) {
+      [this, id = spec.id, root](Result<protocol::SubmitReply> reply) {
+        if (obs::Tracer* tr = orb_.tracer(); tr != nullptr) {
+          const bool accepted = reply.is_ok() && reply.value().accepted;
+          tr->finish(root, engine_.now(), accepted ? "accepted" : "rejected");
+        }
         auto it = apps_.find(id);
         if (it == apps_.end()) return;
         if (!reply.is_ok() || !reply.value().accepted) {

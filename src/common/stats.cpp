@@ -19,8 +19,24 @@ void Summary::observe(double x) {
   const double delta = x - mean_;
   mean_ += delta / static_cast<double>(count_);
   m2_ += delta * (x - mean_);
-  samples_.push_back(x);
-  sorted_ = false;
+  if (samples_.size() < kReservoirCap) {
+    samples_.push_back(x);
+    sorted_ = false;
+  } else {
+    // Vitter's algorithm R with a splitmix64 stream off a fixed seed: slot
+    // j uniform in [0, count); keep the sample only if it falls inside the
+    // reservoir. Memory stays capped and the retained set is deterministic
+    // for a given observation sequence.
+    std::uint64_t z = (rng_state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    z ^= z >> 31;
+    const std::uint64_t j = z % static_cast<std::uint64_t>(count_);
+    if (j < kReservoirCap) {
+      samples_[static_cast<std::size_t>(j)] = x;
+      sorted_ = false;
+    }
+  }
 }
 
 double Summary::mean() const { return count_ == 0 ? 0.0 : mean_; }
@@ -48,6 +64,7 @@ double Summary::percentile(double q) const {
 void Summary::reset() {
   count_ = 0;
   sum_ = mean_ = m2_ = min_ = max_ = 0.0;
+  rng_state_ = kReservoirSeed;
   samples_.clear();
   sorted_ = true;
 }
@@ -56,31 +73,50 @@ Histogram::Histogram(double lo, double hi, int buckets) {
   assert(lo > 0.0 && hi > lo && buckets > 0);
   log_lo_ = std::log(lo);
   log_hi_ = std::log(hi);
+  inv_width_ = static_cast<double>(buckets) / (log_hi_ - log_lo_);
+  bounds_.resize(static_cast<std::size_t>(buckets) + 1);
+  bounds_.front() = lo;
+  bounds_.back() = hi;
+  for (int i = 1; i < buckets; ++i) {
+    const double frac = static_cast<double>(i) / buckets;
+    bounds_[static_cast<std::size_t>(i)] = std::exp(log_lo_ + frac * (log_hi_ - log_lo_));
+  }
   counts_.assign(static_cast<std::size_t>(buckets) + 2, 0);
 }
 
 void Histogram::observe(double x) {
   ++total_;
-  const int inner = static_cast<int>(counts_.size()) - 2;
-  if (x <= 0.0 || std::log(x) < log_lo_) {
+  if (x <= 0.0) {
     ++counts_.front();
     return;
   }
-  if (std::log(x) >= log_hi_) {
+  const double lx = std::log(x);  // single log per sample
+  if (lx < log_lo_) {
+    ++counts_.front();
+    return;
+  }
+  if (lx >= log_hi_) {
     ++counts_.back();
     return;
   }
-  const double frac = (std::log(x) - log_lo_) / (log_hi_ - log_lo_);
-  int idx = static_cast<int>(frac * inner);
+  const int inner = static_cast<int>(counts_.size()) - 2;
+  int idx = static_cast<int>((lx - log_lo_) * inv_width_);
   idx = std::clamp(idx, 0, inner - 1);
+  // Truncation of the scaled log can land an exact-boundary value one bucket
+  // off; settle it against the exact bucket bounds.
+  if (idx + 1 < inner && x >= bounds_[static_cast<std::size_t>(idx) + 1]) {
+    ++idx;
+  } else if (idx > 0 && x < bounds_[static_cast<std::size_t>(idx)]) {
+    --idx;
+  }
   ++counts_[static_cast<std::size_t>(idx) + 1];
 }
 
 double Histogram::bucket_lower_bound(int i) const {
   const int inner = static_cast<int>(counts_.size()) - 2;
   assert(i >= 0 && i < inner);
-  const double frac = static_cast<double>(i) / inner;
-  return std::exp(log_lo_ + frac * (log_hi_ - log_lo_));
+  (void)inner;
+  return bounds_[static_cast<std::size_t>(i)];
 }
 
 std::string Histogram::to_string() const {

@@ -1,9 +1,10 @@
 // Lightweight metrics used by every subsystem and printed by the benches.
 //
 // Counter: monotonically increasing event count.
-// Summary: streaming mean/variance (Welford) + min/max + retained samples
-//          for exact percentiles (experiments here are small enough that
-//          retaining samples is cheaper than quantile sketches).
+// Summary: streaming mean/variance (Welford) + min/max + a bounded sample
+//          reservoir for percentiles: exact below the cap, deterministic
+//          (fixed-seed) reservoir sampling above it, so week-long chaos runs
+//          stay within a fixed byte budget.
 // Histogram: fixed log-spaced buckets for latency-like quantities.
 // MetricRegistry: named metrics, so a component can expose its counters
 //          without the caller knowing its internals.
@@ -38,18 +39,35 @@ class Summary {
   [[nodiscard]] double min() const { return min_; }
   [[nodiscard]] double max() const { return max_; }
 
-  /// Exact percentile over retained samples, q in [0, 1]. Returns 0 if empty.
+  /// Percentile over retained samples, q in [0, 1]. Exact while count() is
+  /// below the reservoir cap; an unbiased estimate beyond it. Returns 0 if
+  /// empty.
   [[nodiscard]] double percentile(double q) const;
+
+  /// Bytes held for percentile estimation — bounded by the reservoir cap
+  /// regardless of how many samples were observed.
+  [[nodiscard]] std::size_t retained_bytes() const {
+    return samples_.capacity() * sizeof(double);
+  }
+  [[nodiscard]] std::size_t retained_count() const { return samples_.size(); }
 
   void reset();
 
  private:
+  /// Reservoir cap: 4096 doubles = 32 KiB per summary, enough for percentile
+  /// estimates within a fraction of a percent on smooth distributions.
+  static constexpr std::size_t kReservoirCap = 4096;
+  /// Fixed seed so identical observation streams always retain identical
+  /// reservoirs (metrics must never perturb reproducibility).
+  static constexpr std::uint64_t kReservoirSeed = 0x9e3779b97f4a7c15ULL;
+
   std::int64_t count_ = 0;
   double sum_ = 0.0;
   double mean_ = 0.0;
   double m2_ = 0.0;
   double min_ = 0.0;
   double max_ = 0.0;
+  std::uint64_t rng_state_ = kReservoirSeed;
   mutable std::vector<double> samples_;
   mutable bool sorted_ = true;
 };
@@ -69,6 +87,8 @@ class Histogram {
  private:
   double log_lo_;
   double log_hi_;
+  double inv_width_;            // inner / (log_hi_ - log_lo_)
+  std::vector<double> bounds_;  // exact bucket lower bounds, bounds_[inner] = hi
   std::vector<std::int64_t> counts_;  // [under, b0..bn-1, over]
   std::int64_t total_ = 0;
 };

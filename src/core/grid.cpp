@@ -61,6 +61,7 @@ Cluster::Cluster(Grid& grid, ClusterId id, ClusterConfig config)
   const auto manager_addr = grid_.allocate_endpoint(segment_ids_.front());
   manager_orb_ = std::make_unique<orb::Orb>(manager_addr, grid_.transport(),
                                             &grid_.engine(), config_.orb);
+  manager_orb_->set_tracer(&grid_.tracer());
   gupa_ref_ = manager_orb_->activate(std::make_shared<GupaServant>(gupa_));
   ckpt_ref_ =
       manager_orb_->activate(std::make_shared<CheckpointServant>(repository_));
@@ -82,6 +83,7 @@ Cluster::Cluster(Grid& grid, ClusterId id, ClusterConfig config)
     const auto standby_addr = grid_.allocate_endpoint(segment_ids_.front());
     standby_orb_ = std::make_unique<orb::Orb>(standby_addr, grid_.transport(),
                                               &grid_.engine(), config_.orb);
+    standby_orb_->set_tracer(&grid_.tracer());
     standby_grm_ = std::make_unique<grm::Grm>(grid_.engine(), *standby_orb_, id_,
                                               grid_.fork_rng(), config_.grm);
     standby_grm_->start(&gupa_, &repository_, &grid_.network());
@@ -91,6 +93,7 @@ Cluster::Cluster(Grid& grid, ClusterId id, ClusterConfig config)
   const auto user_addr = grid_.allocate_endpoint(segment_ids_.front());
   user_orb_ = std::make_unique<orb::Orb>(user_addr, grid_.transport(),
                                          &grid_.engine(), config_.orb);
+  user_orb_->set_tracer(&grid_.tracer());
   asct_ = std::make_unique<asct::Asct>(grid_.engine(), *user_orb_);
 
   // Publish the cluster's well-known objects in the grid Naming service so
@@ -118,6 +121,7 @@ Cluster::Cluster(Grid& grid, ClusterId id, ClusterConfig config)
     const auto addr = grid_.allocate_endpoint(segment);
     worker->orb = std::make_unique<orb::Orb>(addr, grid_.transport(),
                                              &grid_.engine(), config_.orb);
+    worker->orb->set_tracer(&grid_.tracer());
 
     lrm::LrmOptions lrm_options = config_.lrm;
     ncc::SharingPolicy policy = node_config.policy;
@@ -139,9 +143,43 @@ Cluster::Cluster(Grid& grid, ClusterId id, ClusterConfig config)
     if (standby_grm_) worker->lrm->set_standby_grm(standby_grm_->ref());
     workers_.push_back(std::move(worker));
   }
+
+  // --- MetricsHub registrations ---
+  // Every component's private registry becomes visible under a stable
+  // "component/instance" name; the per-LRM sources also derive the
+  // harvest duty cycle at snapshot time. The names are recorded so the
+  // destructor can deregister them.
+  obs::MetricsHub& hub = grid_.metrics_hub();
+  auto add_registry = [&](std::string name, const MetricRegistry* registry) {
+    hub.add_registry(name, registry);
+    hub_names_.push_back(std::move(name));
+  };
+  add_registry("grm/" + config_.name, &grm_->metrics());
+  if (standby_grm_) {
+    add_registry("grm-standby/" + config_.name, &standby_grm_->metrics());
+  }
+  add_registry("asct/" + config_.name, &asct_->metrics());
+  add_registry("orb/" + config_.name + "/manager", &manager_orb_->metrics());
+  if (standby_orb_) {
+    add_registry("orb/" + config_.name + "/standby", &standby_orb_->metrics());
+  }
+  add_registry("orb/" + config_.name + "/user", &user_orb_->metrics());
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    lrm::Lrm* lrm = workers_[i]->lrm.get();
+    std::string name =
+        "lrm/" + config_.name + "-n" + std::to_string(i + 1);
+    hub.add_source(name, [lrm](MetricRegistry& out) {
+      out = lrm->metrics();
+      out.summary("harvest_duty_cycle").observe(lrm->harvest_duty_cycle());
+    });
+    hub_names_.push_back(std::move(name));
+  }
 }
 
 Cluster::~Cluster() {
+  for (const std::string& name : hub_names_) {
+    grid_.metrics_hub().remove(name);
+  }
   // Stop protocol actors before their ORBs die underneath them.
   for (auto& worker : workers_) {
     if (worker->owner) worker->owner->stop();

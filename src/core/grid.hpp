@@ -37,6 +37,7 @@
 #include "ncc/ncc.hpp"
 #include "node/machine.hpp"
 #include "node/owner.hpp"
+#include "obs/obs.hpp"
 #include "orb/orb.hpp"
 #include "orb/transport.hpp"
 #include "security/auth.hpp"
@@ -152,6 +153,9 @@ class Cluster {
   std::unique_ptr<asct::Asct> asct_;
 
   std::vector<std::unique_ptr<Worker>> workers_;
+  /// Names this cluster registered in the grid's MetricsHub (removed in the
+  /// destructor so a cluster never leaves dangling scrape callbacks behind).
+  std::vector<std::string> hub_names_;
 };
 
 struct GridOptions {
@@ -184,6 +188,14 @@ class Grid {
   [[nodiscard]] services::NamingService& naming() { return naming_; }
   [[nodiscard]] Rng fork_rng() { return rng_.fork(); }
 
+  /// Grid-wide observability: one Tracer every cluster's ORBs share (spans
+  /// are linked across processes via the wire context) and one MetricsHub
+  /// every component registers into. Tracing is disabled by default —
+  /// call observability().tracer.enable() before the run to collect spans.
+  [[nodiscard]] obs::Observability& observability() { return obs_; }
+  [[nodiscard]] obs::Tracer& tracer() { return obs_.tracer; }
+  [[nodiscard]] obs::MetricsHub& metrics_hub() { return obs_.hub; }
+
   Cluster& add_cluster(ClusterConfig config);
   [[nodiscard]] Cluster& cluster(std::size_t i) { return *clusters_[i]; }
   [[nodiscard]] std::size_t cluster_count() const { return clusters_.size(); }
@@ -207,6 +219,9 @@ class Grid {
   orb::SimNetworkTransport transport_;
   std::unique_ptr<security::SecureTransport> secure_transport_;
   services::NamingService naming_;
+  /// Declared before clusters_: cluster destructors deregister their hub
+  /// sources, so the hub must outlive them.
+  obs::Observability obs_;
   std::vector<std::unique_ptr<Cluster>> clusters_;
   std::uint64_t next_endpoint_ = 1;
 };

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 
 #include "common/log.hpp"
+#include "protocol/trace_names.hpp"
 
 namespace integrade::grm {
 
@@ -209,6 +211,27 @@ protocol::SubmitReply Grm::handle_submit(const protocol::ApplicationSpec& spec) 
   protocol::SubmitReply reply;
   reply.app = spec.id;
 
+  // "grm.submit" span: child of the ASCT's submission span (carried in on
+  // the request's trace slot). Closed on every exit with the outcome.
+  obs::Tracer* tr = orb_.tracer();
+  obs::Tracer::ActiveSpan submit_span;
+  if (tr != nullptr && tr->enabled()) {
+    submit_span = tr->start(protocol::kSpanGrmSubmit, orb_.current_trace(), engine_.now());
+    submit_span.app = spec.id.value;
+  }
+  struct SpanCloser {
+    Grm& grm;
+    obs::Tracer* tr;
+    obs::Tracer::ActiveSpan& span;
+    protocol::SubmitReply& reply;
+    ~SpanCloser() {
+      if (tr != nullptr && span.valid()) {
+        tr->finish(span, grm.engine_.now(),
+                   reply.accepted ? "accepted" : reply.reason);
+      }
+    }
+  } span_closer{*this, tr, submit_span, reply};
+
   if (spec.tasks.empty()) {
     reply.accepted = false;
     reply.reason = "application has no tasks";
@@ -261,6 +284,13 @@ protocol::SubmitReply Grm::handle_submit(const protocol::ApplicationSpec& spec) 
       task.topology_segment = rank_segment[i];
     }
     const TaskId id = task.desc.id;
+    if (submit_span.valid()) {
+      // Lifetime span per task; every negotiation wave parents on it and
+      // its duration is the task's submission→completion latency.
+      task.span = tr->start(protocol::kSpanGrmTask, submit_span.context(), engine_.now());
+      task.span.app = spec.id.value;
+      task.span.task = id.value;
+    }
     tasks_.emplace(id, std::move(task));
     queue_.push_back(id);
   }
@@ -393,8 +423,31 @@ std::vector<const services::ServiceOffer*> Grm::candidates_for(
       (options_.use_forecast && gupa_ != nullptr ? 16 : 3);
   // The string query path memoizes compiled expressions in the Trader's LRU,
   // so repeat waves of the same task shape skip the parse entirely.
+  obs::Tracer* tr = orb_.tracer();
+  obs::Tracer::ActiveSpan qspan;
+  if (tr != nullptr && tr->enabled()) {
+    qspan = tr->start(protocol::kSpanTraderQuery,
+                      task.span.valid() ? task.span.context()
+                                        : orb_.current_trace(),
+                      engine_.now());
+    qspan.app = task.app.value;
+    qspan.task = task.desc.id.value;
+  }
+  // Wall-clock query latency: exported through the metrics hub only, never
+  // fed back into the simulation, so it cannot perturb reproducibility.
+  const auto wall_begin = std::chrono::steady_clock::now();
   auto query = trader_.query(protocol::kNodeServiceType, build_constraint(task),
                              pref_src, pool_depth, &rng_);
+  metrics_.summary("trader_query_us")
+      .observe(std::chrono::duration<double, std::micro>(
+                   std::chrono::steady_clock::now() - wall_begin)
+                   .count());
+  if (tr != nullptr && qspan.valid()) {
+    tr->finish(qspan, engine_.now(),
+               query.is_ok()
+                   ? std::to_string(query.value().size()) + " offers"
+                   : "query error");
+  }
   if (!query.is_ok()) return {};  // validated at submit; belt and braces
   auto offers = std::move(query).value();
 
@@ -508,14 +561,32 @@ void Grm::continue_wave(const std::shared_ptr<Wave>& wave) {
 
   metrics_.counter("negotiation_rounds").add();
   ++inflight_[candidate.node];
+
+  // "grm.reserve" span, parented on the task's lifetime span; the TraceScope
+  // stamps its context into the outgoing request so the LRM's "lrm.reserve"
+  // span links under it.
+  obs::Tracer* tr = orb_.tracer();
+  obs::Tracer::ActiveSpan rspan;
+  if (tr != nullptr && tr->enabled()) {
+    rspan = tr->start(protocol::kSpanGrmReserve, it->second.span.context(), engine_.now());
+    rspan.task = wave->task.value;
+    rspan.node = candidate.node.value;
+  }
+  orb::TraceScope trace_scope(orb_, rspan.context());
   orb::call<protocol::ReservationRequest, protocol::ReservationReply>(
       orb_, candidate.lrm, "reserve", reserve,
-      [this, wave, candidate](Result<protocol::ReservationReply> reply) {
+      [this, wave, candidate, rspan](Result<protocol::ReservationReply> reply) {
         if (--inflight_[candidate.node] <= 0) inflight_.erase(candidate.node);
+        obs::Tracer* tr = orb_.tracer();
         if (!reply.is_ok()) {
+          if (tr != nullptr) tr->finish(rspan, engine_.now(), "timeout");
           metrics_.counter("negotiation_timeouts").add();
           continue_wave(wave);
           return;
+        }
+        if (tr != nullptr) {
+          tr->finish(rspan, engine_.now(),
+                     reply.value().granted ? "granted" : "refused");
         }
         if (!reply.value().granted) {
           metrics_.counter("reservations_refused_remote").add();
@@ -548,10 +619,24 @@ void Grm::continue_wave(const std::shared_ptr<Wave>& wave) {
         execute.report_to = self_ref_;
         execute.restore_state = restore_state_for(task_it->second);
 
+        obs::Tracer::ActiveSpan espan;
+        if (tr != nullptr && tr->enabled()) {
+          espan = tr->start(protocol::kSpanGrmExecute, task_it->second.span.context(),
+                            engine_.now());
+          espan.task = wave->task.value;
+          espan.node = candidate.node.value;
+        }
+        orb::TraceScope trace_scope(orb_, espan.context());
         orb::call<protocol::ExecuteRequest, protocol::ExecuteReply>(
             orb_, candidate.lrm, "execute", execute,
-            [this, wave, candidate](Result<protocol::ExecuteReply> exec_reply) {
-              if (!exec_reply.is_ok() || !exec_reply.value().accepted) {
+            [this, wave, candidate,
+             espan](Result<protocol::ExecuteReply> exec_reply) {
+              const bool ok =
+                  exec_reply.is_ok() && exec_reply.value().accepted;
+              if (obs::Tracer* tr = orb_.tracer(); tr != nullptr) {
+                tr->finish(espan, engine_.now(), ok ? "accepted" : "failed");
+              }
+              if (!ok) {
                 metrics_.counter("executes_failed").add();
                 continue_wave(wave);
                 return;
@@ -662,6 +747,19 @@ void Grm::handle_report(const protocol::TaskReport& report) {
   if (app_it == apps_.end()) return;
   AppRecord& app = app_it->second;
 
+  // "grm.report" span: child of the LRM's "lrm.run" span (carried on the
+  // report request), so completion causality is visible in the trace tree.
+  obs::Tracer* tr = orb_.tracer();
+  obs::Tracer::ActiveSpan report_span;
+  if (tr != nullptr && tr->enabled()) {
+    report_span = tr->start(protocol::kSpanGrmReport, orb_.current_trace(), engine_.now());
+    report_span.app = task.app.value;
+    report_span.task = report.task.value;
+    report_span.node = report.node.value;
+    tr->finish(report_span, engine_.now(),
+               protocol::task_outcome_name(report.outcome));
+  }
+
   switch (report.outcome) {
     case TaskOutcome::kCompleted: {
       if (task.state == TaskState::kCompleted) {
@@ -675,6 +773,12 @@ void Grm::handle_report(const protocol::TaskReport& report) {
       task.remote_timeout.cancel();
       task.state = TaskState::kCompleted;
       --app.outstanding;
+      if (tr != nullptr && task.span.valid()) {
+        // Close the lifetime span: its duration is the task's
+        // submission→completion latency (E13's gated quantity).
+        tr->finish(task.span, engine_.now(), "completed");
+        task.span = {};
+      }
       metrics_.counter("tasks_completed").add();
       notify(app, AppEventKind::kTaskCompleted, report.task, report.node, "");
       if (app.adopted_remote && app.origin.valid()) {
@@ -864,7 +968,11 @@ void Grm::forward_remote(TaskRecord& task) {
 
   task.state = TaskState::kRemote;
   metrics_.counter("remote_forwards").add();
-  orb::oneway(orb_, hop, kOpRemoteSubmit, remote);
+  {
+    // Keep the remote hop inside the task's trace.
+    orb::TraceScope trace_scope(orb_, task.span.context());
+    orb::oneway(orb_, hop, kOpRemoteSubmit, remote);
+  }
 
   // If nobody adopts in time, reclaim the task locally.
   const TaskId id = task.desc.id;
@@ -918,6 +1026,14 @@ void Grm::handle_remote_submit(const protocol::RemoteSubmit& request) {
     task.desc = request.spec.tasks.front();
     task.app = request.spec.id;
     const TaskId id = task.desc.id;
+    if (obs::Tracer* tr = orb_.tracer(); tr != nullptr && tr->enabled()) {
+      // Adopted fragment: parent the local lifetime span on the origin
+      // cluster's task context carried in the remote_submit request.
+      task.span = tr->start(protocol::kSpanGrmTask, orb_.current_trace(),
+                            engine_.now());
+      task.span.app = request.spec.id.value;
+      task.span.task = id.value;
+    }
     tasks_.emplace(id, std::move(task));
     queue_.push_back(id);
     kick_scheduler();

@@ -158,6 +158,11 @@ class Grm {
     SimTime eligible_at = 0;
     std::int32_t topology_segment = -1;  // pinned segment, -1 = anywhere
     sim::EventHandle remote_timeout;
+    /// Long-lived "grm.task" span: opened at submission, closed at final
+    /// completion, so its duration is the submission→completion latency the
+    /// E13 bench gates on. Inactive when tracing is off. All negotiation
+    /// spans for the task parent on its context.
+    obs::Tracer::ActiveSpan span;
   };
 
   struct AppRecord {

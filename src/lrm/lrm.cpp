@@ -5,6 +5,7 @@
 
 #include "common/log.hpp"
 #include "protocol/properties.hpp"
+#include "protocol/trace_names.hpp"
 
 namespace integrade::lrm {
 
@@ -79,6 +80,8 @@ void Lrm::start(const orb::ObjectRef& grm, const orb::ObjectRef& gupa,
   network_ = network;
 
   self_ref_ = orb_.activate(std::make_shared<LrmServant>(*this));
+  duty_mark_ = engine_.now();
+  duty_busy_ = false;
 
   // Initialize owner tracking from the machine's *actual* state: a machine
   // whose owner is mid-session at LRM boot must not be advertised as quiet.
@@ -131,6 +134,9 @@ void Lrm::crash() {
   reservations_.clear();
   auto victims = std::move(tasks_);
   tasks_.clear();
+  mark_duty();
+  // Running tasks' "lrm.run" spans die unflushed with the process — a
+  // crashed node cannot say goodbye in the trace either.
   for (auto& [id, task] : victims) {
     task->completion.cancel();
     task->checkpoint_timer.stop();
@@ -313,6 +319,28 @@ protocol::ReservationReply Lrm::handle_reserve(
 
   protocol::ReservationReply reply;
   reply.id = req.id;
+
+  // "lrm.reserve" span: child of the GRM's "grm.reserve" span (carried in
+  // on the request's trace slot). Closed on every exit with the verdict.
+  obs::Tracer* tr = orb_.tracer();
+  obs::Tracer::ActiveSpan rspan;
+  if (tr != nullptr && tr->enabled()) {
+    rspan = tr->start(protocol::kSpanLrmReserve, orb_.current_trace(), now);
+    rspan.task = req.task.value;
+    rspan.node = machine_.id().value;
+  }
+  struct SpanCloser {
+    Lrm& lrm;
+    obs::Tracer* tr;
+    obs::Tracer::ActiveSpan& span;
+    protocol::ReservationReply& reply;
+    ~SpanCloser() {
+      if (tr != nullptr && span.valid()) {
+        tr->finish(span, lrm.engine_.now(),
+                   reply.granted ? "granted" : reply.reason);
+      }
+    }
+  } span_closer{*this, tr, rspan, reply};
   const double exportable = ncc_.exportable_cpu(machine_, now, owner_quiet_since_);
   const Bytes exportable_ram = ncc_.exportable_ram(machine_);
   reply.exportable_cpu = std::max(0.0, exportable - reserved_cpu());
@@ -360,6 +388,28 @@ protocol::ReservationReply Lrm::handle_reserve(
 protocol::ExecuteReply Lrm::handle_execute(const protocol::ExecuteRequest& req) {
   protocol::ExecuteReply reply;
   reply.reservation = req.reservation;
+
+  // "lrm.execute" span: child of the GRM's "grm.execute" span.
+  obs::Tracer* tr = orb_.tracer();
+  obs::Tracer::ActiveSpan espan;
+  if (tr != nullptr && tr->enabled()) {
+    espan = tr->start(protocol::kSpanLrmExecute, orb_.current_trace(),
+                      engine_.now());
+    espan.task = req.task.id.value;
+    espan.node = machine_.id().value;
+  }
+  struct SpanCloser {
+    Lrm& lrm;
+    obs::Tracer* tr;
+    obs::Tracer::ActiveSpan& span;
+    protocol::ExecuteReply& reply;
+    ~SpanCloser() {
+      if (tr != nullptr && span.valid()) {
+        tr->finish(span, lrm.engine_.now(),
+                   reply.accepted ? "accepted" : reply.reason);
+      }
+    }
+  } span_closer{*this, tr, espan, reply};
 
   protocol::ReservationRequest reservation;
   auto it = reservations_.find(req.reservation);
@@ -435,9 +485,16 @@ protocol::ExecuteReply Lrm::handle_execute(const protocol::ExecuteRequest& req) 
     return reply;
   }
   metrics_.counter("tasks_accepted").add();
+  mark_duty();
 
   // Sequential-task checkpointing: periodic portable state capture.
   RunningTask& t = *task_it->second;
+  if (espan.valid()) {
+    t.run_span = tr->start(protocol::kSpanLrmRun, espan.context(), engine_.now());
+    t.run_span.app = t.desc.app.value;
+    t.run_span.task = t.desc.id.value;
+    t.run_span.node = machine_.id().value;
+  }
   if (!t.bsp_resident && t.desc.checkpoint_period > 0 &&
       checkpoint_service_.valid()) {
     t.checkpoint_timer.start(engine_, t.desc.checkpoint_period,
@@ -468,7 +525,11 @@ void Lrm::handle_cancel(TaskId id) {
   settle_all();
   it->second->completion.cancel();
   it->second->checkpoint_timer.stop();
+  if (obs::Tracer* tr = orb_.tracer(); tr != nullptr) {
+    tr->finish(it->second->run_span, engine_.now(), "cancelled");
+  }
   tasks_.erase(it);
+  mark_duty();
   metrics_.counter("tasks_cancelled").add();
   reallocate();
 }
@@ -626,9 +687,13 @@ void Lrm::finish_task(TaskId id) {
     network_->send(orb_.address(), task.report_to.host, task.desc.output_bytes,
                    [] {});
   }
+  if (obs::Tracer* tr = orb_.tracer(); tr != nullptr) {
+    tr->finish(task.run_span, engine_.now(), "completed");
+  }
   report(task, TaskOutcome::kCompleted, "");
   task.checkpoint_timer.stop();
   tasks_.erase(it);
+  mark_duty();
   reallocate();
 }
 
@@ -656,9 +721,14 @@ void Lrm::evict_all(TaskOutcome outcome, const std::string& detail) {
 
   auto victims = std::move(tasks_);
   tasks_.clear();
+  mark_duty();
   for (auto& [_, task] : victims) {
     task->completion.cancel();
     task->checkpoint_timer.stop();
+    if (obs::Tracer* tr = orb_.tracer(); tr != nullptr) {
+      tr->finish(task->run_span, engine_.now(),
+                 protocol::task_outcome_name(outcome));
+    }
     metrics_.counter("tasks_evicted").add();
     report(*task, outcome, detail);
   }
@@ -673,6 +743,9 @@ void Lrm::report(const RunningTask& task, TaskOutcome outcome,
   report.outcome = outcome;
   report.work_done = task.done;
   report.detail = detail;
+  // Carry the run span's context so the GRM's "grm.report" span links under
+  // this task's subtree.
+  orb::TraceScope trace_scope(orb_, task.run_span.context());
   orb::reliable_oneway(orb_, task.report_to, "report", report);
 }
 
@@ -696,6 +769,22 @@ void Lrm::checkpoint_task(RunningTask& task) {
                    task.desc.checkpoint_bytes, [] {});
   }
   orb::oneway(orb_, checkpoint_service_, "store_checkpoint", checkpoint);
+}
+
+void Lrm::mark_duty() {
+  const SimTime now = engine_.now();
+  (duty_busy_ ? duty_busy_time_ : duty_idle_time_) += now - duty_mark_;
+  duty_mark_ = now;
+  duty_busy_ = !tasks_.empty();
+}
+
+double Lrm::harvest_duty_cycle() const {
+  SimDuration busy = duty_busy_time_;
+  SimDuration idle = duty_idle_time_;
+  (duty_busy_ ? busy : idle) += engine_.now() - duty_mark_;
+  const SimDuration total = busy + idle;
+  return total > 0 ? static_cast<double>(busy) / static_cast<double>(total)
+                   : 0.0;
 }
 
 }  // namespace integrade::lrm

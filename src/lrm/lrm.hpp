@@ -109,6 +109,11 @@ class Lrm {
   /// tasks later evicted.
   [[nodiscard]] MInstr total_work_done() const { return total_work_done_; }
 
+  /// Idle-harvest duty cycle: fraction of this node's lifetime (since
+  /// start()) during which at least one grid task was resident. The paper's
+  /// idle-harvesting claim in one number; exported via the metrics hub.
+  [[nodiscard]] double harvest_duty_cycle() const;
+
   // --- protocol entry points (called by the servant; public for tests) ---
   protocol::ReservationReply handle_reserve(const protocol::ReservationRequest& req);
   protocol::ExecuteReply handle_execute(const protocol::ExecuteRequest& req);
@@ -138,6 +143,10 @@ class Lrm {
     // Sequential checkpointing.
     sim::PeriodicTimer checkpoint_timer;
     std::int64_t checkpoint_version = 0;
+    /// "lrm.run" span: opened at Execute admission, closed when the task
+    /// completes, is evicted, or is cancelled. Lost on crash() — a crashed
+    /// process cannot flush its spans. Inactive when tracing is off.
+    obs::Tracer::ActiveSpan run_span;
   };
 
   struct HeldReservation {
@@ -164,6 +173,9 @@ class Lrm {
               const std::string& detail);
   void checkpoint_task(RunningTask& task);
   void update_quiet_tracking();
+  /// Fold the elapsed interval into the duty-cycle accumulators; call at
+  /// every point where tasks_ flips between empty and non-empty.
+  void mark_duty();
   [[nodiscard]] double grid_cpu_in_use() const;
   [[nodiscard]] double reserved_cpu() const;
   [[nodiscard]] Bytes ram_committed() const;
@@ -199,6 +211,12 @@ class Lrm {
   std::vector<Orphan> orphans_;
 
   MInstr total_work_done_ = 0;
+
+  // Idle-harvest duty-cycle accounting (see harvest_duty_cycle()).
+  SimTime duty_mark_ = 0;
+  bool duty_busy_ = false;
+  SimDuration duty_busy_time_ = 0;
+  SimDuration duty_idle_time_ = 0;
 
   /// Scratch record returned by current_status(); static fields are filled
   /// on first use, dynamic fields on every call.

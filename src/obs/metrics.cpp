@@ -1,0 +1,80 @@
+#include "obs/metrics.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace integrade::obs {
+
+namespace {
+
+void append_double(std::ostringstream& os, double v) {
+  if (!std::isfinite(v)) {
+    os << "0";
+    return;
+  }
+  std::ostringstream tmp;
+  tmp.precision(12);
+  tmp << v;
+  os << tmp.str();
+}
+
+}  // namespace
+
+void MetricsHub::add_source(std::string name, Source fill) {
+  sources_[std::move(name)] = std::move(fill);
+}
+
+void MetricsHub::add_registry(std::string name, const MetricRegistry* registry) {
+  add_source(std::move(name),
+             [registry](MetricRegistry& out) { out = *registry; });
+}
+
+void MetricsHub::remove(const std::string& name) { sources_.erase(name); }
+
+std::map<std::string, MetricRegistry> MetricsHub::collect() const {
+  std::map<std::string, MetricRegistry> out;
+  for (const auto& [name, fill] : sources_) {
+    fill(out[name]);
+  }
+  return out;
+}
+
+std::string MetricsHub::snapshot_json() const {
+  std::ostringstream os;
+  os << "{";
+  bool first_source = true;
+  for (const auto& [name, registry] : collect()) {
+    if (!first_source) os << ",";
+    first_source = false;
+    os << "\n  \"" << name << "\": {\"counters\": {";
+    bool first = true;
+    for (const auto& [cname, counter] : registry.counters()) {
+      if (!first) os << ", ";
+      first = false;
+      os << "\"" << cname << "\": " << counter.value();
+    }
+    os << "}, \"summaries\": {";
+    first = true;
+    for (const auto& [sname, summary] : registry.summaries()) {
+      if (!first) os << ", ";
+      first = false;
+      os << "\"" << sname << "\": {\"count\": " << summary.count()
+         << ", \"mean\": ";
+      append_double(os, summary.mean());
+      os << ", \"min\": ";
+      append_double(os, summary.min());
+      os << ", \"max\": ";
+      append_double(os, summary.max());
+      os << ", \"p50\": ";
+      append_double(os, summary.percentile(0.50));
+      os << ", \"p99\": ";
+      append_double(os, summary.percentile(0.99));
+      os << "}";
+    }
+    os << "}}";
+  }
+  os << "\n}\n";
+  return os.str();
+}
+
+}  // namespace integrade::obs

@@ -1,0 +1,49 @@
+// Observability layer, part 2: the per-process metrics hub.
+//
+// Every component already keeps a private MetricRegistry (common/stats.hpp).
+// The hub promotes those to process scope: each component registers under a
+// hierarchical name ("grm/lab", "lrm/lab-n3", "orb/42", "faults"), and
+// snapshot_json() renders one deterministic JSON document with every
+// counter and summary. Sources are pull-based — a registered source is a
+// callback that fills a scratch registry at snapshot time, so values that
+// are derived on demand (FaultInjector stats, LRM duty cycles) cost nothing
+// between snapshots.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+
+#include "common/stats.hpp"
+
+namespace integrade::obs {
+
+class MetricsHub {
+ public:
+  using Source = std::function<void(MetricRegistry&)>;
+
+  /// Register a pull source: `fill` populates the scratch registry handed to
+  /// it at snapshot time. Re-registering a name replaces the old source.
+  void add_source(std::string name, Source fill);
+
+  /// Convenience: register a live registry by pointer; snapshots copy it.
+  /// The registry must outlive the registration (remove() before it dies).
+  void add_registry(std::string name, const MetricRegistry* registry);
+
+  void remove(const std::string& name);
+  [[nodiscard]] std::size_t source_count() const { return sources_.size(); }
+
+  /// Materialize every source. Keyed by source name; deterministic order.
+  [[nodiscard]] std::map<std::string, MetricRegistry> collect() const;
+
+  /// JSON document:
+  ///   {"<source>": {"counters": {"<name>": N, ...},
+  ///                 "summaries": {"<name>": {"count":..,"mean":..,"min":..,
+  ///                                          "max":..,"p50":..,"p99":..}}}}
+  [[nodiscard]] std::string snapshot_json() const;
+
+ private:
+  std::map<std::string, Source> sources_;
+};
+
+}  // namespace integrade::obs

@@ -1,0 +1,15 @@
+// Umbrella for the observability layer: one Tracer + one MetricsHub per
+// process (in the simulator, per Grid). See docs/observability.md.
+#pragma once
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace integrade::obs {
+
+struct Observability {
+  Tracer tracer;
+  MetricsHub hub;
+};
+
+}  // namespace integrade::obs

@@ -19,11 +19,23 @@ std::uint32_t get_u32_be(const std::uint8_t* p) {
          (std::uint32_t{p[2]} << 8) | std::uint32_t{p[3]};
 }
 
+// Request flag byte. Bit 0 doubles as the legacy response_expected bool
+// (cdr::Writer::write_bool emits 0x00/0x01), so a request without a trace
+// context encodes exactly as it did before the tracing slot existed.
+constexpr std::uint8_t kFlagResponseExpected = 0x01;
+constexpr std::uint8_t kFlagHasTrace = 0x02;
+
 void encode_request_header(cdr::Writer& w, const RequestHeader& h) {
   w.write_id(h.request_id);
   w.write_id(h.object_key);
   w.write_string(h.operation);
-  w.write_bool(h.response_expected);
+  std::uint8_t flags = h.response_expected ? kFlagResponseExpected : 0;
+  if (h.has_trace()) flags |= kFlagHasTrace;
+  w.write_u8(flags);
+  if (h.has_trace()) {
+    w.write_u64(h.trace_id);
+    w.write_u64(h.trace_parent);
+  }
 }
 
 RequestHeader decode_request_header(cdr::Reader& r) {
@@ -31,7 +43,12 @@ RequestHeader decode_request_header(cdr::Reader& r) {
   h.request_id = r.read_id<RequestTag>();
   h.object_key = r.read_id<ObjectTag>();
   h.operation = r.read_string();
-  h.response_expected = r.read_bool();
+  const std::uint8_t flags = r.read_u8();
+  h.response_expected = (flags & kFlagResponseExpected) != 0;
+  if ((flags & kFlagHasTrace) != 0) {
+    h.trace_id = r.read_u64();
+    h.trace_parent = r.read_u64();
+  }
   return h;
 }
 

@@ -37,6 +37,15 @@ struct RequestHeader {
   ObjectId object_key;
   std::string operation;
   bool response_expected = true;
+  /// Tracing service-context slot (GIOP-style, see docs/observability.md):
+  /// the trace this request belongs to and the span that caused it. Encoded
+  /// only when trace_id != 0 — the response_expected flag byte grows a
+  /// "has trace" bit, so untraced frames stay byte-identical to the
+  /// pre-tracing wire format.
+  std::uint64_t trace_id = 0;
+  std::uint64_t trace_parent = 0;
+
+  [[nodiscard]] bool has_trace() const { return trace_id != 0; }
 };
 
 struct ReplyHeader {

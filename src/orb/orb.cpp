@@ -88,6 +88,10 @@ void Orb::invoke(const ObjectRef& target, const std::string& operation,
   header.object_key = target.key;
   header.operation = operation;
   header.response_expected = true;
+  if (ambient_.valid()) {
+    header.trace_id = ambient_.trace_id;
+    header.trace_parent = ambient_.span_id;
+  }
 
   Pending pending;
   pending.callback = std::move(callback);
@@ -128,6 +132,10 @@ void Orb::send_oneway(const ObjectRef& target, const std::string& operation,
   header.object_key = target.key;
   header.operation = operation;
   header.response_expected = false;
+  if (ambient_.valid()) {
+    header.trace_id = ambient_.trace_id;
+    header.trace_parent = ambient_.span_id;
+  }
   auto frame = frame_request(header, args);
   metrics_.counter("oneways_sent").add();
   metrics_.counter("bytes_sent").add(static_cast<std::int64_t>(frame.size()));
@@ -189,6 +197,16 @@ void Orb::handle_request(NodeAddress source, const ParsedFrame& frame) {
       return;
     }
   }
+
+  // Ambient context for the duration of the dispatch: spans the servant
+  // starts and calls it issues inherit the incoming request's trace slot.
+  // Dispatch is synchronous and single-threaded, so save/restore suffices.
+  struct AmbientGuard {
+    Orb& orb;
+    obs::TraceContext saved;
+    ~AmbientGuard() { orb.ambient_ = saved; }
+  } ambient_guard{*this, ambient_};
+  ambient_ = obs::TraceContext{req.trace_id, req.trace_parent};
 
   ReplyHeader reply;
   reply.request_id = req.request_id;

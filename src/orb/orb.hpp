@@ -20,6 +20,7 @@
 #include "common/lru.hpp"
 #include "common/result.hpp"
 #include "common/stats.hpp"
+#include "obs/trace.hpp"
 #include "orb/ior.hpp"
 #include "orb/message.hpp"
 #include "orb/transport.hpp"
@@ -129,6 +130,20 @@ class Orb {
   [[nodiscard]] MetricRegistry& metrics() { return metrics_; }
   [[nodiscard]] sim::Engine* engine() { return engine_; }
 
+  // --- tracing (see docs/observability.md) -------------------------------
+  /// Attach the process tracer. The tracer may be disabled; instrumented
+  /// components must check `tracer() && tracer()->enabled()` before starting
+  /// spans.
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+  [[nodiscard]] obs::Tracer* tracer() const { return tracer_; }
+
+  /// Ambient trace context: set while a servant dispatch runs (from the
+  /// request's trace slot) or by a TraceScope around outgoing calls; stamped
+  /// into every outgoing request header while valid. Single-threaded by
+  /// construction — the simulation dispatches servants synchronously.
+  [[nodiscard]] obs::TraceContext current_trace() const { return ambient_; }
+  void set_current_trace(obs::TraceContext ctx) { ambient_ = ctx; }
+
  private:
   void on_frame(NodeAddress source, const std::vector<std::uint8_t>& bytes);
   void handle_request(NodeAddress source, const ParsedFrame& frame);
@@ -177,6 +192,32 @@ class Orb {
   /// vector marks a deduped request with no response (oneway).
   LruCache<DedupKey, std::vector<std::uint8_t>, DedupKeyHash> dedup_;
   MetricRegistry metrics_;
+  obs::Tracer* tracer_ = nullptr;
+  obs::TraceContext ambient_;
+};
+
+/// RAII ambient-context switch: while alive, requests sent through `orb`
+/// carry `ctx`. An invalid ctx is a no-op, so callers can construct one
+/// unconditionally from a possibly-inactive span.
+class TraceScope {
+ public:
+  TraceScope(Orb& orb, obs::TraceContext ctx) : orb_(orb) {
+    if (ctx.valid()) {
+      prev_ = orb.current_trace();
+      active_ = true;
+      orb.set_current_trace(ctx);
+    }
+  }
+  ~TraceScope() {
+    if (active_) orb_.set_current_trace(prev_);
+  }
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+ private:
+  Orb& orb_;
+  obs::TraceContext prev_;
+  bool active_ = false;
 };
 
 // ---------------------------------------------------------------------------

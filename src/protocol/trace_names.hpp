@@ -1,0 +1,30 @@
+// Canonical span names for the task-lifecycle trace tree (single source of
+// truth shared by the instrumented components, chaos tests, and the E13
+// analyzer — see docs/observability.md for the tree shape):
+//
+//   asct.submit                      root, one per application submission
+//   └─ grm.submit                    admission on the Cluster Manager
+//      └─ grm.task                   per task, submission → final completion
+//         ├─ trader.query            candidate selection, one per wave
+//         ├─ grm.reserve             one per negotiation round
+//         │  └─ lrm.reserve          provider-side grant/refuse
+//         ├─ grm.execute             after a granted reservation
+//         │  └─ lrm.execute          provider-side admission
+//         │     └─ lrm.run           task resident on the node
+//         │        └─ grm.report     outcome received back at the GRM
+#pragma once
+
+namespace integrade::protocol {
+
+inline constexpr const char* kSpanAsctSubmit = "asct.submit";
+inline constexpr const char* kSpanGrmSubmit = "grm.submit";
+inline constexpr const char* kSpanGrmTask = "grm.task";
+inline constexpr const char* kSpanTraderQuery = "trader.query";
+inline constexpr const char* kSpanGrmReserve = "grm.reserve";
+inline constexpr const char* kSpanGrmExecute = "grm.execute";
+inline constexpr const char* kSpanGrmReport = "grm.report";
+inline constexpr const char* kSpanLrmReserve = "lrm.reserve";
+inline constexpr const char* kSpanLrmExecute = "lrm.execute";
+inline constexpr const char* kSpanLrmRun = "lrm.run";
+
+}  // namespace integrade::protocol

@@ -85,6 +85,11 @@ Status Trader::modify(OfferId id, PropertySet properties, SimTime now) {
   return Status::ok();
 }
 
+void Trader::set_compiled_cache_capacity(std::size_t capacity) {
+  constraint_cache_ = LruCache<std::string, Constraint>(capacity);
+  preference_cache_ = LruCache<std::string, Preference>(capacity);
+}
+
 const ServiceOffer* Trader::lookup(OfferId id) const {
   auto it = offers_.find(id);
   return it == offers_.end() ? nullptr : &it->second;

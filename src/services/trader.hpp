@@ -118,6 +118,15 @@ class Trader {
   [[nodiscard]] std::vector<const ServiceOffer*> offers_of_type(
       const std::string& service_type) const;
 
+  /// Resize the compiled-expression memo (both caches), discarding every
+  /// cached entry. Tests shrink it to 1 so that any compiled expression held
+  /// by pointer across a nested insertion becomes an immediate
+  /// use-after-evict instead of a latent one.
+  void set_compiled_cache_capacity(std::size_t capacity);
+  [[nodiscard]] std::size_t compiled_cache_capacity() const {
+    return constraint_cache_.capacity();
+  }
+
   /// Verify both secondary indexes against the offer map: every offer in
   /// exactly one type bucket (id-ascending), every provider entry backed by
   /// live offers, no strays. Used by tests and debug builds; returns the

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "common/stats.hpp"
+
 namespace integrade::sim {
 
 namespace {
@@ -181,6 +183,18 @@ FaultInjector::SendPlan FaultInjector::plan_send(EndpointId src,
     if (plan.extra_delay > 0) ++stats_.delayed;
   }
   return plan;
+}
+
+void FaultInjector::export_metrics(MetricRegistry& out) const {
+  out.counter("crashes").add(stats_.crashes);
+  out.counter("restarts").add(stats_.restarts);
+  out.counter("partitions").add(stats_.partitions);
+  out.counter("heals").add(stats_.heals);
+  out.counter("endpoint_drops").add(stats_.endpoint_drops);
+  out.counter("partition_drops").add(stats_.partition_drops);
+  out.counter("loss_drops").add(stats_.loss_drops);
+  out.counter("duplicates").add(stats_.duplicates);
+  out.counter("delayed").add(stats_.delayed);
 }
 
 }  // namespace integrade::sim

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "common/stats.hpp"
 #include "common/types.hpp"
 #include "sim/engine.hpp"
 #include "sim/network.hpp"
@@ -136,6 +137,11 @@ class FaultInjector {
                                    EndpointId dst, SegmentId dst_segment);
 
   [[nodiscard]] const FaultStats& stats() const { return stats_; }
+
+  /// Fill `out` with the fault counters under stable names — the shape the
+  /// observability hub's snapshot expects (register via
+  /// MetricsHub::add_source so values are scraped on demand).
+  void export_metrics(MetricRegistry& out) const;
 
  private:
   void apply(const FaultEvent& event);

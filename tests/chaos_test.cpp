@@ -8,9 +8,13 @@
 #include <string>
 #include <unordered_map>
 
+#include <cstring>
+
 #include "asct/asct.hpp"
 #include "core/grid.hpp"
 #include "core/workloads.hpp"
+#include "obs/trace.hpp"
+#include "protocol/trace_names.hpp"
 #include "sim/faults.hpp"
 
 namespace integrade {
@@ -184,6 +188,89 @@ TEST(ChaosTest, IdenticalSeedsProduceIdenticalEventTraces) {
   EXPECT_EQ(a.trace, b.trace);
   EXPECT_EQ(a.completed, b.completed);
   EXPECT_EQ(a.duplicate_reports, b.duplicate_reports);
+}
+
+TEST(ChaosTest, TracedRunNeverExecutesBeforeReservingOnANode) {
+  // Causality invariant, checked from the span record rather than the
+  // protocol's own bookkeeping: under crash churn and loss, no task may
+  // start executing on a node it has not first reserved — an "lrm.execute"
+  // span for (task, node) must be preceded by an "lrm.reserve" span for the
+  // same pair.
+  core::Grid grid(23);
+  grid.tracer().enable(1u << 16);
+  auto config = core::quiet_cluster(30, /*seed=*/77, 1000.0, "traced");
+  config.orb.request_retries = 3;
+  config.orb.retransmit_timeout = 1 * kSecond;
+  config.lrm.reliable_updates = true;
+  auto& cluster = grid.add_cluster(config);
+
+  sim::FaultInjector faults(grid.engine(), grid.network(),
+                            Rng(23 ^ 0xfeedfacecafef00dULL));
+  std::unordered_map<orb::NodeAddress, std::size_t> worker_by_endpoint;
+  std::vector<sim::EndpointId> pool;
+  for (std::size_t i = 0; i < cluster.size(); ++i) {
+    worker_by_endpoint[cluster.worker_address(i)] = i;
+    pool.push_back(cluster.worker_address(i));
+  }
+  faults.set_endpoint_handlers(
+      [&](sim::EndpointId ep) {
+        if (auto it = worker_by_endpoint.find(ep);
+            it != worker_by_endpoint.end()) {
+          cluster.lrm(it->second).crash();
+        }
+      },
+      [&](sim::EndpointId ep) {
+        if (auto it = worker_by_endpoint.find(ep);
+            it != worker_by_endpoint.end()) {
+          cluster.lrm(it->second).restart();
+        }
+      });
+  faults.set_loss(0.03);
+  faults.enable_crash_churn(pool, /*crashes_per_minute=*/0.5,
+                            /*mean_downtime=*/30 * kSecond,
+                            /*until=*/25 * kMinute);
+
+  grid.run_for(3 * kMinute);
+  asct::AppBuilder builder("traced");
+  builder.kind(protocol::AppKind::kParametric)
+      .tasks(16, 120'000.0)
+      .checkpoint_period(kMinute, 64 * kKiB)
+      .estimated_duration(2 * kMinute);
+  const AppId app = cluster.asct().submit(cluster.grm_ref(),
+                                          builder.build(cluster.asct().ref()));
+  (void)grid.run_until_app_done(cluster, app,
+                                grid.engine().now() + 30 * kMinute);
+  grid.run_for(30 * kSecond);
+
+  ASSERT_NE(grid.tracer().log(), nullptr);
+  EXPECT_EQ(grid.tracer().log()->dropped(), 0u);
+  const auto spans = grid.tracer().log()->snapshot();
+  // Earliest reserve per (task, node); then every execute must come after.
+  std::map<std::pair<std::uint64_t, std::uint64_t>, SimTime> first_reserve;
+  int executes = 0;
+  for (const auto& span : spans) {
+    if (std::strcmp(span.name, protocol::kSpanLrmReserve) == 0) {
+      const auto key = std::make_pair(span.task, span.node);
+      auto [it, inserted] = first_reserve.emplace(key, span.start);
+      if (!inserted && span.start < it->second) it->second = span.start;
+    }
+  }
+  for (const auto& span : spans) {
+    if (std::strcmp(span.name, protocol::kSpanLrmExecute) != 0) continue;
+    ++executes;
+    const auto it = first_reserve.find({span.task, span.node});
+    ASSERT_NE(it, first_reserve.end())
+        << "task " << span.task << " executed on node " << span.node
+        << " without any reserve span";
+    EXPECT_LE(it->second, span.start)
+        << "task " << span.task << " executed on node " << span.node
+        << " before its reservation";
+  }
+  // The invariant must have been exercised: tasks ran and some chaos hit.
+  EXPECT_GE(executes, 16);
+  const auto* progress = cluster.asct().progress(app);
+  ASSERT_NE(progress, nullptr);
+  EXPECT_GT(progress->completed, 0);
 }
 
 }  // namespace

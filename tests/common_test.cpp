@@ -106,6 +106,52 @@ TEST(SummaryTest, PercentileClampsQuantile) {
   EXPECT_DOUBLE_EQ(summary.percentile(2.0), 5.0);
 }
 
+TEST(SummaryTest, ReservoirBoundsMemoryOnTenMillionObservations) {
+  // Regression: observe() used to retain every sample (and re-sort the whole
+  // vector per percentile call), so a week-long chaos run grew without
+  // bound. The reservoir must hold memory flat and keep percentiles of a
+  // uniform ramp within a small tolerance.
+  Summary summary;
+  constexpr std::int64_t kN = 10'000'000;
+  for (std::int64_t i = 0; i < kN; ++i) {
+    summary.observe(static_cast<double>(i));
+  }
+  EXPECT_EQ(summary.count(), kN);
+  EXPECT_LE(summary.retained_bytes(), 64u * 1024u);  // fixed byte budget
+  EXPECT_LE(summary.retained_count(), 4096u);
+  // Streaming moments stay exact regardless of the reservoir.
+  EXPECT_DOUBLE_EQ(summary.min(), 0.0);
+  EXPECT_DOUBLE_EQ(summary.max(), static_cast<double>(kN - 1));
+  EXPECT_NEAR(summary.mean(), static_cast<double>(kN - 1) / 2.0, 1.0);
+  // Quantiles are estimates above the cap: a 4096-sample reservoir puts the
+  // standard error of a quantile near sqrt(q(1-q)/4096) ~ 0.8% of the range.
+  EXPECT_NEAR(summary.percentile(0.50), 0.50 * kN, 0.05 * kN);
+  EXPECT_NEAR(summary.percentile(0.99), 0.99 * kN, 0.05 * kN);
+}
+
+TEST(SummaryTest, ReservoirIsDeterministic) {
+  // Metrics must never perturb reproducibility: identical observation
+  // streams retain identical reservoirs (the sampler is seeded, not random).
+  Summary a;
+  Summary b;
+  for (int i = 0; i < 50'000; ++i) {
+    a.observe(i * 7 % 1000);
+    b.observe(i * 7 % 1000);
+  }
+  for (double q : {0.0, 0.1, 0.5, 0.9, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(a.percentile(q), b.percentile(q)) << "q=" << q;
+  }
+}
+
+TEST(SummaryTest, PercentilesExactBelowReservoirCap) {
+  Summary summary;
+  for (int i = 1; i <= 4000; ++i) summary.observe(i);  // below the 4096 cap
+  EXPECT_EQ(summary.retained_count(), 4000u);
+  EXPECT_DOUBLE_EQ(summary.percentile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(summary.percentile(1.0), 4000.0);
+  EXPECT_NEAR(summary.percentile(0.5), 2000.5, 1e-9);
+}
+
 TEST(HistogramTest, BucketsAndOutOfRange) {
   Histogram histogram(1.0, 1000.0, 3);  // log buckets: [1,10) [10,100) [100,1000)
   histogram.observe(0.5);    // under
@@ -124,6 +170,53 @@ TEST(HistogramTest, BucketsAndOutOfRange) {
   EXPECT_NEAR(histogram.bucket_lower_bound(0), 1.0, 1e-9);
   EXPECT_NEAR(histogram.bucket_lower_bound(1), 10.0, 1e-6);
   EXPECT_FALSE(histogram.to_string().empty());
+}
+
+TEST(HistogramTest, ExactBoundaryValuesLandInTheirOwnBucket) {
+  // Regression: observe() truncated `frac * inner`, so a value exactly on a
+  // bucket boundary could land one bucket low when the recomputed log
+  // rounded down. Boundary values must start their bucket, and the largest
+  // value strictly below a boundary must stay in the bucket beneath it.
+  // The histogram's own bucket_lower_bound values are the authoritative
+  // boundaries (interior bounds are exp-derived, so they can differ from
+  // the "round" decade values by an ulp).
+  Histogram histogram(1.0, 1000.0, 3);  // [1,10) [10,100) [100,1000)
+  const double b1 = histogram.bucket_lower_bound(1);  // ~10
+  const double b2 = histogram.bucket_lower_bound(2);  // ~100
+  EXPECT_NEAR(b1, 10.0, 1e-9);
+  EXPECT_NEAR(b2, 100.0, 1e-9);
+  histogram.observe(1.0);
+  histogram.observe(b1);
+  histogram.observe(b2);
+  histogram.observe(std::nextafter(b1, 0.0));
+  histogram.observe(std::nextafter(b2, 0.0));
+  histogram.observe(std::nextafter(1.0, 0.0));   // under
+  histogram.observe(1000.0);                     // hi is exclusive: over
+  const auto& counts = histogram.bucket_counts();
+  ASSERT_EQ(counts.size(), 5u);
+  EXPECT_EQ(counts[0], 1);  // under: nextafter(1.0, 0.0)
+  EXPECT_EQ(counts[1], 2);  // 1.0 and nextafter(b1, 0.0)
+  EXPECT_EQ(counts[2], 2);  // b1 and nextafter(b2, 0.0)
+  EXPECT_EQ(counts[3], 1);  // b2
+  EXPECT_EQ(counts[4], 1);  // over: 1000.0
+}
+
+TEST(HistogramTest, EveryBucketLowerBoundMapsToItsBucket) {
+  // Sweep a finer histogram: observing bucket_lower_bound(i) must count in
+  // bucket i, and the value one ulp below must count in bucket i-1.
+  Histogram histogram(1.0, 10.0, 7);
+  for (int i = 0; i < 7; ++i) {
+    const double bound = histogram.bucket_lower_bound(i);
+    histogram.observe(bound);
+    const auto& counts = histogram.bucket_counts();
+    EXPECT_EQ(counts[static_cast<std::size_t>(i) + 1], 1)
+        << "bound " << bound << " missed bucket " << i;
+    if (i > 0) {
+      histogram.observe(std::nextafter(bound, 0.0));
+      EXPECT_EQ(counts[static_cast<std::size_t>(i)], 2)
+          << "value below bound " << bound << " missed bucket " << (i - 1);
+    }
+  }
 }
 
 TEST(MetricRegistryTest, NamedMetricsAndReset) {

@@ -1,0 +1,252 @@
+// Observability layer: tracer/span semantics, the trace ring, the metrics
+// hub, and the wire-level trace slot (including frame byte-identity when
+// tracing is off).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "orb/message.hpp"
+#include "orb/orb.hpp"
+#include "orb/transport.hpp"
+
+namespace integrade {
+namespace {
+
+TEST(TracerTest, DisabledTracerIsInertAndFree) {
+  obs::Tracer tracer;
+  EXPECT_FALSE(tracer.enabled());
+  EXPECT_EQ(tracer.log(), nullptr);
+
+  auto span = tracer.start("x", obs::TraceContext{}, 100);
+  EXPECT_FALSE(span.valid());
+  EXPECT_FALSE(span.context().valid());
+  tracer.finish(span, 200, "note");  // must be a safe no-op
+
+  // Enabling later starts ids from 1 — the disabled period consumed nothing.
+  tracer.enable(8);
+  auto first = tracer.start("y", obs::TraceContext{}, 0);
+  EXPECT_EQ(first.trace_id, 1u);
+  EXPECT_EQ(first.span_id, 1u);
+}
+
+TEST(TracerTest, RootAndChildSpansShareATrace) {
+  obs::Tracer tracer;
+  tracer.enable(16);
+
+  auto root = tracer.start("root", obs::TraceContext{}, 10);
+  ASSERT_TRUE(root.valid());
+  EXPECT_EQ(root.parent_id, 0u);
+
+  auto child = tracer.start("child", root.context(), 20);
+  EXPECT_EQ(child.trace_id, root.trace_id);
+  EXPECT_EQ(child.parent_id, root.span_id);
+  EXPECT_NE(child.span_id, root.span_id);
+
+  // A span started without a parent roots a fresh trace.
+  auto other = tracer.start("other", obs::TraceContext{}, 30);
+  EXPECT_NE(other.trace_id, root.trace_id);
+
+  tracer.finish(child, 25, "done");
+  tracer.finish(root, 30);
+  ASSERT_EQ(tracer.log()->size(), 2u);
+  const auto spans = tracer.log()->snapshot();
+  EXPECT_STREQ(spans[0].name, "child");
+  EXPECT_EQ(spans[0].start, 20);
+  EXPECT_EQ(spans[0].end, 25);
+  EXPECT_EQ(spans[0].note, "done");
+  EXPECT_STREQ(spans[1].name, "root");
+}
+
+TEST(TraceLogTest, RingOverwritesOldestAndCountsDropped) {
+  obs::TraceLog log(3);
+  for (std::uint64_t i = 1; i <= 5; ++i) {
+    obs::Span s;
+    s.trace_id = 1;
+    s.span_id = i;
+    s.name = "s";
+    log.append(s);
+  }
+  EXPECT_EQ(log.capacity(), 3u);
+  EXPECT_EQ(log.size(), 3u);
+  EXPECT_EQ(log.total(), 5u);
+  EXPECT_EQ(log.dropped(), 2u);
+  const auto spans = log.snapshot();  // oldest first, across the wrap point
+  ASSERT_EQ(spans.size(), 3u);
+  EXPECT_EQ(spans[0].span_id, 3u);
+  EXPECT_EQ(spans[1].span_id, 4u);
+  EXPECT_EQ(spans[2].span_id, 5u);
+
+  log.clear();
+  EXPECT_EQ(log.size(), 0u);
+  EXPECT_EQ(log.total(), 0u);
+}
+
+TEST(TraceLogTest, JsonlCarriesAllFieldsAndEscapes) {
+  obs::TraceLog log(4);
+  obs::Span s;
+  s.trace_id = 7;
+  s.span_id = 8;
+  s.parent_id = 6;
+  s.name = "grm.task";
+  s.start = 100;
+  s.end = 250;
+  s.app = 1;
+  s.task = 2;
+  s.node = 3;
+  s.note = "say \"hi\"\n";
+  log.append(s);
+
+  const std::string jsonl = log.to_jsonl();
+  EXPECT_NE(jsonl.find("\"trace\":7"), std::string::npos);
+  EXPECT_NE(jsonl.find("\"span\":8"), std::string::npos);
+  EXPECT_NE(jsonl.find("\"parent\":6"), std::string::npos);
+  EXPECT_NE(jsonl.find("\"name\":\"grm.task\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"start_us\":100"), std::string::npos);
+  EXPECT_NE(jsonl.find("\"end_us\":250"), std::string::npos);
+  EXPECT_NE(jsonl.find("\\\"hi\\\""), std::string::npos);  // quote escaping
+  EXPECT_NE(jsonl.find("\\n"), std::string::npos);         // newline escaping
+  EXPECT_EQ(jsonl.back(), '\n');
+}
+
+TEST(MetricsHubTest, CollectsRegistriesAndDerivedSources) {
+  obs::MetricsHub hub;
+  MetricRegistry grm;
+  grm.counter("tasks_completed").add(4);
+  grm.summary("latency").observe(2.0);
+  hub.add_registry("grm/lab", &grm);
+  hub.add_source("derived", [](MetricRegistry& out) {
+    out.counter("calls").add(1);
+    out.summary("duty").observe(0.25);
+  });
+  EXPECT_EQ(hub.source_count(), 2u);
+
+  const auto collected = hub.collect();
+  ASSERT_EQ(collected.size(), 2u);
+  EXPECT_EQ(collected.at("grm/lab").counter_value("tasks_completed"), 4);
+  EXPECT_EQ(collected.at("derived").counter_value("calls"), 1);
+
+  // Registry scrapes are live: later increments show up in the next pull.
+  grm.counter("tasks_completed").add(1);
+  EXPECT_EQ(hub.collect().at("grm/lab").counter_value("tasks_completed"), 5);
+
+  const std::string json = hub.snapshot_json();
+  EXPECT_NE(json.find("\"grm/lab\""), std::string::npos);
+  EXPECT_NE(json.find("\"tasks_completed\": 5"), std::string::npos);
+  EXPECT_NE(json.find("\"duty\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+
+  hub.remove("grm/lab");
+  EXPECT_EQ(hub.source_count(), 1u);
+  EXPECT_EQ(hub.collect().count("grm/lab"), 0u);
+}
+
+TEST(TraceWireTest, UntracedFramesAreByteIdenticalToLegacyEncoding) {
+  orb::RequestHeader header;
+  header.request_id = RequestId(42);
+  header.object_key = ObjectId(7);
+  header.operation = "echo";
+  const auto untraced = orb::frame_request(header, {1, 2, 3});
+
+  // A header that never saw the trace fields encodes identically: the trace
+  // slot costs zero bytes unless a context is present.
+  orb::RequestHeader same = header;
+  same.trace_id = 0;
+  same.trace_parent = 0;
+  EXPECT_EQ(orb::frame_request(same, {1, 2, 3}), untraced);
+
+  auto parsed = orb::parse_frame(untraced);
+  ASSERT_TRUE(parsed.is_ok());
+  EXPECT_FALSE(parsed.value().request.has_trace());
+  EXPECT_EQ(parsed.value().request.trace_id, 0u);
+}
+
+TEST(TraceWireTest, TracedFramesCarryTheContextInSixteenBytes) {
+  orb::RequestHeader header;
+  header.request_id = RequestId(42);
+  header.object_key = ObjectId(7);
+  header.operation = "echo";
+  const auto untraced = orb::frame_request(header, {1, 2, 3});
+
+  header.trace_id = 0xdeadbeef;
+  header.trace_parent = 99;
+  const auto traced = orb::frame_request(header, {1, 2, 3});
+  // Two u64s plus CDR alignment padding before the first of them.
+  EXPECT_GE(traced.size(), untraced.size() + 16);
+  EXPECT_LE(traced.size(), untraced.size() + 24);
+
+  auto parsed = orb::parse_frame(traced);
+  ASSERT_TRUE(parsed.is_ok());
+  EXPECT_TRUE(parsed.value().request.has_trace());
+  EXPECT_EQ(parsed.value().request.trace_id, 0xdeadbeefu);
+  EXPECT_EQ(parsed.value().request.trace_parent, 99u);
+  EXPECT_EQ(parsed.value().request.operation, "echo");
+  EXPECT_TRUE(parsed.value().request.response_expected);
+  EXPECT_EQ(parsed.value().payload, (std::vector<std::uint8_t>{1, 2, 3}));
+
+  // response_expected still round-trips alongside the trace flag.
+  header.response_expected = false;
+  auto oneway = orb::parse_frame(orb::frame_request(header, {}));
+  ASSERT_TRUE(oneway.is_ok());
+  EXPECT_FALSE(oneway.value().request.response_expected);
+  EXPECT_TRUE(oneway.value().request.has_trace());
+}
+
+// Servant that records the server ORB's ambient trace context during
+// dispatch, proving the context crossed the wire and was installed.
+class ContextProbeServant final : public orb::SkeletonBase {
+ public:
+  explicit ContextProbeServant(orb::Orb& orb) {
+    register_raw("probe", [this, &orb](cdr::Reader&, cdr::Writer&) {
+      seen = orb.current_trace();
+      return Status::ok();
+    });
+  }
+  [[nodiscard]] const char* type_id() const override {
+    return "IDL:test/Probe:1.0";
+  }
+  obs::TraceContext seen;
+};
+
+TEST(TraceWireTest, AmbientContextPropagatesThroughACallAndRestores) {
+  orb::DirectTransport transport;
+  orb::Orb client(1, transport, nullptr);
+  orb::Orb server(2, transport, nullptr);
+  obs::Tracer tracer;
+  tracer.enable(16);
+  client.set_tracer(&tracer);
+  server.set_tracer(&tracer);
+
+  auto probe = std::make_shared<ContextProbeServant>(server);
+  auto ref = server.activate(probe);
+
+  auto span = tracer.start("client.op", obs::TraceContext{}, 0);
+  {
+    orb::TraceScope scope(client, span.context());
+    EXPECT_EQ(client.current_trace().trace_id, span.trace_id);
+    bool done = false;
+    client.invoke(ref, "probe", {},
+                  [&](Result<std::vector<std::uint8_t>> reply) {
+                    ASSERT_TRUE(reply.is_ok());
+                    done = true;
+                  });
+    EXPECT_TRUE(done);  // DirectTransport dispatches synchronously
+  }
+  // The server saw the caller's context while dispatching...
+  EXPECT_EQ(probe->seen.trace_id, span.trace_id);
+  EXPECT_EQ(probe->seen.span_id, span.span_id);
+  // ...and both ORBs are back to "no ambient context" afterwards.
+  EXPECT_FALSE(client.current_trace().valid());
+  EXPECT_FALSE(server.current_trace().valid());
+
+  // Without a TraceScope, requests carry no context at all.
+  probe->seen = obs::TraceContext{1, 1};
+  client.invoke(ref, "probe", {},
+                [](Result<std::vector<std::uint8_t>>) {});
+  EXPECT_FALSE(probe->seen.valid());
+}
+
+}  // namespace
+}  // namespace integrade

@@ -415,5 +415,100 @@ TEST(OrbDedup, DuplicateOnewayIsSuppressed) {
   EXPECT_EQ(server.metrics().counter_value("duplicate_requests"), 1);
 }
 
+// Transport that delivers synchronously like DirectTransport but records
+// every frame, so tests can assert on what actually crossed the wire.
+class RecordingTransport final : public Transport {
+ public:
+  struct Sent {
+    NodeAddress from = 0;
+    NodeAddress to = 0;
+    std::vector<std::uint8_t> frame;
+  };
+
+  void bind(NodeAddress self, FrameHandler handler) override {
+    handlers_[self] = std::move(handler);
+  }
+  void unbind(NodeAddress self) override { handlers_.erase(self); }
+  void send(NodeAddress from, NodeAddress to,
+            std::vector<std::uint8_t> frame) override {
+    log.push_back({from, to, frame});
+    if (auto it = handlers_.find(to); it != handlers_.end()) {
+      it->second(from, log.back().frame);
+    }
+  }
+
+  [[nodiscard]] std::vector<Sent> frames_to(NodeAddress to) const {
+    std::vector<Sent> out;
+    for (const auto& sent : log) {
+      if (sent.to == to) out.push_back(sent);
+    }
+    return out;
+  }
+
+  std::vector<Sent> log;
+
+ private:
+  std::unordered_map<NodeAddress, FrameHandler> handlers_;
+};
+
+TEST(OrbDedup, ReplayedOnewayNeverEmitsAReplyFrame) {
+  // Contract under test: the dedup window caches an *empty* wire for oneway
+  // requests, and the replay path only sends when the duplicate expects a
+  // response and a non-empty reply was cached. A replayed oneway must
+  // therefore execute nothing AND put nothing on the wire — a spurious
+  // reply frame to a oneway would be a protocol violation.
+  RecordingTransport transport;
+  Orb server(2, transport, nullptr);
+  auto counting = std::make_shared<CountingServant>();
+  auto ref = server.activate(counting);
+
+  RequestHeader header;
+  header.request_id = RequestId(600);
+  header.object_key = ref.key;
+  header.operation = "count";
+  header.response_expected = false;
+  const auto wire = frame_request(header, {});
+  transport.send(1, 2, wire);
+  transport.send(1, 2, wire);  // replayed duplicate
+  transport.send(1, 2, wire);  // and again
+
+  EXPECT_EQ(counting->executions, 1);
+  EXPECT_EQ(server.metrics().counter_value("duplicate_requests"), 2);
+  // Every frame on the wire is one of our requests; the server sent none.
+  EXPECT_TRUE(transport.frames_to(1).empty());
+  EXPECT_EQ(transport.log.size(), 3u);
+}
+
+TEST(OrbDedup, ReplayedTwowayReturnsTheOriginalReplyBytes) {
+  // Contract under test: a twoway's reply wire is cached before first send,
+  // so a replayed request is answered from the cache — byte-identical to
+  // the original reply and without re-executing the servant.
+  RecordingTransport transport;
+  Orb server(2, transport, nullptr);
+  auto counting = std::make_shared<CountingServant>();
+  auto ref = server.activate(counting);
+
+  RequestHeader header;
+  header.request_id = RequestId(601);
+  header.object_key = ref.key;
+  header.operation = "count";
+  const auto wire = frame_request(header, {});
+  transport.send(1, 2, wire);
+  transport.send(1, 2, wire);  // replayed duplicate
+
+  EXPECT_EQ(counting->executions, 1);
+  EXPECT_EQ(server.metrics().counter_value("duplicate_requests"), 1);
+  const auto replies = transport.frames_to(1);
+  ASSERT_EQ(replies.size(), 2u);
+  EXPECT_EQ(replies[0].frame, replies[1].frame);  // byte-identical replay
+  // And it really is the first execution's reply: counter payload reads 1.
+  auto parsed = parse_frame(replies[1].frame);
+  ASSERT_TRUE(parsed.is_ok());
+  ASSERT_EQ(parsed.value().type, MessageType::kReply);
+  EXPECT_EQ(parsed.value().reply.request_id, RequestId(601));
+  cdr::Reader reader(parsed.value().payload);
+  EXPECT_EQ(reader.read_i32(), 1);
+}
+
 }  // namespace
 }  // namespace integrade::orb

@@ -267,5 +267,52 @@ TEST(TraderIndexTest, StringQueryCacheServesRepeatsAndRejectsBadInput) {
   EXPECT_FALSE(bad_pref.is_ok());
 }
 
+TEST(TraderIndexTest, CapacityOneCompiledCacheSurvivesConstantEviction) {
+  // Use-after-evict stress for the compiled-expression LRU. query() must
+  // copy each compiled expression out of the cache before touching the
+  // cache again: with capacity 1, *every* second insertion evicts the
+  // previous entry, so any pointer held across the nested compile would be
+  // a use-after-free that ASan flags and results would silently corrupt.
+  Rng rng(99);
+  Trader trader;
+  populate(trader, 400, rng);
+  trader.set_compiled_cache_capacity(1);
+  ASSERT_EQ(trader.compiled_cache_capacity(), 1u);
+
+  const char* constraints[] = {"cpu_mips > 500", "shareable == true",
+                               "free_ram_mb >= 256", "segment == 2",
+                               "exist exportable_mips"};
+  const char* preferences[] = {"max cpu_mips", "min cpu_mips", "first",
+                               "max exportable_mips",
+                               "with free_ram_mb >= 1024"};
+  for (int round = 0; round < 40; ++round) {
+    for (std::size_t i = 0; i < std::size(constraints); ++i) {
+      // Distinct constraint/preference per query: the preference insertion
+      // always evicts the constraint just compiled in the same call.
+      const std::string c = constraints[i];
+      const std::string p = preferences[(i + static_cast<std::size_t>(round)) %
+                                        std::size(preferences)];
+      auto via_cache = trader.query("integrade::Node", c, p);
+      ASSERT_TRUE(via_cache.is_ok()) << c << " / " << p;
+
+      auto compiled_c = Constraint::parse(c);
+      auto compiled_p = Preference::parse(p);
+      ASSERT_TRUE(compiled_c.is_ok() && compiled_p.is_ok());
+      const auto reference = trader.query_linear(
+          "integrade::Node", compiled_c.value(), compiled_p.value());
+      EXPECT_EQ(via_cache.value(), reference) << c << " / " << p;
+    }
+  }
+
+  // Shrinking the cache dropped nothing correctness-visible: a repeat of
+  // the very first query still matches the linear reference.
+  auto again = trader.query("integrade::Node", constraints[0], preferences[0]);
+  ASSERT_TRUE(again.is_ok());
+  auto c0 = Constraint::parse(constraints[0]);
+  auto p0 = Preference::parse(preferences[0]);
+  EXPECT_EQ(again.value(),
+            trader.query_linear("integrade::Node", c0.value(), p0.value()));
+}
+
 }  // namespace
 }  // namespace integrade::services

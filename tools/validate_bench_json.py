@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Schema check for the bench harness's BENCH_*.json result files.
+
+Every experiment binary that emits a JSON result must produce a document CI
+(and downstream tooling) can consume without guessing:
+
+  * a top-level object,
+  * a name under ``"bench"`` (legacy) or ``"name"`` — a non-empty string,
+  * at least one payload key holding the measurements: either a non-empty
+    list of row objects (``"sizes"``, ``"cells"``, ...) or a non-empty
+    object of scalars (``"metrics"``, ``"config"``, ...),
+  * numbers that are real JSON numbers — no NaN/Infinity tokens, which
+    ``fprintf("%f")`` happily emits but strict parsers reject.
+
+Usage: validate_bench_json.py FILE [FILE...]
+Exits non-zero on the first malformed file. Stdlib only.
+"""
+
+import json
+import sys
+
+
+def fail(path, message):
+    print(f"{path}: {message}", file=sys.stderr)
+    return 1
+
+
+def validate(path):
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            # parse_constant rejects NaN/Infinity/-Infinity, which json.load
+            # would otherwise accept silently.
+            doc = json.load(handle, parse_constant=lambda token: (_ for _ in ()).throw(
+                ValueError(f"non-finite number {token!r}")))
+    except (OSError, ValueError) as error:
+        return fail(path, f"unreadable or invalid JSON: {error}")
+
+    if not isinstance(doc, dict):
+        return fail(path, f"top level must be an object, got {type(doc).__name__}")
+
+    name = doc.get("bench", doc.get("name"))
+    if not isinstance(name, str) or not name:
+        return fail(path, 'missing a non-empty "bench" or "name" string key')
+
+    payloads = 0
+    for key, value in doc.items():
+        if isinstance(value, list):
+            if not value:
+                return fail(path, f'"{key}" is an empty list')
+            for i, row in enumerate(value):
+                if not isinstance(row, dict) or not row:
+                    return fail(path, f'"{key}"[{i}] must be a non-empty object')
+            payloads += 1
+        elif isinstance(value, dict):
+            if not value:
+                return fail(path, f'"{key}" is an empty object')
+            payloads += 1
+    if payloads == 0:
+        return fail(path, "no measurement payload (no list-of-rows or object key)")
+
+    print(f"{path}: ok ({name!r}, {payloads} payload key(s))")
+    return 0
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    return max(validate(path) for path in argv[1:])
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
