@@ -18,7 +18,15 @@
 // attached but every rate zero — and their event traces are compared:
 // attaching the (disabled) injector must not change behaviour at all.
 //
-// Usage: bench_chaos [out.json] [--quick]
+// Usage: bench_chaos [out.json] [--quick] [--threads N] [--trace-dump FILE]
+//
+// --threads N runs the sharded simulation kernel: the cluster is reshaped
+// onto 4 LAN segments (one engine shard each) and windows execute on N
+// worker threads. For a fixed seed the run is bit-identical for every N —
+// stdout, JSON, and the --trace-dump file byte-diff clean between
+// --threads 1 and --threads 4 (CI's determinism gate does exactly that).
+// Without the flag the historical single-queue engine runs, byte for byte.
+//
 // Exit code is non-zero if the 2%/min-crash + 5%-loss cell completes < 95%
 // of tasks, sees any duplicate completion, or the no-fault traces differ.
 #include <cstdio>
@@ -58,6 +66,11 @@ struct Scenario {
   // reliably kills nodes mid-execution instead of between tasks.
   MInstr work = 300'000.0;
   SimDuration deadline = 40 * kMinute;
+  // Parallel kernel (0 shards = historical single-queue engine). The shard
+  // count is fixed at 4 whenever --threads is given, so every thread count
+  // simulates the identical experiment.
+  std::size_t shards = 0;
+  std::size_t threads = 1;
 };
 
 core::ClusterConfig resilient_cluster(int nodes) {
@@ -81,8 +94,18 @@ CellResult run_cell(const Scenario& scenario, double crash_per_node_per_min,
   out.crash_per_node_per_min = crash_per_node_per_min;
   out.loss = loss;
 
-  core::Grid grid(seed);
-  auto& cluster = grid.add_cluster(resilient_cluster(scenario.nodes));
+  core::GridOptions grid_options;
+  if (scenario.shards > 0) {
+    grid_options.sim_shards = scenario.shards;
+    grid_options.sim_threads = scenario.threads;
+  }
+  core::Grid grid(seed, grid_options);
+  auto config = resilient_cluster(scenario.nodes);
+  if (scenario.shards > 0) {
+    config = core::reshard_cluster(std::move(config),
+                                   static_cast<int>(scenario.shards));
+  }
+  auto& cluster = grid.add_cluster(std::move(config));
 
   std::optional<sim::FaultInjector> faults;
   if (attach_injector) {
@@ -215,10 +238,16 @@ CellResult run_cell(const Scenario& scenario, double crash_per_node_per_min,
 
 int main(int argc, char** argv) {
   const char* json_path = "BENCH_chaos.json";
+  const char* trace_dump_path = nullptr;
   bool quick = false;
+  std::size_t threads = 0;  // 0 = flag absent: historical engine
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) {
       quick = true;
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      threads = static_cast<std::size_t>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--trace-dump") == 0 && i + 1 < argc) {
+      trace_dump_path = argv[++i];
     } else {
       json_path = argv[i];
     }
@@ -228,6 +257,10 @@ int main(int argc, char** argv) {
   if (quick) {
     scenario.nodes = 40;
     scenario.tasks = 24;
+  }
+  if (threads > 0) {
+    scenario.shards = 4;  // fixed: the experiment must not depend on N
+    scenario.threads = threads;
   }
   const std::uint64_t seed = 11;
 
@@ -264,6 +297,23 @@ int main(int argc, char** argv) {
                  bench::fmt("%lld", static_cast<long long>(cell.duplicates)),
                  bench::fmt("%.2f%%", cell.wasted_frac * 100)});
       cells.push_back(std::move(cell));
+    }
+  }
+
+  if (trace_dump_path != nullptr) {
+    // Byte-diffable determinism artifact: the normalised ASCT event log of
+    // every cell, in run order. Identical for every --threads value.
+    if (FILE* f = std::fopen(trace_dump_path, "w")) {
+      std::fprintf(f, "=== bare ===\n%s", bare.trace.c_str());
+      std::fprintf(f, "=== zeroed ===\n%s", zeroed.trace.c_str());
+      for (const auto& cell : cells) {
+        std::fprintf(f, "=== crash=%.3f loss=%.3f ===\n%s",
+                     cell.crash_per_node_per_min, cell.loss,
+                     cell.trace.c_str());
+      }
+      std::fclose(f);
+    } else {
+      std::fprintf(stderr, "warning: cannot write %s\n", trace_dump_path);
     }
   }
 

@@ -1,0 +1,244 @@
+// E14 — Parallel simulation kernel: determinism and scaling.
+//
+// The sharded engine's contract is absolute: identical seeds produce
+// bit-identical traces regardless of worker thread count. This bench (a)
+// proves that contract on a full middleware workload — crash churn, message
+// loss, retransmits, checkpoint recovery — by fingerprinting the ASCT event
+// log at several thread counts and byte-comparing, and (b) records
+// wall-clock scaling of the same experiment as threads grow, plus the
+// kernel's window statistics (how much parallel work each lookahead window
+// actually exposes).
+//
+// Honest-measurement note: wall-clock speedup is bounded by the cores the
+// host actually grants (hardware_concurrency is recorded as host_cores in
+// the JSON) and by the events each lookahead window exposes. Scaling is
+// recorded, never gated; determinism is gated everywhere.
+//
+// Usage: bench_parsim [out.json] [--quick]
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "asct/asct.hpp"
+#include "bench_util.hpp"
+#include "core/grid.hpp"
+#include "core/workloads.hpp"
+#include "sim/faults.hpp"
+
+using namespace integrade;
+
+namespace {
+
+struct RunResult {
+  std::size_t shards = 0;
+  std::size_t threads = 0;
+  double wall_ms = 0.0;
+  std::int64_t events = 0;
+  std::int64_t windows = 0;
+  int completed = 0;
+  std::string trace;  // normalised ASCT event log (determinism fingerprint)
+};
+
+struct Scenario {
+  // Full mode is deliberately large: each lookahead window must carry enough
+  // events that per-shard work, not the window barrier, dominates — otherwise
+  // the scaling numbers measure synchronisation cost, not the kernel.
+  int nodes = 160;
+  int tasks = 120;
+  MInstr work = 300'000.0;
+  SimDuration deadline = 80 * kMinute;
+};
+
+/// One full chaos-style run: churn + loss over a resilient cluster, shaped
+/// onto `shards` segments (0 = historical single-queue engine).
+RunResult run_once(const Scenario& scenario, std::size_t shards,
+                   std::size_t threads, std::uint64_t seed) {
+  RunResult out;
+  out.shards = shards == 0 ? 1 : shards;
+  out.threads = threads;
+
+  const auto wall_start = std::chrono::steady_clock::now();
+
+  core::GridOptions grid_options;
+  if (shards > 0) {
+    grid_options.sim_shards = shards;
+    grid_options.sim_threads = threads;
+  }
+  core::Grid grid(seed, grid_options);
+
+  auto config = core::quiet_cluster(scenario.nodes, /*seed=*/77, 1000.0, "parsim");
+  config.orb.request_retries = 3;
+  config.orb.retransmit_timeout = 1 * kSecond;
+  config.lrm.reliable_updates = true;
+  if (shards > 0) {
+    config = core::reshard_cluster(std::move(config), static_cast<int>(shards));
+  }
+  auto& cluster = grid.add_cluster(std::move(config));
+
+  sim::FaultInjector faults(grid.engine(), grid.network(),
+                            Rng(seed ^ 0xfeedfacecafef00dULL));
+  std::unordered_map<orb::NodeAddress, std::size_t> worker_by_endpoint;
+  std::vector<sim::EndpointId> pool;
+  for (std::size_t i = 0; i < cluster.size(); ++i) {
+    worker_by_endpoint[cluster.worker_address(i)] = i;
+    pool.push_back(cluster.worker_address(i));
+  }
+  faults.set_endpoint_handlers(
+      [&cluster, worker_by_endpoint](sim::EndpointId ep) {
+        if (auto it = worker_by_endpoint.find(ep); it != worker_by_endpoint.end())
+          cluster.lrm(it->second).crash();
+      },
+      [&cluster, worker_by_endpoint](sim::EndpointId ep) {
+        if (auto it = worker_by_endpoint.find(ep); it != worker_by_endpoint.end())
+          cluster.lrm(it->second).restart();
+      });
+  faults.set_loss(0.02);
+  faults.enable_crash_churn(pool, 0.01 * static_cast<double>(pool.size()),
+                            /*mean_downtime=*/kMinute,
+                            grid.engine().now() + 3 * kMinute + scenario.deadline);
+
+  grid.run_for(3 * kMinute);  // info updates populate the Trader
+
+  asct::AppBuilder builder("parsim");
+  builder.kind(protocol::AppKind::kParametric)
+      .tasks(scenario.tasks, scenario.work)
+      .checkpoint_period(kMinute, 64 * kKiB)
+      .estimated_duration(5 * kMinute);
+  const AppId app = cluster.asct().submit(cluster.grm_ref(),
+                                          builder.build(cluster.asct().ref()));
+  (void)grid.run_until_app_done(cluster, app,
+                                grid.engine().now() + scenario.deadline);
+  grid.run_for(30 * kSecond);  // drain in-flight traffic
+
+  out.wall_ms = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - wall_start)
+                    .count();
+  out.events = grid.engine().events_fired();
+  out.windows = grid.engine().windows_run();
+  const auto* progress = cluster.asct().progress(app);
+  out.completed = progress != nullptr ? progress->completed : 0;
+
+  // Fingerprint: every ASCT event, normalised exactly like bench_chaos.
+  std::ostringstream trace;
+  std::unordered_map<std::uint64_t, std::size_t> task_index;
+  for (const auto& event : cluster.asct().events()) {
+    const auto [it, inserted] =
+        task_index.emplace(event.task.value, task_index.size());
+    trace << event.at << ' ' << protocol::app_event_kind_name(event.kind)
+          << " t" << it->second << " n" << event.node.value << '\n';
+  }
+  out.trace = trace.str();
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* json_path = "BENCH_parsim.json";
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else {
+      json_path = argv[i];
+    }
+  }
+
+  Scenario scenario;
+  if (quick) {
+    scenario.nodes = 32;
+    scenario.tasks = 16;
+    scenario.deadline = 25 * kMinute;
+  }
+  const std::uint64_t seed = 23;
+  const unsigned host_cores = std::thread::hardware_concurrency();
+
+  bench::banner("E14", "sharded parallel simulation kernel",
+                "conservative lookahead lets shards advance independently; "
+                "the merge order is fixed by (time, shard, seq), so thread "
+                "count changes wall-clock and nothing else");
+
+  // --- determinism: same shard layout, varying worker threads ---
+  const std::vector<std::size_t> thread_counts = {1, 2, 4};
+  std::vector<RunResult> sharded;
+  for (const std::size_t threads : thread_counts) {
+    sharded.push_back(run_once(scenario, /*shards=*/4, threads, seed));
+  }
+  bool deterministic = true;
+  for (const RunResult& r : sharded) {
+    if (r.trace != sharded.front().trace || r.events != sharded.front().events) {
+      deterministic = false;
+    }
+  }
+  std::printf("trace identical across --threads {1,2,4}: %s\n",
+              deterministic ? "yes" : "NO — REGRESSION");
+
+  // --- scaling table (plus the historical engine as reference) ---
+  const RunResult legacy = run_once(scenario, /*shards=*/0, 1, seed);
+  bench::Table table({"engine", "threads", "wall-ms", "events", "windows",
+                      "speedup"});
+  table.row({"single-queue", "1", bench::fmt("%.0f", legacy.wall_ms),
+             bench::fmt("%lld", static_cast<long long>(legacy.events)), "-",
+             "1.00"});
+  for (const RunResult& r : sharded) {
+    table.row({"sharded-4", bench::fmt("%zu", r.threads),
+               bench::fmt("%.0f", r.wall_ms),
+               bench::fmt("%lld", static_cast<long long>(r.events)),
+               bench::fmt("%lld", static_cast<long long>(r.windows)),
+               bench::fmt("%.2f", sharded.front().wall_ms / r.wall_ms)});
+  }
+  std::printf("\nhost grants %u hardware thread(s); speedup is only "
+              "meaningful when that is >= the worker count.\n", host_cores);
+
+  if (FILE* f = std::fopen(json_path, "w")) {
+    std::fprintf(f, "{\n  \"bench\": \"parsim\",\n  \"quick\": %s,\n",
+                 quick ? "true" : "false");
+    std::fprintf(f, "  \"host_cores\": %u,\n", host_cores);
+    std::fprintf(f, "  \"deterministic_across_threads\": %s,\n",
+                 deterministic ? "true" : "false");
+    std::fprintf(f, "  \"runs\": [\n");
+    std::fprintf(f,
+                 "    {\"engine\": \"single-queue\", \"threads\": 1, "
+                 "\"wall_ms\": %.1f, \"events\": %lld, \"completed\": %d},\n",
+                 legacy.wall_ms, static_cast<long long>(legacy.events),
+                 legacy.completed);
+    for (std::size_t i = 0; i < sharded.size(); ++i) {
+      const RunResult& r = sharded[i];
+      std::fprintf(f,
+                   "    {\"engine\": \"sharded\", \"shards\": %zu, "
+                   "\"threads\": %zu, \"wall_ms\": %.1f, \"events\": %lld, "
+                   "\"windows\": %lld, \"completed\": %d, "
+                   "\"speedup_vs_threads1\": %.3f}%s\n",
+                   r.shards, r.threads, r.wall_ms,
+                   static_cast<long long>(r.events),
+                   static_cast<long long>(r.windows), r.completed,
+                   sharded.front().wall_ms / r.wall_ms,
+                   i + 1 < sharded.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("\nwrote %s\n", json_path);
+  } else {
+    std::fprintf(stderr, "\nwarning: cannot write %s\n", json_path);
+  }
+
+  // Gate: determinism only. Scaling is recorded, not gated — the achievable
+  // speedup depends on host cores AND on how many events each lookahead
+  // window exposes (events/window above); a sparse workload is legitimately
+  // barrier-bound and that is a property of the experiment, not a bug.
+  const double speedup = sharded.front().wall_ms / sharded.back().wall_ms;
+  std::printf("scaling at 4 threads: %.2fx (%.1f events/window, %u host "
+              "core%s)\n",
+              speedup,
+              sharded.front().windows > 0
+                  ? static_cast<double>(sharded.front().events) /
+                        static_cast<double>(sharded.front().windows)
+                  : 0.0,
+              host_cores, host_cores == 1 ? "" : "s");
+  return deterministic ? 0 : 1;
+}

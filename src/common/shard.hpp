@@ -1,0 +1,36 @@
+// Ambient simulation-shard context.
+//
+// The sharded discrete-event kernel (sim::Engine) partitions the event queue
+// into shards; while a shard's events execute, every component that schedules
+// follow-up work or emits telemetry must attribute it to that shard — without
+// threading a shard id through every API in the middleware. The kernel
+// publishes the executing shard here, in a thread-local slot, and consumers
+// (the engine's own schedule_* entry points, the tracer's per-shard span
+// buffers) read it back.
+//
+// This lives in common/ rather than sim/ so the observability layer can read
+// the ambient shard without depending on the simulation kernel.
+#pragma once
+
+#include <cstdint>
+
+namespace integrade {
+
+struct ShardContext {
+  /// Engine whose shard is executing (type-erased: common/ cannot name
+  /// sim::Engine). Null when no shard context is active.
+  const void* engine = nullptr;
+  std::uint32_t shard = 0;
+  bool active = false;
+};
+
+/// The calling thread's ambient shard slot. Written by sim::Engine around
+/// event execution (and by Engine::ShardScope); read by anything that needs
+/// shard attribution. Outside any shard context, `active` is false and
+/// `shard` is 0 — the single-shard behaviour.
+inline ShardContext& ambient_shard_context() {
+  thread_local ShardContext context;
+  return context;
+}
+
+}  // namespace integrade

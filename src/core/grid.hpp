@@ -163,6 +163,15 @@ struct GridOptions {
   /// realm key derived from this passphrase (paper §3's authentication
   /// requirement). Unkeyed or tampered traffic is dropped at the transport.
   std::string realm_passphrase;
+  /// Event-queue shards for the parallel simulation kernel. Shard layout is
+  /// part of the experiment definition (it selects per-shard RNG streams),
+  /// so results are comparable only across runs with the same value; 1 (the
+  /// default) is the historical single-queue engine, byte for byte.
+  std::size_t sim_shards = 1;
+  /// Worker threads executing shard windows. Any value produces the same
+  /// results for a given sim_shards — threads trade wall-clock, never
+  /// determinism. See docs/parallel_sim.md.
+  std::size_t sim_threads = 1;
 };
 
 class Grid {
@@ -203,8 +212,10 @@ class Grid {
   /// Wire `child`'s GRM under `parent`'s GRM in the wide-area hierarchy.
   void connect(Cluster& parent, Cluster& child);
 
-  void run_for(SimDuration d) { engine_.run_until(engine_.now() + d); }
-  void run_until(SimTime t) { engine_.run_until(t); }
+  /// Advance by `d`, saturating at kTimeNever (a duration near the
+  /// SimDuration max must clamp, not wrap past the deadline).
+  void run_for(SimDuration d);
+  void run_until(SimTime t);
   /// Advance until the app completes at `cluster`'s ASCT or `deadline`
   /// passes; returns true on completion.
   bool run_until_app_done(Cluster& cluster, AppId app, SimTime deadline);

@@ -1,5 +1,7 @@
 #include "core/workloads.hpp"
 
+#include <cassert>
+
 namespace integrade::core {
 
 namespace {
@@ -101,6 +103,23 @@ ClusterConfig quiet_cluster(int nodes, std::uint64_t seed, Mips mips,
     node_config.policy.idle_grace = kMinute;
     (void)rng;
     config.nodes.push_back(node_config);
+  }
+  return config;
+}
+
+ClusterConfig reshard_cluster(ClusterConfig config, int segments) {
+  assert(segments >= 1 && !config.segments.empty());
+  sim::SegmentSpec base = config.segments.front();
+  const std::string stem =
+      base.name.empty() ? config.name : base.name;
+  config.segments.clear();
+  for (int g = 0; g < segments; ++g) {
+    sim::SegmentSpec segment = base;
+    segment.name = stem + "-shard" + std::to_string(g);
+    config.segments.push_back(std::move(segment));
+  }
+  for (std::size_t i = 0; i < config.nodes.size(); ++i) {
+    config.nodes[i].segment = static_cast<int>(i % static_cast<std::size_t>(segments));
   }
   return config;
 }

@@ -46,4 +46,13 @@ ClusterConfig segmented_cluster(int groups, int nodes_per_group,
 ClusterConfig quiet_cluster(int nodes, std::uint64_t seed, Mips mips = 1000.0,
                             const std::string& name = "quiet");
 
+/// Re-home an existing cluster config onto `segments` equal copies of its
+/// first segment, nodes round-robin — the shape the sharded simulation
+/// kernel partitions across shards (one shard per segment group). A pure
+/// reshaping: machine specs, profiles, and policies are untouched. Note the
+/// topology change is visible to the simulation (inter-segment traffic
+/// crosses uplinks), so results are comparable across *thread* counts, not
+/// with the unsharded single-segment run.
+ClusterConfig reshard_cluster(ClusterConfig config, int segments);
+
 }  // namespace integrade::core

@@ -9,6 +9,16 @@
 //
 // Delivery time = path latency + message_bytes / path_bandwidth (+ jitter).
 // Per-endpoint and per-segment byte counters feed the E2 overhead bench.
+//
+// Sharding: when the engine runs multiple shards, each segment is assigned
+// to a shard (round-robin by segment id — a pure function of topology, so
+// the layout never depends on thread count) and deliveries are scheduled
+// onto the *destination* endpoint's shard. min_cross_shard_latency() gives
+// the engine its conservative lookahead bound: no message between segments
+// on different shards can arrive faster than the smallest inter-segment
+// path latency. Jitter draws and traffic counters are per shard (named RNG
+// streams, summed counters) so parallel sends stay deterministic and
+// race-free.
 #pragma once
 
 #include <cstdint>
@@ -45,7 +55,15 @@ struct NetworkStats {
 
 class Network {
  public:
-  Network(Engine& engine, Rng rng) : engine_(engine), rng_(rng) {}
+  Network(Engine& engine, Rng rng) : engine_(engine), rng_(rng) {
+    counters_.resize(1);
+  }
+
+  /// Size per-shard jitter streams and counters to the engine's shard
+  /// layout. Grid calls this right after Engine::configure_shards; it must
+  /// run before any traffic flows. With one shard the base Rng is used
+  /// directly, preserving historical byte-for-byte behaviour.
+  void configure_shards();
 
   SegmentId add_segment(SegmentSpec spec);
 
@@ -56,6 +74,18 @@ class Network {
   [[nodiscard]] SegmentId segment_of(EndpointId endpoint) const;
   [[nodiscard]] const SegmentSpec& segment(SegmentId id) const;
   [[nodiscard]] std::size_t segment_count() const { return segments_.size(); }
+
+  /// Shard owning a segment's (or endpoint's) events: segment id modulo the
+  /// engine's shard count — fixed by topology, never by thread count.
+  [[nodiscard]] std::uint32_t shard_of_segment(SegmentId id) const;
+  [[nodiscard]] std::uint32_t shard_of_endpoint(EndpointId endpoint) const;
+
+  /// Smallest possible delivery latency between segments owned by different
+  /// shards — the engine's conservative lookahead bound (every cross-shard
+  /// delivery takes at least the inter-segment path latency; transfer time,
+  /// jitter, and fault delays only add to it). kTimeNever when no segment
+  /// pair spans two shards (single shard, or all segments co-owned).
+  [[nodiscard]] SimDuration min_cross_shard_latency() const;
 
   /// Detach (machine unplugged / crashed). In-flight messages to it drop.
   void detach(EndpointId endpoint);
@@ -79,21 +109,29 @@ class Network {
   /// Relative jitter applied to transfer time, default 5%.
   void set_jitter(double fraction) { jitter_ = fraction; }
 
-  [[nodiscard]] const NetworkStats& stats() const { return stats_; }
-  [[nodiscard]] NetworkStats& mutable_stats() { return stats_; }
+  /// Aggregate over per-shard counters (by value: the per-shard split is an
+  /// implementation detail of the parallel kernel).
+  [[nodiscard]] NetworkStats stats() const;
   [[nodiscard]] std::int64_t bytes_on_segment(SegmentId id) const;
-  [[nodiscard]] std::int64_t backbone_bytes() const { return backbone_bytes_; }
+  [[nodiscard]] std::int64_t backbone_bytes() const;
 
  private:
+  /// Traffic counters and jitter stream for one shard; send() only ever
+  /// touches the ambient shard's entry, so parallel windows never contend.
+  struct ShardState {
+    NetworkStats stats;
+    std::int64_t backbone_bytes = 0;
+    std::vector<std::int64_t> segment_bytes;
+  };
+
   Engine& engine_;
   Rng rng_;
   FaultInjector* faults_ = nullptr;
   double jitter_ = 0.05;
   std::vector<SegmentSpec> segments_;
-  std::vector<std::int64_t> segment_bytes_;
-  std::int64_t backbone_bytes_ = 0;
   std::unordered_map<EndpointId, SegmentId> endpoint_segment_;
-  NetworkStats stats_;
+  std::vector<ShardState> counters_;  // one per shard (single entry default)
+  std::vector<Rng> shard_rng_;        // named streams; empty when single-shard
 };
 
 }  // namespace integrade::sim
