@@ -18,7 +18,8 @@
 // attached but every rate zero — and their event traces are compared:
 // attaching the (disabled) injector must not change behaviour at all.
 //
-// Usage: bench_chaos [out.json] [--quick] [--threads N] [--trace-dump FILE]
+// Usage: bench_chaos [out.json] [--quick] [--threads N] [--batch]
+//                    [--trace-dump FILE]
 //
 // --threads N runs the sharded simulation kernel: the cluster is reshaped
 // onto 4 LAN segments (one engine shard each) and windows execute on N
@@ -71,6 +72,11 @@ struct Scenario {
   // simulates the identical experiment.
   std::size_t shards = 0;
   std::size_t threads = 1;
+  // Per-segment heartbeat batching (ClusterConfig::batch_heartbeats). The
+  // scheduler sees the same statuses either way; CI byte-diffs --threads 1
+  // vs --threads 4 with this on, so batching is covered by the same
+  // determinism contract as the kernel itself.
+  bool batch = false;
 };
 
 core::ClusterConfig resilient_cluster(int nodes) {
@@ -105,6 +111,7 @@ CellResult run_cell(const Scenario& scenario, double crash_per_node_per_min,
     config = core::reshard_cluster(std::move(config),
                                    static_cast<int>(scenario.shards));
   }
+  config.batch_heartbeats = scenario.batch;
   auto& cluster = grid.add_cluster(std::move(config));
 
   std::optional<sim::FaultInjector> faults;
@@ -240,12 +247,15 @@ int main(int argc, char** argv) {
   const char* json_path = "BENCH_chaos.json";
   const char* trace_dump_path = nullptr;
   bool quick = false;
+  bool batch = false;
   std::size_t threads = 0;  // 0 = flag absent: historical engine
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) {
       quick = true;
     } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       threads = static_cast<std::size_t>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--batch") == 0) {
+      batch = true;
     } else if (std::strcmp(argv[i], "--trace-dump") == 0 && i + 1 < argc) {
       trace_dump_path = argv[++i];
     } else {
@@ -262,6 +272,7 @@ int main(int argc, char** argv) {
     scenario.shards = 4;  // fixed: the experiment must not depend on N
     scenario.threads = threads;
   }
+  scenario.batch = batch;
   const std::uint64_t seed = 11;
 
   bench::banner("E12", "chaos resilience: crash churn x message loss",

@@ -1,20 +1,32 @@
-// E14 — Parallel simulation kernel: determinism and scaling.
+// E14 — Parallel simulation kernel: determinism, window density, overhead.
 //
 // The sharded engine's contract is absolute: identical seeds produce
 // bit-identical traces regardless of worker thread count. This bench (a)
 // proves that contract on a full middleware workload — crash churn, message
-// loss, retransmits, checkpoint recovery — by fingerprinting the ASCT event
-// log at several thread counts and byte-comparing, and (b) records
-// wall-clock scaling of the same experiment as threads grow, plus the
-// kernel's window statistics (how much parallel work each lookahead window
-// actually exposes).
+// loss, retransmits, checkpoint recovery, batched heartbeats — by
+// fingerprinting the ASCT event log at several thread counts and
+// byte-comparing, (b) measures how many events each lookahead window
+// actually carries (the number the kernel lives or dies by), and (c) gates
+// the sharding *overhead*: the sharded engine at one thread must stay
+// within 15% of the single-queue engine on the identical topology, so
+// turning sharding on is never a pessimization.
+//
+// The scenario is WAN-shaped on purpose: sites joined by high-latency
+// uplinks, with GridOptions::min_cross_shard_latency_floor declaring the
+// class-level bound the engine may use as lookahead. Batched heartbeats
+// (ClusterConfig::batch_heartbeats) collapse per-node control chatter into
+// per-segment frames, so windows are wide AND cheap to fill. Both engines
+// see the exact same clamped network behaviour — the floor is applied by
+// the network regardless of shard layout — so the wall-clock comparison is
+// apples to apples.
 //
 // Honest-measurement note: wall-clock speedup is bounded by the cores the
 // host actually grants (hardware_concurrency is recorded as host_cores in
-// the JSON) and by the events each lookahead window exposes. Scaling is
-// recorded, never gated; determinism is gated everywhere.
+// the JSON). Scaling is recorded, never gated; determinism, window density,
+// and one-thread overhead are gated everywhere.
 //
 // Usage: bench_parsim [out.json] [--quick]
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -34,14 +46,25 @@ using namespace integrade;
 
 namespace {
 
+constexpr double kOverheadGate = 1.15;     // sharded@1 vs single-queue
+constexpr double kDensityGate = 50.0;      // events per window, sharded runs
+
 struct RunResult {
   std::size_t shards = 0;
   std::size_t threads = 0;
   double wall_ms = 0.0;
   std::int64_t events = 0;
   std::int64_t windows = 0;
+  std::int64_t windows_committed = 0;
+  double commit_ms = 0.0;
+  SimDuration lookahead = 0;
   int completed = 0;
   std::string trace;  // normalised ASCT event log (determinism fingerprint)
+
+  [[nodiscard]] double events_per_window() const {
+    return windows > 0 ? static_cast<double>(events) / static_cast<double>(windows)
+                       : static_cast<double>(events);
+  }
 };
 
 struct Scenario {
@@ -49,35 +72,64 @@ struct Scenario {
   // events that per-shard work, not the window barrier, dominates — otherwise
   // the scaling numbers measure synchronisation cost, not the kernel.
   int nodes = 160;
-  int tasks = 120;
-  MInstr work = 300'000.0;
-  SimDuration deadline = 80 * kMinute;
+  int tasks = 320;
+  MInstr work = 240'000.0;
+  SimDuration deadline = 12 * kMinute;
+  // WAN shape: per-site uplink propagation delay, and the declared
+  // class-level floor on inter-site delivery the lookahead gets to use.
+  // Two seconds is a deliberately conservative class promise (slow links,
+  // store-and-forward relays): what matters to the kernel experiment is
+  // that every protocol deadline clears it with margin.
+  SimDuration uplink_latency = 25 * kMillisecond;
+  SimDuration latency_floor = 2 * kSecond;
+  // Checkpoint cadence drives the steady-state event rate; quick mode's
+  // smaller task population checkpoints faster so windows stay dense.
+  SimDuration checkpoint_period = 10 * kSecond;
+  // choose_shard_count target; quick mode lowers it so a small population
+  // still exercises a multi-shard layout.
+  std::size_t nodes_per_shard = 40;
+
+  [[nodiscard]] int shard_count() const {
+    return core::choose_shard_count(static_cast<std::size_t>(nodes),
+                                    nodes_per_shard);
+  }
 };
 
-/// One full chaos-style run: churn + loss over a resilient cluster, shaped
-/// onto `shards` segments (0 = historical single-queue engine).
-RunResult run_once(const Scenario& scenario, std::size_t shards,
-                   std::size_t threads, std::uint64_t seed) {
+/// One full chaos-style run over the WAN-resharded topology. `sharded`
+/// selects the engine: false = historical single-queue, true = one shard
+/// per site with `threads` workers. The topology (and therefore the
+/// simulated workload class) is identical either way.
+RunResult run_once(const Scenario& scenario, bool sharded, std::size_t threads,
+                   std::uint64_t seed) {
+  const int sites = scenario.shard_count();
   RunResult out;
-  out.shards = shards == 0 ? 1 : shards;
+  out.shards = sharded ? static_cast<std::size_t>(sites) : 1;
   out.threads = threads;
 
   const auto wall_start = std::chrono::steady_clock::now();
 
   core::GridOptions grid_options;
-  if (shards > 0) {
-    grid_options.sim_shards = shards;
+  grid_options.min_cross_shard_latency_floor = scenario.latency_floor;
+  if (sharded) {
+    grid_options.sim_shards = static_cast<std::size_t>(sites);
     grid_options.sim_threads = threads;
   }
   core::Grid grid(seed, grid_options);
 
   auto config = core::quiet_cluster(scenario.nodes, /*seed=*/77, 1000.0, "parsim");
-  config.orb.request_retries = 3;
-  config.orb.retransmit_timeout = 1 * kSecond;
+  config = core::reshard_cluster_wan(std::move(config), sites,
+                                     scenario.uplink_latency);
+  config.batch_heartbeats = true;
   config.lrm.reliable_updates = true;
-  if (shards > 0) {
-    config = core::reshard_cluster(std::move(config), static_cast<int>(shards));
-  }
+  // Fast control cadence: batching makes a 10 s heartbeat cost one frame
+  // per site instead of one message per node, so the GRM's view stays fresh
+  // on a WAN without re-sparsifying the event stream.
+  config.lrm.update_period = 5 * kSecond;
+  // WAN control plane: a request/reply round trip costs two floor-clamped
+  // legs, so retransmission and call deadlines scale with the floor.
+  config.orb.request_retries = 3;
+  config.orb.retransmit_timeout = 5 * kSecond;
+  config.grm.call_timeout = 15 * kSecond;
   auto& cluster = grid.add_cluster(std::move(config));
 
   sim::FaultInjector faults(grid.engine(), grid.network(),
@@ -107,7 +159,7 @@ RunResult run_once(const Scenario& scenario, std::size_t shards,
   asct::AppBuilder builder("parsim");
   builder.kind(protocol::AppKind::kParametric)
       .tasks(scenario.tasks, scenario.work)
-      .checkpoint_period(kMinute, 64 * kKiB)
+      .checkpoint_period(scenario.checkpoint_period, 64 * kKiB)
       .estimated_duration(5 * kMinute);
   const AppId app = cluster.asct().submit(cluster.grm_ref(),
                                           builder.build(cluster.asct().ref()));
@@ -120,6 +172,9 @@ RunResult run_once(const Scenario& scenario, std::size_t shards,
                     .count();
   out.events = grid.engine().events_fired();
   out.windows = grid.engine().windows_run();
+  out.lookahead = grid.engine().lookahead();
+  out.windows_committed = grid.engine().windows_committed();
+  out.commit_ms = static_cast<double>(grid.engine().commit_ns()) / 1e6;
   const auto* progress = cluster.asct().progress(app);
   out.completed = progress != nullptr ? progress->completed : 0;
 
@@ -134,6 +189,22 @@ RunResult run_once(const Scenario& scenario, std::size_t shards,
   }
   out.trace = trace.str();
   return out;
+}
+
+void print_run_json(FILE* f, const char* engine, const RunResult& r,
+                    double speedup, bool last) {
+  std::fprintf(f,
+               "    {\"engine\": \"%s\", \"shards\": %zu, \"threads\": %zu, "
+               "\"wall_ms\": %.1f, \"events\": %lld, \"windows\": %lld, "
+               "\"windows_committed\": %lld, \"events_per_window\": %.1f, "
+               "\"commit_ms\": %.2f, \"completed\": %d, "
+               "\"speedup_vs_threads1\": %.3f}%s\n",
+               engine, r.shards, r.threads, r.wall_ms,
+               static_cast<long long>(r.events),
+               static_cast<long long>(r.windows),
+               static_cast<long long>(r.windows_committed),
+               r.events_per_window(), r.commit_ms, r.completed, speedup,
+               last ? "" : ",");
 }
 
 }  // namespace
@@ -152,22 +223,30 @@ int main(int argc, char** argv) {
   Scenario scenario;
   if (quick) {
     scenario.nodes = 32;
-    scenario.tasks = 16;
-    scenario.deadline = 25 * kMinute;
+    scenario.tasks = 64;
+    scenario.deadline = 12 * kMinute;
+    scenario.checkpoint_period = 2 * kSecond;
+    scenario.nodes_per_shard = 8;  // 4 sites despite the small population
   }
   const std::uint64_t seed = 23;
   const unsigned host_cores = std::thread::hardware_concurrency();
+  const int sites = scenario.shard_count();
 
   bench::banner("E14", "sharded parallel simulation kernel",
                 "conservative lookahead lets shards advance independently; "
                 "the merge order is fixed by (time, shard, seq), so thread "
                 "count changes wall-clock and nothing else");
+  std::printf("topology: %d WAN sites, %.0f ms uplinks, %.0f ms delivery "
+              "floor, batched heartbeats\n",
+              sites,
+              static_cast<double>(scenario.uplink_latency) / kMillisecond,
+              static_cast<double>(scenario.latency_floor) / kMillisecond);
 
   // --- determinism: same shard layout, varying worker threads ---
   const std::vector<std::size_t> thread_counts = {1, 2, 4};
   std::vector<RunResult> sharded;
   for (const std::size_t threads : thread_counts) {
-    sharded.push_back(run_once(scenario, /*shards=*/4, threads, seed));
+    sharded.push_back(run_once(scenario, /*sharded=*/true, threads, seed));
   }
   bool deterministic = true;
   for (const RunResult& r : sharded) {
@@ -177,48 +256,66 @@ int main(int argc, char** argv) {
   }
   std::printf("trace identical across --threads {1,2,4}: %s\n",
               deterministic ? "yes" : "NO — REGRESSION");
+  std::printf("effective lookahead: %.0f ms\n",
+              static_cast<double>(sharded.front().lookahead) / kMillisecond);
 
-  // --- scaling table (plus the historical engine as reference) ---
-  const RunResult legacy = run_once(scenario, /*shards=*/0, 1, seed);
+  // --- overhead: single-queue engine on the identical topology ---
+  // Wall clock is noisy; both sides get two runs and keep the faster, so a
+  // scheduler hiccup on either side cannot flip the gate.
+  RunResult legacy = run_once(scenario, /*sharded=*/false, 1, seed);
+  {
+    RunResult again = run_once(scenario, /*sharded=*/false, 1, seed);
+    if (again.wall_ms < legacy.wall_ms) legacy = std::move(again);
+  }
+  double sharded1_wall = sharded.front().wall_ms;
+  {
+    RunResult again = run_once(scenario, /*sharded=*/true, 1, seed);
+    sharded1_wall = std::min(sharded1_wall, again.wall_ms);
+  }
+  const double overhead_ratio = sharded1_wall / legacy.wall_ms;
+  const double density = sharded.front().events_per_window();
+
   bench::Table table({"engine", "threads", "wall-ms", "events", "windows",
-                      "speedup"});
+                      "ev/win", "commit-ms", "speedup"});
   table.row({"single-queue", "1", bench::fmt("%.0f", legacy.wall_ms),
-             bench::fmt("%lld", static_cast<long long>(legacy.events)), "-",
-             "1.00"});
+             bench::fmt("%lld", static_cast<long long>(legacy.events)), "-", "-",
+             "-", "1.00"});
   for (const RunResult& r : sharded) {
-    table.row({"sharded-4", bench::fmt("%zu", r.threads),
-               bench::fmt("%.0f", r.wall_ms),
+    table.row({bench::fmt("sharded-%zu", r.shards),
+               bench::fmt("%zu", r.threads), bench::fmt("%.0f", r.wall_ms),
                bench::fmt("%lld", static_cast<long long>(r.events)),
                bench::fmt("%lld", static_cast<long long>(r.windows)),
+               bench::fmt("%.1f", r.events_per_window()),
+               bench::fmt("%.1f", r.commit_ms),
                bench::fmt("%.2f", sharded.front().wall_ms / r.wall_ms)});
   }
   std::printf("\nhost grants %u hardware thread(s); speedup is only "
               "meaningful when that is >= the worker count.\n", host_cores);
 
+  const bool density_ok = density >= kDensityGate;
+  const bool overhead_ok = overhead_ratio <= kOverheadGate;
+  std::printf("events/window: %.1f (gate >= %.0f): %s\n", density, kDensityGate,
+              density_ok ? "ok" : "FAIL");
+  std::printf("sharded@1 / single-queue wall clock: %.2fx (gate <= %.2fx): %s\n",
+              overhead_ratio, kOverheadGate, overhead_ok ? "ok" : "FAIL");
+
   if (FILE* f = std::fopen(json_path, "w")) {
     std::fprintf(f, "{\n  \"bench\": \"parsim\",\n  \"quick\": %s,\n",
                  quick ? "true" : "false");
     std::fprintf(f, "  \"host_cores\": %u,\n", host_cores);
+    std::fprintf(f, "  \"sites\": %d,\n", sites);
+    std::fprintf(f, "  \"latency_floor_ms\": %.0f,\n",
+                 static_cast<double>(scenario.latency_floor) / kMillisecond);
     std::fprintf(f, "  \"deterministic_across_threads\": %s,\n",
                  deterministic ? "true" : "false");
+    std::fprintf(f, "  \"events_per_window\": %.1f,\n", density);
+    std::fprintf(f, "  \"overhead_ratio\": %.3f,\n", overhead_ratio);
     std::fprintf(f, "  \"runs\": [\n");
-    std::fprintf(f,
-                 "    {\"engine\": \"single-queue\", \"threads\": 1, "
-                 "\"wall_ms\": %.1f, \"events\": %lld, \"completed\": %d},\n",
-                 legacy.wall_ms, static_cast<long long>(legacy.events),
-                 legacy.completed);
+    print_run_json(f, "single-queue", legacy, 1.0, /*last=*/false);
     for (std::size_t i = 0; i < sharded.size(); ++i) {
-      const RunResult& r = sharded[i];
-      std::fprintf(f,
-                   "    {\"engine\": \"sharded\", \"shards\": %zu, "
-                   "\"threads\": %zu, \"wall_ms\": %.1f, \"events\": %lld, "
-                   "\"windows\": %lld, \"completed\": %d, "
-                   "\"speedup_vs_threads1\": %.3f}%s\n",
-                   r.shards, r.threads, r.wall_ms,
-                   static_cast<long long>(r.events),
-                   static_cast<long long>(r.windows), r.completed,
-                   sharded.front().wall_ms / r.wall_ms,
-                   i + 1 < sharded.size() ? "," : "");
+      print_run_json(f, "sharded", sharded[i],
+                     sharded.front().wall_ms / sharded[i].wall_ms,
+                     i + 1 == sharded.size());
     }
     std::fprintf(f, "  ]\n}\n");
     std::fclose(f);
@@ -227,18 +324,11 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "\nwarning: cannot write %s\n", json_path);
   }
 
-  // Gate: determinism only. Scaling is recorded, not gated — the achievable
-  // speedup depends on host cores AND on how many events each lookahead
-  // window exposes (events/window above); a sparse workload is legitimately
-  // barrier-bound and that is a property of the experiment, not a bug.
+  // Gates: determinism always; window density and one-thread overhead pin
+  // the perf contract (sharding must not be a pessimization). Multi-thread
+  // scaling stays recorded-not-gated — it depends on host cores.
   const double speedup = sharded.front().wall_ms / sharded.back().wall_ms;
-  std::printf("scaling at 4 threads: %.2fx (%.1f events/window, %u host "
-              "core%s)\n",
-              speedup,
-              sharded.front().windows > 0
-                  ? static_cast<double>(sharded.front().events) /
-                        static_cast<double>(sharded.front().windows)
-                  : 0.0,
+  std::printf("scaling at 4 threads: %.2fx (%u host core%s)\n", speedup,
               host_cores, host_cores == 1 ? "" : "s");
-  return deterministic ? 0 : 1;
+  return (deterministic && density_ok && overhead_ok) ? 0 : 1;
 }

@@ -133,6 +133,12 @@ Cluster::Cluster(Grid& grid, ClusterId id, ClusterConfig config)
     worker->orb->set_tracer(&grid_.tracer());
 
     lrm::LrmOptions lrm_options = config_.lrm;
+    if (config_.batch_heartbeats) {
+      // The per-segment batcher owns the heartbeat cadence and the LUPA
+      // sampling tick; the LRM arms neither timer itself.
+      lrm_options.batched_updates = true;
+      lrm_options.lupa_options.external_ticks = true;
+    }
     ncc::SharingPolicy policy = node_config.policy;
     if (node_config.dedicated) {
       lrm_options.run_lupa = false;  // paper: "LUPA is not executed in
@@ -151,6 +157,49 @@ Cluster::Cluster(Grid& grid, ClusterId id, ClusterConfig config)
     worker->lrm->start(grm_->ref(), gupa_ref_, ckpt_ref_, &grid_.network());
     if (standby_grm_) worker->lrm->set_standby_grm(standby_grm_->ref());
     workers_.push_back(std::move(worker));
+  }
+
+  // --- Per-segment heartbeat batchers ---
+  // Built after every worker so enabling batching never shifts worker
+  // endpoint addresses (fault-injection configs address nodes by endpoint).
+  // Segments with no provider nodes get no batcher. The first frame of each
+  // segment is staggered deterministically — period·(s+1)/(S+1) — so frames
+  // spread across the period without consuming any grid randomness.
+  if (config_.batch_heartbeats) {
+    const std::size_t num_segments = segment_ids_.size();
+    batchers_.resize(num_segments);
+    for (std::size_t s = 0; s < num_segments; ++s) {
+      std::vector<lrm::Lrm*> members;
+      for (std::size_t i = 0; i < workers_.size(); ++i) {
+        if (static_cast<std::size_t>(config_.nodes[i].segment) == s) {
+          members.push_back(workers_[i]->lrm.get());
+        }
+      }
+      if (members.empty()) continue;
+      const auto segment = segment_ids_[s];
+      sim::Engine::ShardScope batcher_scope(
+          grid_.engine(), grid_.network().shard_of_segment(segment));
+      const auto addr = grid_.allocate_endpoint(segment);
+      SegmentBatcher& slot = batchers_[s];
+      slot.orb = std::make_unique<orb::Orb>(addr, grid_.transport(),
+                                            &grid_.engine(), config_.orb);
+      slot.orb->set_tracer(&grid_.tracer());
+      lrm::BatcherOptions batcher_options;
+      batcher_options.update_period = config_.lrm.update_period;
+      batcher_options.initial_stagger =
+          config_.lrm.update_period * static_cast<SimDuration>(s + 1) /
+          static_cast<SimDuration>(num_segments + 1);
+      batcher_options.drive_lupa = config_.lrm.run_lupa;
+      batcher_options.lupa_sample_interval =
+          config_.lrm.lupa_options.sample_interval;
+      batcher_options.reliable = config_.lrm.reliable_updates;
+      batcher_options.grm_failure_threshold = config_.lrm.grm_failure_threshold;
+      slot.batcher = std::make_unique<lrm::HeartbeatBatcher>(
+          grid_.engine(), *slot.orb, segment, batcher_options);
+      for (lrm::Lrm* member : members) slot.batcher->add(member);
+      slot.batcher->start(grm_->ref(), standby_grm_ ? standby_grm_->ref()
+                                                    : orb::ObjectRef{});
+    }
   }
 
   // --- MetricsHub registrations ---
@@ -173,6 +222,11 @@ Cluster::Cluster(Grid& grid, ClusterId id, ClusterConfig config)
     add_registry("orb/" + config_.name + "/standby", &standby_orb_->metrics());
   }
   add_registry("orb/" + config_.name + "/user", &user_orb_->metrics());
+  for (std::size_t s = 0; s < batchers_.size(); ++s) {
+    if (!batchers_[s].batcher) continue;
+    add_registry("batcher/" + config_.name + "-s" + std::to_string(s),
+                 &batchers_[s].batcher->metrics());
+  }
   for (std::size_t i = 0; i < workers_.size(); ++i) {
     lrm::Lrm* lrm = workers_[i]->lrm.get();
     std::string name =
@@ -189,7 +243,11 @@ Cluster::~Cluster() {
   for (const std::string& name : hub_names_) {
     grid_.metrics_hub().remove(name);
   }
-  // Stop protocol actors before their ORBs die underneath them.
+  // Stop protocol actors before their ORBs die underneath them. Batchers
+  // first: their ticks dereference member LRMs.
+  for (auto& slot : batchers_) {
+    if (slot.batcher) slot.batcher->stop();
+  }
   for (auto& worker : workers_) {
     if (worker->owner) worker->owner->stop();
     worker->lrm->stop();
@@ -211,7 +269,23 @@ Grid::Grid(std::uint64_t seed, GridOptions options)
   engine_.configure_shards(options.sim_shards);
   engine_.set_worker_threads(options.sim_threads);
   network_.configure_shards();
+  network_.set_latency_floor(options.min_cross_shard_latency_floor);
   obs_.tracer.configure_shards(engine_.shard_count());
+  // Kernel health metrics: window counts feed the events-per-window figure
+  // the parallel kernel lives or dies by; commit_ns is wall-clock commit
+  // overhead (nondeterministic by nature — excluded from any byte-compared
+  // output, which only ever covers simulation results).
+  obs_.hub.add_source("sim/engine", [this](MetricRegistry& out) {
+    out.counter("sim.events").add(engine_.events_fired());
+    out.counter("sim.windows").add(engine_.windows_run());
+    out.counter("sim.windows_committed").add(engine_.windows_committed());
+    out.counter("sim.commit_ns").add(engine_.commit_ns());
+    if (engine_.windows_run() > 0) {
+      out.summary("sim.events_per_window")
+          .observe(static_cast<double>(engine_.events_fired()) /
+                   static_cast<double>(engine_.windows_run()));
+    }
+  });
   if (!options.realm_passphrase.empty()) {
     secure_transport_ = std::make_unique<security::SecureTransport>(
         transport_, security::Key::from_passphrase(options.realm_passphrase));

@@ -1,5 +1,6 @@
 #include "core/workloads.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 namespace integrade::core {
@@ -122,6 +123,37 @@ ClusterConfig reshard_cluster(ClusterConfig config, int segments) {
     config.nodes[i].segment = static_cast<int>(i % static_cast<std::size_t>(segments));
   }
   return config;
+}
+
+ClusterConfig reshard_cluster_wan(ClusterConfig config, int segments,
+                                  SimDuration uplink_latency) {
+  assert(uplink_latency >= 0);
+  config = reshard_cluster(std::move(config), segments);
+  for (auto& segment : config.segments) segment.uplink_latency = uplink_latency;
+  return config;
+}
+
+SimDuration min_inter_segment_latency(const ClusterConfig& config) {
+  SimDuration bound = kTimeNever;
+  for (std::size_t i = 0; i < config.segments.size(); ++i) {
+    for (std::size_t j = i + 1; j < config.segments.size(); ++j) {
+      const auto& a = config.segments[i];
+      const auto& b = config.segments[j];
+      bound = std::min(bound, a.latency + a.uplink_latency + b.uplink_latency +
+                                  b.latency);
+    }
+  }
+  return bound;
+}
+
+int choose_shard_count(std::size_t nodes, std::size_t target_nodes_per_shard) {
+  assert(target_nodes_per_shard >= 1);
+  if (nodes <= target_nodes_per_shard) return 1;
+  // Round to nearest so 1.5x the target still prefers one fat shard over
+  // two starved ones.
+  const std::size_t shards =
+      (nodes + target_nodes_per_shard / 2) / target_nodes_per_shard;
+  return static_cast<int>(std::min(shards, nodes));
 }
 
 }  // namespace integrade::core

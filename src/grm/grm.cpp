@@ -16,6 +16,7 @@ using protocol::TaskOutcome;
 namespace {
 
 constexpr const char* kOpUpdateStatus = "update_status";
+constexpr const char* kOpUpdateStatusBatch = "update_status_batch";
 constexpr const char* kOpSubmit = "submit";
 constexpr const char* kOpReport = "report";
 constexpr const char* kOpRemoteSubmit = "remote_submit";
@@ -29,6 +30,12 @@ class GrmServant final : public orb::SkeletonBase {
         kOpUpdateStatus,
         [&grm](const protocol::NodeStatus& status) -> Result<cdr::Empty> {
           grm.handle_update_status(status);
+          return cdr::Empty{};
+        });
+    register_op<protocol::NodeStatusBatch, cdr::Empty>(
+        kOpUpdateStatusBatch,
+        [&grm](const protocol::NodeStatusBatch& batch) -> Result<cdr::Empty> {
+          grm.handle_update_status_batch(batch);
           return cdr::Empty{};
         });
     register_op<protocol::ApplicationSpec, protocol::SubmitReply>(
@@ -124,6 +131,21 @@ void Grm::handle_update_status(const protocol::NodeStatus& status) {
   on_update(status);
   // Fresh capacity may unblock queued tasks.
   if (status.shareable) kick_scheduler();
+}
+
+void Grm::handle_update_status_batch(const protocol::NodeStatusBatch& batch) {
+  metrics_.counter("status_batches_received").add();
+  metrics_.counter("status_updates_received")
+      .add(static_cast<std::int64_t>(batch.updates.size()));
+  // One dispatch applies the whole segment: each member refreshes its
+  // Trader offer in place, then the scheduler is kicked once — not once per
+  // node — if any member can take work.
+  bool any_shareable = false;
+  for (const protocol::NodeStatus& status : batch.updates) {
+    on_update(status);
+    any_shareable = any_shareable || status.shareable;
+  }
+  if (any_shareable) kick_scheduler();
 }
 
 void Grm::on_update(const protocol::NodeStatus& status) {

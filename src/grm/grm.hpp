@@ -104,6 +104,7 @@ class Grm {
 
   // ---- protocol entry points (servant ops; public for tests) ----
   void handle_update_status(const protocol::NodeStatus& status);
+  void handle_update_status_batch(const protocol::NodeStatusBatch& batch);
   protocol::SubmitReply handle_submit(const protocol::ApplicationSpec& spec);
   void handle_report(const protocol::TaskReport& report);
   void handle_remote_submit(const protocol::RemoteSubmit& request);

@@ -1,0 +1,85 @@
+#include "lrm/batcher.hpp"
+
+#include <utility>
+
+namespace integrade::lrm {
+
+HeartbeatBatcher::HeartbeatBatcher(sim::Engine& engine, orb::Orb& orb,
+                                   std::int32_t segment, BatcherOptions options)
+    : engine_(engine), orb_(orb), segment_(segment), options_(options) {
+  batch_scratch_.segment = segment_;
+}
+
+void HeartbeatBatcher::add(Lrm* member) { members_.push_back(member); }
+
+void HeartbeatBatcher::start(const orb::ObjectRef& grm,
+                             const orb::ObjectRef& standby) {
+  grm_ = grm;
+  standby_grm_ = standby;
+  grm_misses_ = 0;
+  const SimDuration stagger = options_.initial_stagger >= 0
+                                  ? options_.initial_stagger
+                                  : options_.update_period;
+  frame_timer_.start(engine_, options_.update_period, [this] { send_frame(); },
+                     stagger);
+  if (options_.drive_lupa) {
+    // First tick one full interval in: matches the PeriodicTimer each member
+    // LUPA would have armed at start (same construction instant), so the
+    // sample times — and the learned models — are identical to unbatched.
+    lupa_timer_.start(engine_, options_.lupa_sample_interval,
+                      [this] { lupa_tick(); }, options_.lupa_sample_interval);
+  }
+}
+
+void HeartbeatBatcher::stop() {
+  frame_timer_.stop();
+  lupa_timer_.stop();
+}
+
+void HeartbeatBatcher::send_frame() {
+  if (!grm_.valid()) return;
+  batch_scratch_.updates.clear();
+  for (Lrm* member : members_) {
+    if (member->crashed()) continue;  // a dead process has no status to report
+    batch_scratch_.updates.push_back(member->current_status());
+  }
+  if (batch_scratch_.updates.empty()) return;
+  metrics_.counter("status_frames_sent").add();
+  metrics_.counter("statuses_sent")
+      .add(static_cast<std::int64_t>(batch_scratch_.updates.size()));
+
+  if (!options_.reliable || !standby_grm_.valid()) {
+    orb::oneway(orb_, grm_, "update_status_batch", batch_scratch_);
+    return;
+  }
+  // Reliable mode: the frame doubles as the segment's liveness probe of the
+  // Cluster Manager. After `grm_failure_threshold` consecutive misses the
+  // standby takes over — for the batcher AND every member, so event-driven
+  // pushes and restart re-announces follow to the live manager.
+  orb::call<protocol::NodeStatusBatch, cdr::Empty>(
+      orb_, grm_, "update_status_batch", batch_scratch_,
+      [this](Result<cdr::Empty> reply) {
+        if (reply.is_ok()) {
+          grm_misses_ = 0;
+          return;
+        }
+        if (++grm_misses_ < options_.grm_failure_threshold) return;
+        grm_misses_ = 0;
+        std::swap(grm_, standby_grm_);
+        metrics_.counter("grm_failovers").add();
+        for (Lrm* member : members_) member->adopt_grm(grm_, standby_grm_);
+        // Re-announce the whole segment at once: the standby rebuilds its
+        // Trader state from exactly these updates (soft-state recovery).
+        send_frame();
+      },
+      options_.call_timeout);
+}
+
+void HeartbeatBatcher::lupa_tick() {
+  for (Lrm* member : members_) {
+    if (member->crashed()) continue;
+    if (lupa::Lupa* lupa = member->lupa()) lupa->sample_tick();
+  }
+}
+
+}  // namespace integrade::lrm

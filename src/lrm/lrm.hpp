@@ -55,6 +55,14 @@ struct LrmOptions {
   /// consecutive misses. Off by default — oneway updates, no failover.
   bool reliable_updates = false;
   int grm_failure_threshold = 3;
+  /// Heartbeats are driven by a per-segment HeartbeatBatcher instead of a
+  /// per-node timer: the LRM arms no update timer, and the batcher polls
+  /// current_status() on one shared tick, shipping the whole segment in a
+  /// single NodeStatusBatch frame. Event-driven pushes (state changes,
+  /// restart re-announce) stay individual; with reliable_updates the
+  /// batcher also takes over GRM liveness probing and failover (it calls
+  /// adopt_grm on its members), so push_update never probes in this mode.
+  bool batched_updates = false;
 };
 
 class Lrm {
@@ -88,6 +96,15 @@ class Lrm {
   /// detects the primary is gone.
   void set_standby_grm(const orb::ObjectRef& standby) { standby_grm_ = standby; }
   [[nodiscard]] const orb::ObjectRef& grm() const { return grm_; }
+
+  /// Batched mode: the segment batcher detected a GRM failover and rotates
+  /// every member onto the new primary so event-driven pushes and restart
+  /// re-announces go to the live manager.
+  void adopt_grm(const orb::ObjectRef& grm, const orb::ObjectRef& standby) {
+    grm_ = grm;
+    standby_grm_ = standby;
+    grm_misses_ = 0;
+  }
 
   [[nodiscard]] const orb::ObjectRef& ref() const { return self_ref_; }
   [[nodiscard]] NodeId node_id() const { return machine_.id(); }

@@ -113,6 +113,18 @@ NodeStatus Codec<NodeStatus>::decode(Reader& r) {
   return v;
 }
 
+void Codec<NodeStatusBatch>::encode(Writer& w, const NodeStatusBatch& v) {
+  w.write_i32(v.segment);
+  encode_sequence(w, v.updates);
+}
+
+NodeStatusBatch Codec<NodeStatusBatch>::decode(Reader& r) {
+  NodeStatusBatch v;
+  v.segment = r.read_i32();
+  v.updates = decode_sequence<NodeStatus>(r);
+  return v;
+}
+
 void Codec<TaskDescriptor>::encode(Writer& w, const TaskDescriptor& v) {
   w.write_id(v.id);
   w.write_id(v.app);

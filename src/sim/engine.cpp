@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <utility>
 
 namespace integrade::sim {
@@ -240,6 +241,7 @@ EventHandle Engine::schedule_on(std::uint32_t shard_index, SimTime when,
            "cross-shard event violates the lookahead bound");
     src.outbox[shard_index].push_back(
         RemoteEvent{when, context.shard, src.remote_seq++, std::move(fn)});
+    ++src.outbox_pending;
     // The destination slot does not exist until the barrier commits the
     // event, so the handle is inert. (sim::Network delivery, the only
     // cross-shard producer, never cancels deliveries.)
@@ -368,8 +370,7 @@ bool Engine::run_chunk(SimTime deadline) {
   // clamp the horizon (deadline inclusively — hence the saturating +1).
   const SimTime horizon =
       std::min({sat_add(snext, lookahead_), gnext, sat_add(deadline, 1)});
-  run_window_parallel(horizon);
-  commit_window();
+  run_window_fused(horizon);
   ++windows_run_;
   return true;
 }
@@ -415,82 +416,139 @@ void Engine::run_shard_window(std::uint32_t shard_index, SimTime horizon) {
   context = saved;
 }
 
-void Engine::run_window_parallel(SimTime horizon) {
+bool Engine::any_remote_pending() const {
+  for (const Shard& shard : shards_)
+    if (shard.outbox_pending != 0) return true;
+  return false;
+}
+
+// Fused window: execution, arrival barrier, and cross-shard commit share one
+// rendezvous. Phase A is the arrival barrier; the coordinator then decides
+// whether the window carried any cross-shard sends. If not, workers go
+// straight back to sleep and the commit is skipped wholesale. If so, every
+// participant commits the destinations it owns (dst % team == worker) in
+// parallel — each destination's merge is independent, so the result is
+// identical to the old serial dst-by-dst loop — and the coordinator finishes
+// the serial tail (cancels, clock, globals) alone.
+void Engine::run_window_fused(SimTime horizon) {
+  using Clock = std::chrono::steady_clock;
   const std::size_t team = std::min(threads_, shards_.size());
   in_window_ = true;
-  if (team > 1) {
-    start_workers();
-    {
-      std::lock_guard<std::mutex> lock(pool_->mutex);
-      pool_->horizon = horizon;
-      ++pool_->generation;
+  if (team == 1) {
+    for (std::size_t s = 0; s < shards_.size(); ++s)
+      run_shard_window(static_cast<std::uint32_t>(s), horizon);
+    in_window_ = false;
+    const auto t0 = Clock::now();
+    if (any_remote_pending()) {
+      for (std::size_t dst = 0; dst < shards_.size(); ++dst)
+        commit_destination(dst);
+      ++windows_committed_;
     }
-    pool_->cv.notify_all();
+    commit_tail();
+    commit_ns_ += std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      Clock::now() - t0)
+                      .count();
+    return;
   }
+
+  start_workers();
+  std::uint64_t gen = 0;
+  {
+    std::lock_guard<std::mutex> lock(pool_->mutex);
+    pool_->horizon = horizon;
+    gen = ++pool_->generation;
+  }
+  pool_->cv.notify_all();
   // The calling thread is worker 0; shards are assigned statically
   // (shard s -> worker s % team) so assignment never depends on timing.
   for (std::size_t s = 0; s < shards_.size(); s += team)
     run_shard_window(static_cast<std::uint32_t>(s), horizon);
-  if (team > 1) {
-    while (pool_->done.load(std::memory_order_acquire) !=
-           static_cast<std::uint32_t>(team - 1))
+  pool_->arrived.fetch_add(1, std::memory_order_acq_rel);
+  const std::uint64_t arrive_target = gen * team;
+  while (pool_->arrived.load(std::memory_order_acquire) < arrive_target)
+    std::this_thread::yield();
+
+  const auto t0 = Clock::now();
+  const bool any_remote = any_remote_pending();
+  // Publish the phase-B ticket. Workers take the commit decision from this
+  // word — never from shard state, which the coordinator starts recycling
+  // as soon as the window's tail runs.
+  pool_->phase_b.store(gen * 2 + (any_remote ? 1 : 0),
+                       std::memory_order_release);
+  if (any_remote) {
+    ++pool_->remote_windows;
+    for (std::size_t dst = 0; dst < shards_.size(); dst += team)
+      commit_destination(dst);
+    pool_->committed.fetch_add(1, std::memory_order_acq_rel);
+    const std::uint64_t commit_target = pool_->remote_windows * team;
+    while (pool_->committed.load(std::memory_order_acquire) < commit_target)
       std::this_thread::yield();
-    pool_->done.store(0, std::memory_order_relaxed);
+    ++windows_committed_;
   }
   in_window_ = false;
+  commit_tail();
+  commit_ns_ += std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    Clock::now() - t0)
+                    .count();
 }
 
-void Engine::commit_window() {
-  const std::size_t n = shards_.size();
-  // 1) Cross-shard events, merged per destination in (when, src shard,
-  //    src seq) order — a total order independent of execution timing — and
-  //    only then assigned destination sequence numbers.
-  for (std::size_t dst = 0; dst < n; ++dst) {
-    merge_scratch_.clear();
-    for (std::size_t src = 0; src < n; ++src) {
-      auto& box = shards_[src].outbox[dst];
-      for (RemoteEvent& event : box) merge_scratch_.push_back(std::move(event));
-      box.clear();
-    }
-    if (merge_scratch_.empty()) continue;
-    std::sort(merge_scratch_.begin(), merge_scratch_.end(),
-              [](const RemoteEvent& a, const RemoteEvent& b) {
-                if (a.when != b.when) return a.when < b.when;
-                if (a.src_shard != b.src_shard) return a.src_shard < b.src_shard;
-                return a.src_seq < b.src_seq;
-              });
-    Shard& shard = shards_[dst];
-    for (RemoteEvent& event : merge_scratch_) {
-      assert(event.when >= shard.now &&
-             "lookahead bound too small: cross-shard event lands in the past");
-      const std::uint32_t slot = acquire_slot(shard);
-      shard.heap.emplace_back(std::max(event.when, shard.now), shard.next_seq++,
-                              slot, std::move(event.fn));
-      sift_up(shard, shard.heap.size() - 1);
-    }
-    merge_scratch_.clear();
+/// Merge every source's outbox for `dst` into dst's arena in (when, src
+/// shard, src seq) order — a total order independent of execution timing —
+/// then assign destination sequence numbers. Touches only dst's heap/slab
+/// and the per-source outbox column for dst, so distinct destinations commit
+/// concurrently without synchronisation.
+void Engine::commit_destination(std::size_t dst) {
+  Shard& shard = shards_[dst];
+  std::vector<RemoteEvent>& scratch = shard.merge_scratch;
+  scratch.clear();
+  for (std::size_t src = 0; src < shards_.size(); ++src) {
+    auto& box = shards_[src].outbox[dst];
+    for (RemoteEvent& event : box) scratch.push_back(std::move(event));
+    box.clear();
   }
-  // 2) Cross-shard cancels, in source-shard order (deterministic; a target
-  //    that fired during the window is a generation-checked no-op).
+  if (scratch.empty()) return;
+  std::sort(scratch.begin(), scratch.end(),
+            [](const RemoteEvent& a, const RemoteEvent& b) {
+              if (a.when != b.when) return a.when < b.when;
+              if (a.src_shard != b.src_shard) return a.src_shard < b.src_shard;
+              return a.src_seq < b.src_seq;
+            });
+  for (RemoteEvent& event : scratch) {
+    assert(event.when >= shard.now &&
+           "lookahead bound too small: cross-shard event lands in the past");
+    const std::uint32_t slot = acquire_slot(shard);
+    shard.heap.emplace_back(std::max(event.when, shard.now), shard.next_seq++,
+                            slot, std::move(event.fn));
+    sift_up(shard, shard.heap.size() - 1);
+  }
+  scratch.clear();
+}
+
+/// Serial window tail, coordinator-only: cross-shard cancels, the committed
+/// clock, globals scheduled mid-window, and the per-window counters.
+void Engine::commit_tail() {
+  // Cross-shard cancels, in source-shard order (deterministic; a target
+  // that fired during the window is a generation-checked no-op).
   for (Shard& src : shards_) {
     for (const RemoteCancel& cancel : src.cancel_outbox)
       apply_cancel(shards_[cancel.shard], cancel.slot, cancel.generation);
     src.cancel_outbox.clear();
   }
-  // 3) Commit the clock, then globals scheduled mid-window (clamped: a
-  //    global cannot run before shards that already advanced past it).
+  // Commit the clock, then globals scheduled mid-window (clamped: a global
+  // cannot run before shards that already advanced past it).
   for (const Shard& shard : shards_)
     committed_now_ = std::max(committed_now_, shard.now);
   const auto later = [](const GlobalEvent& a, const GlobalEvent& b) {
     return a.when != b.when ? a.when > b.when : a.seq > b.seq;
   };
-  for (std::size_t src = 0; src < n; ++src) {
-    for (GlobalEvent& event : shards_[src].global_outbox) {
+  for (Shard& src : shards_) {
+    for (GlobalEvent& event : src.global_outbox) {
       global_heap_.emplace_back(std::max(event.when, committed_now_),
                                 next_global_seq_++, std::move(event.fn));
       std::push_heap(global_heap_.begin(), global_heap_.end(), later);
     }
-    shards_[src].global_outbox.clear();
+    src.global_outbox.clear();
+    src.outbox_pending = 0;
   }
 }
 
@@ -535,7 +593,19 @@ void Engine::worker_loop(std::size_t worker_index) {
     }
     for (std::size_t s = worker_index; s < shards_.size(); s += team)
       run_shard_window(static_cast<std::uint32_t>(s), horizon);
-    pool_->done.fetch_add(1, std::memory_order_release);
+    pool_->arrived.fetch_add(1, std::memory_order_acq_rel);
+    // Wait for this window's phase-B ticket. The coordinator cannot publish
+    // a *later* window's ticket before this worker re-arrives there, so the
+    // value read at >= seen*2 is exactly this window's decision.
+    std::uint64_t ticket;
+    while ((ticket = pool_->phase_b.load(std::memory_order_acquire)) <
+           seen * 2)
+      std::this_thread::yield();
+    if ((ticket & 1) != 0) {
+      for (std::size_t dst = worker_index; dst < shards_.size(); dst += team)
+        commit_destination(dst);
+      pool_->committed.fetch_add(1, std::memory_order_acq_rel);
+    }
   }
 }
 
@@ -564,6 +634,17 @@ std::int64_t Engine::events_fired() const {
 std::size_t Engine::slot_capacity() const {
   std::size_t n = 0;
   for (const Shard& shard : shards_) n += shard.slots.size();
+  return n;
+}
+
+std::size_t Engine::commit_scratch_capacity() const {
+  std::size_t n = 0;
+  for (const Shard& shard : shards_) {
+    n += shard.merge_scratch.capacity();
+    n += shard.cancel_outbox.capacity();
+    n += shard.global_outbox.capacity();
+    for (const auto& box : shard.outbox) n += box.capacity();
+  }
   return n;
 }
 

@@ -194,6 +194,18 @@ class Engine {
   [[nodiscard]] std::int64_t shard_events_fired(std::uint32_t shard) const;
   /// Lookahead windows executed (0 on single-shard engines).
   [[nodiscard]] std::int64_t windows_run() const { return windows_run_; }
+  /// Windows that actually carried cross-shard sends (the rest skip the
+  /// commit rendezvous entirely).
+  [[nodiscard]] std::int64_t windows_committed() const {
+    return windows_committed_;
+  }
+  /// Wall-clock nanoseconds spent in window commits (barrier-exit through
+  /// cancel/clock/global tail). Diagnostic only — never feeds sim state.
+  [[nodiscard]] std::int64_t commit_ns() const { return commit_ns_; }
+  /// Total capacity of the per-shard commit arenas (merge scratch + cross-
+  /// shard outboxes + cancel/global buffers), for steady-state allocation
+  /// regression tests: it must stop growing once traffic patterns repeat.
+  [[nodiscard]] std::size_t commit_scratch_capacity() const;
 
  private:
   friend class EventHandle;
@@ -255,21 +267,37 @@ class Engine {
     std::vector<std::uint32_t> free_slots;
     std::size_t cancelled_pending = 0;  // cancelled events still in heap
     // Window-local buffers, written only by the worker executing this
-    // shard, drained by the coordinating thread at the barrier.
+    // shard; committed at the fused rendezvous. All are long-lived arenas:
+    // clear() retains capacity, so steady-state windows allocate nothing.
     std::vector<std::vector<RemoteEvent>> outbox;  // [dst shard]
     std::uint64_t remote_seq = 0;
+    std::uint32_t outbox_pending = 0;  // remote events buffered this window
     std::vector<RemoteCancel> cancel_outbox;
     std::vector<GlobalEvent> global_outbox;
+    // Commit arena owned by this shard *as a destination*: the worker that
+    // owns shard `dst` merges every source's outbox[dst] here.
+    std::vector<RemoteEvent> merge_scratch;
   };
 
+  // Fused-rendezvous worker pool. All barrier counters are monotonic (a
+  // participant adds 1 per window), so the barrier can be re-used across
+  // windows without a reset racing a late spinner: the target for window
+  // generation G is simply G * team.
   struct WorkerPool {
     std::vector<std::thread> threads;
     std::mutex mutex;
     std::condition_variable cv;
     std::uint64_t generation = 0;  // guarded by mutex
-    std::atomic<std::uint32_t> done{0};
     bool shutdown = false;
     SimTime horizon = 0;  // published under mutex before each window
+    std::atomic<std::uint64_t> arrived{0};  // phase A: window execution done
+    // Phase B ticket, published by the coordinator once every participant
+    // arrived: generation * 2 | (1 if this window carries cross-shard
+    // sends). Workers spin on it instead of re-deriving the decision from
+    // shard state the coordinator may already be recycling.
+    std::atomic<std::uint64_t> phase_b{0};
+    std::atomic<std::uint64_t> committed{0};  // phase B: per-dst commits done
+    std::uint64_t remote_windows = 0;  // coordinator-only commit-window count
   };
 
   [[nodiscard]] static bool earlier(const Event& a, const Event& b) {
@@ -299,8 +327,10 @@ class Engine {
   [[nodiscard]] SimTime next_global_time() const;
 
   void run_shard_window(std::uint32_t shard_index, SimTime horizon);
-  void run_window_parallel(SimTime horizon);
-  void commit_window();
+  void run_window_fused(SimTime horizon);
+  [[nodiscard]] bool any_remote_pending() const;
+  void commit_destination(std::size_t dst);
+  void commit_tail();
   void fire_global_batch(SimTime at);
   void start_workers();
   void stop_workers();
@@ -312,6 +342,8 @@ class Engine {
   /// before any still-pending one, and main-thread observers see this.
   SimTime committed_now_ = 0;
   std::int64_t windows_run_ = 0;
+  std::int64_t windows_committed_ = 0;
+  std::int64_t commit_ns_ = 0;
   bool in_window_ = false;  // a parallel window is executing
 
   std::vector<Shard> shards_;
@@ -319,9 +351,6 @@ class Engine {
   std::uint64_t next_global_seq_ = 0;
   std::int64_t global_fired_ = 0;
   std::unique_ptr<WorkerPool> pool_;
-
-  // Scratch for the window merge (kept to avoid per-window allocation).
-  std::vector<RemoteEvent> merge_scratch_;
 };
 
 /// Repeating timer built on Engine: fires `fn` every `period` starting at

@@ -27,6 +27,7 @@ void Network::configure_shards() {
 SegmentId Network::add_segment(SegmentSpec spec) {
   assert(spec.bandwidth > 0 && spec.uplink_bandwidth > 0);
   segments_.push_back(std::move(spec));
+  segment_endpoints_.push_back(0);
   for (ShardState& state : counters_) state.segment_bytes.push_back(0);
   return static_cast<SegmentId>(segments_.size() - 1);
 }
@@ -35,6 +36,7 @@ void Network::attach(EndpointId endpoint, SegmentId segment) {
   assert(segment >= 0 && static_cast<std::size_t>(segment) < segments_.size());
   assert(!endpoint_segment_.contains(endpoint) && "endpoint already attached");
   endpoint_segment_[endpoint] = segment;
+  ++segment_endpoints_[static_cast<std::size_t>(segment)];
 }
 
 bool Network::attached(EndpointId endpoint) const {
@@ -62,21 +64,35 @@ std::uint32_t Network::shard_of_endpoint(EndpointId endpoint) const {
 }
 
 SimDuration Network::min_cross_shard_latency() const {
+  // Effective per-shard-pair bound: a segment pair only constrains the
+  // lookahead if a message could actually traverse it (both ends have
+  // attached endpoints) and its path latency is taken post-clamp, because
+  // send() raises every inter-segment delivery to the floor. A segment that
+  // later *gains* endpoints only appears via Grid::add_cluster, which
+  // recomputes the bound; detaches mid-run merely leave the bound
+  // conservative.
   SimDuration bound = kTimeNever;
   for (std::size_t i = 0; i < segments_.size(); ++i) {
+    if (segment_endpoints_[i] == 0) continue;
     for (std::size_t j = i + 1; j < segments_.size(); ++j) {
+      if (segment_endpoints_[j] == 0) continue;
       const auto a = static_cast<SegmentId>(i);
       const auto b = static_cast<SegmentId>(j);
       if (shard_of_segment(a) == shard_of_segment(b)) continue;
       const SimDuration path = segments_[i].latency + segments_[i].uplink_latency +
                                segments_[j].uplink_latency + segments_[j].latency;
-      bound = std::min(bound, path);
+      bound = std::min(bound, std::max(path, latency_floor_));
     }
   }
   return bound;
 }
 
-void Network::detach(EndpointId endpoint) { endpoint_segment_.erase(endpoint); }
+void Network::detach(EndpointId endpoint) {
+  auto it = endpoint_segment_.find(endpoint);
+  if (it == endpoint_segment_.end()) return;
+  --segment_endpoints_[static_cast<std::size_t>(it->second)];
+  endpoint_segment_.erase(it);
+}
 
 BytesPerSec Network::path_bandwidth(EndpointId a, EndpointId b) const {
   const SegmentId sa = segment_of(a);
@@ -124,7 +140,12 @@ void Network::send(EndpointId src, EndpointId dst, Bytes bytes,
 
   double transfer_s = static_cast<double>(bytes) / bw;
   if (jitter_ > 0.0) transfer_s *= 1.0 + jitter_rng.uniform(0.0, jitter_);
-  const SimDuration delay = latency + from_seconds(transfer_s) + plan.extra_delay;
+  SimDuration delay = latency + from_seconds(transfer_s) + plan.extra_delay;
+  // Inter-segment floor: a WAN-class topology promises that nothing crosses
+  // segment boundaries faster than this, which is what lets the engine use
+  // it as a lookahead bound. Applied identically on single- and multi-shard
+  // engines so the simulated workload never depends on the shard layout.
+  if (sa != sb && delay < latency_floor_) delay = latency_floor_;
 
   ShardState& counters = counters_[shard];
   ++counters.stats.messages;

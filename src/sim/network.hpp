@@ -21,6 +21,7 @@
 // race-free.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -81,11 +82,29 @@ class Network {
   [[nodiscard]] std::uint32_t shard_of_endpoint(EndpointId endpoint) const;
 
   /// Smallest possible delivery latency between segments owned by different
-  /// shards — the engine's conservative lookahead bound (every cross-shard
-  /// delivery takes at least the inter-segment path latency; transfer time,
-  /// jitter, and fault delays only add to it). kTimeNever when no segment
-  /// pair spans two shards (single shard, or all segments co-owned).
+  /// shards — the engine's conservative lookahead bound. Computed per
+  /// shard-pair from the *effective* topology: segment pairs where either
+  /// side has no attached endpoints are ignored (no message can use them),
+  /// and each pair's path latency is clamped up to the inter-segment floor,
+  /// because send() enforces that floor on the wire. Transfer time, jitter,
+  /// and fault delays only add to the path latency. kTimeNever when no
+  /// reachable segment pair spans two shards (single shard, or all
+  /// endpoint-bearing segments co-owned) — then no cross-shard message can
+  /// exist at all.
   [[nodiscard]] SimDuration min_cross_shard_latency() const;
+
+  /// Minimum delivery delay for *inter-segment* traffic, independent of
+  /// shard layout: send() clamps every cross-segment delivery up to this
+  /// floor, so raising it is a property of the simulated topology (a WAN
+  /// segment class), not of the engine — legacy single-queue and sharded
+  /// runs see byte-identical traffic. Topology builders set it from
+  /// GridOptions::min_cross_shard_latency_floor to lift the lookahead bound
+  /// and widen execution windows. 0 (default) disables the clamp.
+  void set_latency_floor(SimDuration floor) {
+    assert(floor >= 0);
+    latency_floor_ = floor;
+  }
+  [[nodiscard]] SimDuration latency_floor() const { return latency_floor_; }
 
   /// Detach (machine unplugged / crashed). In-flight messages to it drop.
   void detach(EndpointId endpoint);
@@ -128,7 +147,9 @@ class Network {
   Rng rng_;
   FaultInjector* faults_ = nullptr;
   double jitter_ = 0.05;
+  SimDuration latency_floor_ = 0;  // inter-segment delivery clamp
   std::vector<SegmentSpec> segments_;
+  std::vector<std::int32_t> segment_endpoints_;  // attached count per segment
   std::unordered_map<EndpointId, SegmentId> endpoint_segment_;
   std::vector<ShardState> counters_;  // one per shard (single entry default)
   std::vector<Rng> shard_rng_;        // named streams; empty when single-shard

@@ -1,0 +1,207 @@
+// HeartbeatBatcher: per-segment batching of the Information Update
+// Protocol. The contract under test is "fewer events and messages, same
+// decisions": a batched cluster must schedule exactly like an unbatched
+// one, learn identical LUPA models, and fail over to the standby GRM as a
+// whole segment.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "asct/asct.hpp"
+#include "core/grid.hpp"
+#include "core/workloads.hpp"
+#include "protocol/properties.hpp"
+#include "services/trader.hpp"
+#include "sim/faults.hpp"
+
+namespace integrade {
+namespace {
+
+using asct::AppBuilder;
+
+// Silent-owner nodes on a strict speed ladder: under the scheduler's
+// default "max exportable_mips" preference the content-determined placement
+// order is total, so any batching-induced divergence in what the GRM knows
+// would surface as a different assignment, not a coin-flip tie-break.
+core::ClusterConfig ladder_cluster(int nodes, std::uint64_t seed, bool batch) {
+  auto config = core::quiet_cluster(nodes, seed, 1000.0, "ladder");
+  for (int i = 0; i < nodes; ++i) {
+    config.nodes[static_cast<std::size_t>(i)].spec.cpu_mips = 1000.0 + 10.0 * i;
+  }
+  config.lrm.update_period = 10 * kSecond;
+  config.batch_heartbeats = batch;
+  return config;
+}
+
+struct DecisionRecord {
+  /// Ordered (event kind, task, node) triples with app/task ids normalised
+  /// to first-appearance indices and timestamps excluded: batching is
+  /// allowed to move control-plane traffic in time, never to change what
+  /// the scheduler decides.
+  std::string decisions;
+  /// The GRM's offer table ranked by its own scheduling preference at
+  /// submit time: provider endpoint + the mips the Trader believes.
+  std::string offers;
+  int completed = 0;
+  std::int64_t events_fired = 0;
+  std::int64_t grm_batches = 0;
+  std::int64_t grm_updates = 0;
+};
+
+DecisionRecord run_pinned(bool batch) {
+  core::Grid grid(91);
+  // Zero jitter: each mode consumes a different number of network RNG draws
+  // (that is the point of batching), so only a jitter-free run makes the
+  // two modes comparable message-for-message.
+  grid.network().set_jitter(0.0);
+  auto& cluster = grid.add_cluster(ladder_cluster(12, 91, batch));
+  grid.run_for(2 * kMinute);  // every node announced in either mode
+
+  DecisionRecord out;
+  const auto ranked = cluster.grm().trader().query(
+      protocol::kNodeServiceType, "cpu_mips >= 0", "max exportable_mips");
+  EXPECT_TRUE(ranked.is_ok());
+  std::ostringstream offers;
+  if (ranked.is_ok()) {
+    for (const services::ServiceOffer* offer : ranked.value()) {
+      offers << offer->provider.host << ':'
+             << offer->properties.get_real(protocol::kPropCpuMips).value_or(-1)
+             << ' ';
+    }
+  }
+  out.offers = offers.str();
+
+  AppBuilder builder("pinned");
+  builder.kind(protocol::AppKind::kParametric).tasks(8, 60'000.0);
+  const AppId app = cluster.asct().submit(cluster.grm_ref(),
+                                          builder.build(cluster.asct().ref()));
+  EXPECT_TRUE(
+      grid.run_until_app_done(cluster, app, grid.engine().now() + kHour));
+  grid.run_for(30 * kSecond);  // drain in-flight notifications
+
+  std::ostringstream decisions;
+  std::unordered_map<std::uint64_t, std::size_t> task_index;
+  for (const auto& event : cluster.asct().events()) {
+    const auto [it, inserted] =
+        task_index.emplace(event.task.value, task_index.size());
+    decisions << protocol::app_event_kind_name(event.kind) << " t"
+              << it->second << " n" << event.node.value << '\n';
+  }
+  out.decisions = decisions.str();
+  const auto* progress = cluster.asct().progress(app);
+  out.completed = progress != nullptr ? progress->completed : -1;
+  out.events_fired = grid.engine().events_fired();
+  out.grm_batches =
+      cluster.grm().metrics().counter_value("status_batches_received");
+  out.grm_updates =
+      cluster.grm().metrics().counter_value("status_updates_received");
+  return out;
+}
+
+TEST(HeartbeatBatching, SchedulingDecisionsMatchUnbatchedRun) {
+  const DecisionRecord unbatched = run_pinned(false);
+  const DecisionRecord batched = run_pinned(true);
+
+  ASSERT_EQ(unbatched.completed, 8);
+  ASSERT_EQ(batched.completed, 8);
+  // Pinned decisions: same offer table (content and rank), same ordered
+  // task->node assignments.
+  EXPECT_EQ(batched.offers, unbatched.offers);
+  EXPECT_EQ(batched.decisions, unbatched.decisions);
+
+  // And the batched run must actually have batched: frames arrived, every
+  // status travelled inside one, and the simulation fired fewer events
+  // (one frame timer per segment instead of one heartbeat timer per node).
+  EXPECT_EQ(unbatched.grm_batches, 0);
+  EXPECT_GT(batched.grm_batches, 0);
+  EXPECT_GE(batched.grm_updates, batched.grm_batches * 12);
+  EXPECT_LT(batched.events_fired, unbatched.events_fired);
+}
+
+TEST(HeartbeatBatching, LupaModelsIdenticalBatchedVsUnbatched) {
+  // The batcher's shared LUPA tick must sample at the same instants the
+  // per-node timers would have, so after a full observed day the learned
+  // usage models are bit-identical — active owners included.
+  auto run = [](bool batch) {
+    core::Grid grid(47);
+    auto config = core::campus_cluster(8, 47);
+    config.batch_heartbeats = batch;
+    auto& cluster = grid.add_cluster(config);
+    grid.run_for(26 * kHour);
+    std::vector<protocol::UsagePatternUpload> uploads;
+    for (std::size_t i = 0; i < cluster.size(); ++i) {
+      lupa::Lupa* lupa = cluster.lrm(i).lupa();
+      if (lupa != nullptr) uploads.push_back(lupa->build_upload());
+    }
+    return uploads;
+  };
+  const auto unbatched = run(false);
+  const auto batched = run(true);
+  ASSERT_EQ(unbatched.size(), batched.size());
+  ASSERT_FALSE(unbatched.empty());
+  for (std::size_t i = 0; i < unbatched.size(); ++i) {
+    EXPECT_EQ(batched[i], unbatched[i]) << "node " << i;
+  }
+}
+
+TEST(HeartbeatBatching, ReliableFrameFailsOverWholeSegmentToStandby) {
+  core::Grid grid(131);
+  auto config = ladder_cluster(6, 131, /*batch=*/true);
+  config.standby_grm = true;
+  config.lrm.reliable_updates = true;
+  auto& cluster = grid.add_cluster(config);
+  sim::FaultInjector faults(grid.engine(), grid.network(), Rng(7));
+
+  grid.run_for(2 * kMinute);
+  lrm::HeartbeatBatcher* batcher = cluster.batcher(0);
+  ASSERT_NE(batcher, nullptr);
+  EXPECT_EQ(batcher->size(), 6u);
+  EXPECT_EQ(batcher->grm(), cluster.grm_ref());
+
+  // Kill the Cluster Manager node. The segment's two-way frames start
+  // missing; after the threshold the batcher rotates itself AND every
+  // member onto the warm standby and re-announces the whole segment.
+  faults.crash_endpoint(cluster.manager_address());
+  grid.run_for(3 * kMinute);
+
+  ASSERT_NE(cluster.standby_grm(), nullptr);
+  EXPECT_EQ(batcher->grm(), cluster.standby_grm()->ref());
+  EXPECT_GE(batcher->metrics().counter_value("grm_failovers"), 1);
+  for (std::size_t i = 0; i < cluster.size(); ++i) {
+    EXPECT_EQ(cluster.lrm(i).grm(), cluster.standby_grm()->ref())
+        << "member " << i << " not rotated";
+  }
+  EXPECT_GT(
+      cluster.standby_grm()->metrics().counter_value("status_batches_received"),
+      0);
+
+  // The standby is a working manager: an application submitted to it runs
+  // to completion on the re-announced segment.
+  AppBuilder builder("after-failover");
+  builder.kind(protocol::AppKind::kParametric).tasks(3, 30'000.0);
+  const AppId app = cluster.asct().submit(
+      cluster.standby_grm()->ref(), builder.build(cluster.asct().ref()));
+  EXPECT_TRUE(
+      grid.run_until_app_done(cluster, app, grid.engine().now() + kHour));
+}
+
+TEST(HeartbeatBatching, EmptySegmentsGetNoBatcher) {
+  // A segment with no provider nodes must not cost a timer or an endpoint.
+  core::Grid grid(17);
+  auto config = core::quiet_cluster(4, 17, 1000.0, "sparse");
+  sim::SegmentSpec empty = config.segments.front();
+  empty.name = "sparse-empty";
+  config.segments.push_back(empty);  // nobody assigned to segment 1
+  config.batch_heartbeats = true;
+  auto& cluster = grid.add_cluster(config);
+  grid.run_for(kMinute);
+  EXPECT_NE(cluster.batcher(0), nullptr);
+  EXPECT_EQ(cluster.batcher(1), nullptr);
+  EXPECT_EQ(cluster.batcher(7), nullptr);  // out of range is null, not UB
+}
+
+}  // namespace
+}  // namespace integrade

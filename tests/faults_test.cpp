@@ -5,6 +5,8 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "core/grid.hpp"
+#include "core/workloads.hpp"
 #include "sim/engine.hpp"
 #include "sim/faults.hpp"
 #include "sim/network.hpp"
@@ -297,6 +299,67 @@ TEST(FaultsDeterminism, LossPlanStreamIsIsolatedFromJitterStream) {
   };
   EXPECT_EQ(sorted(no_jitter.to_ep1), sorted(jitter.to_ep1));
   EXPECT_EQ(sorted(no_jitter.to_ep2), sorted(jitter.to_ep2));
+}
+
+TEST(FaultsBatchedFrames, PartitionDropsWholeSegmentFrameAtomically) {
+  // With per-segment heartbeat batching the atomicity of the frame is a
+  // feature: a partitioned segment loses ALL of its statuses for a period,
+  // never a prefix. Observable from the manager: while the far segment is
+  // cut off, the GRM's update counter advances only in whole near-segment
+  // frames — every batch that lands carries exactly the four near nodes.
+  core::Grid grid(151);
+  auto config = core::quiet_cluster(8, 151, 1000.0, "atomic");
+  SegmentSpec far = config.segments.front();
+  far.name = "atomic-far";
+  config.segments.push_back(far);
+  for (int i = 4; i < 8; ++i) {
+    config.nodes[static_cast<std::size_t>(i)].segment = 1;
+  }
+  config.batch_heartbeats = true;
+  config.lrm.update_period = 10 * kSecond;
+  auto& cluster = grid.add_cluster(config);
+  FaultInjector faults(grid.engine(), grid.network(), Rng(3));
+
+  // Past the initial announces, NCC grace flips, and batcher staggers:
+  // steady state is periodic frames only.
+  grid.run_for(3 * kMinute);
+
+  const auto updates_before =
+      cluster.grm().metrics().counter_value("status_updates_received");
+  const auto batches_before =
+      cluster.grm().metrics().counter_value("status_batches_received");
+  auto* far_batcher = cluster.batcher(1);
+  ASSERT_NE(far_batcher, nullptr);
+  const auto far_frames_before =
+      far_batcher->metrics().counter_value("status_frames_sent");
+
+  faults.partition(cluster.segment_id(0), cluster.segment_id(1));
+  grid.run_for(100 * kSecond);  // ten update periods
+
+  const auto updates =
+      cluster.grm().metrics().counter_value("status_updates_received") -
+      updates_before;
+  const auto batches =
+      cluster.grm().metrics().counter_value("status_batches_received") -
+      batches_before;
+  // The manager node lives on segment 0: only near-segment frames arrive,
+  // each one whole. No partial frame can exist.
+  EXPECT_GT(batches, 0);
+  EXPECT_EQ(updates, batches * 4);
+  // The far batcher kept sending; the partition ate every frame in one
+  // piece rather than letting single statuses leak through.
+  EXPECT_GT(far_batcher->metrics().counter_value("status_frames_sent"),
+            far_frames_before);
+  EXPECT_GT(faults.stats().partition_drops, 0);
+
+  // Healed: the far segment's next frame restores all four nodes at once.
+  faults.heal(cluster.segment_id(0), cluster.segment_id(1));
+  const auto healed_before =
+      cluster.grm().metrics().counter_value("status_updates_received");
+  grid.run_for(30 * kSecond);
+  EXPECT_GE(cluster.grm().metrics().counter_value("status_updates_received") -
+                healed_before,
+            8);
 }
 
 TEST(FaultsLifetime, DetachingInjectorRestoresCleanNetwork) {

@@ -285,6 +285,109 @@ TEST(ParSim, MassCrossShardCancellationCompactsTheTargetHeap) {
   EXPECT_EQ(engine.events_fired(), 2);
 }
 
+TEST(ParSim, WindowsWithoutCrossShardSendsSkipCommitRendezvous) {
+  // Purely shard-local traffic: every window's outboxes are empty, so no
+  // window pays the commit rendezvous — windows_committed() stays at zero
+  // while windows_run() ticks up and every event still fires.
+  Engine engine;
+  engine.configure_shards(2);
+  engine.set_lookahead(50);
+  engine.set_worker_threads(2);
+
+  int fired = 0;
+  struct LocalChain {
+    Engine* engine;
+    int* fired;
+    void fire(SimTime at) {
+      ++*fired;
+      if (at < 2'000) {
+        engine->schedule_at(at + 7, [this, at] { fire(at + 7); });
+      }
+    }
+  };
+  LocalChain chains[2] = {{&engine, &fired}, {&engine, &fired}};
+  for (std::uint32_t s = 0; s < 2; ++s) {
+    Engine::ShardScope scope(engine, s);
+    engine.schedule_at(1, [&chains, s] { chains[s].fire(1); });
+  }
+  engine.run();
+
+  int expected_per_shard = 0;
+  for (SimTime at = 1; true; at += 7) {
+    ++expected_per_shard;
+    if (at >= 2'000) break;  // last hop fires but schedules no successor
+  }
+  EXPECT_EQ(fired, 2 * expected_per_shard);
+  EXPECT_GT(engine.windows_run(), 0);
+  EXPECT_EQ(engine.windows_committed(), 0);
+}
+
+TEST(ParSim, MixedTrafficCommitsOnlyTheWindowsThatCrossed) {
+  // One early cross-shard send, then silence: exactly the windows carrying
+  // cross-shard traffic rendezvous; later local-only windows skip.
+  Engine engine;
+  engine.configure_shards(2);
+  engine.set_lookahead(50);
+
+  bool crossed = false;
+  int local = 0;
+  {
+    Engine::ShardScope scope(engine, 0);
+    engine.schedule_at(1, [&engine, &crossed] {
+      engine.schedule_on(1, 1 + 50, [&crossed] { crossed = true; });
+    });
+    for (SimTime t = 500; t < 2'000; t += 100) {
+      engine.schedule_at(t, [&local] { ++local; });
+    }
+  }
+  engine.run();
+  EXPECT_TRUE(crossed);
+  EXPECT_EQ(local, 15);
+  EXPECT_GT(engine.windows_run(), engine.windows_committed());
+  EXPECT_GT(engine.windows_committed(), 0);
+}
+
+TEST(ParSim, CommitScratchReachesSteadyStateUnderPingPong) {
+  // Cross-shard ping-pong forever: after the first few windows the commit
+  // arenas (merge scratch, outboxes, cancel slabs) must stop growing — the
+  // fused commit path allocates nothing in steady state.
+  Engine engine;
+  engine.configure_shards(2);
+  engine.set_lookahead(50);
+  engine.set_worker_threads(2);
+
+  std::int64_t bounces = 0;
+  struct PingPong {
+    Engine* engine;
+    std::int64_t* bounces;
+    void fire(std::uint32_t me, SimTime at) {
+      ++*bounces;
+      const std::uint32_t other = 1 - me;
+      engine->schedule_on(other, at + 53,
+                          [this, other, at] { fire(other, at + 53); });
+    }
+  };
+  PingPong game{&engine, &bounces};
+  {
+    Engine::ShardScope scope(engine, 0);
+    engine.schedule_at(1, [&game] { game.fire(0, 1); });
+  }
+
+  engine.run_until(5'000);
+  const std::int64_t warm_bounces = bounces;
+  const std::size_t scratch = engine.commit_scratch_capacity();
+  const std::size_t slots = engine.slot_capacity();
+  ASSERT_GT(warm_bounces, 10);
+  ASSERT_GT(scratch, 0u);
+
+  engine.run_until(50'000);
+  EXPECT_GT(bounces, warm_bounces * 5);
+  EXPECT_EQ(engine.commit_scratch_capacity(), scratch)
+      << "commit arenas grew after warmup";
+  EXPECT_EQ(engine.slot_capacity(), slots)
+      << "cancellation slab grew after warmup";
+}
+
 // ---------------------------------------------------------------------------
 // Grid integration: a real sharded cluster is thread-count invariant, and
 // run_for saturates instead of overflowing (satellite: overflow fix).

@@ -73,6 +73,23 @@ TaskDescriptor sample_task() {
 
 TEST(ProtocolRoundTrip, NodeStatus) { expect_round_trip(sample_status()); }
 
+TEST(ProtocolRoundTrip, NodeStatusBatch) {
+  NodeStatusBatch batch;
+  batch.segment = 3;
+  batch.updates.push_back(sample_status());
+  NodeStatus other = sample_status();
+  other.node = NodeId(6);
+  other.hostname = "lab-n6";
+  other.shareable = true;
+  other.running_tasks = 0;
+  batch.updates.push_back(other);
+  expect_round_trip(batch);
+
+  NodeStatusBatch empty;
+  empty.segment = 0;
+  expect_round_trip(empty);
+}
+
 TEST(ProtocolRoundTrip, TaskDescriptor) { expect_round_trip(sample_task()); }
 
 TEST(ProtocolRoundTrip, ReservationPair) {
