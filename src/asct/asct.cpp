@@ -228,6 +228,11 @@ void Asct::handle_event(const protocol::AppEvent& event) {
       ++progress.scheduled;
       break;
     case protocol::AppEventKind::kTaskCompleted:
+      if (event.task.valid() &&
+          !progress.completed_tasks.insert(event.task).second) {
+        metrics_.counter("duplicate_app_events_ignored").add();
+        break;  // journal replay after failover re-delivered this terminal
+      }
       ++progress.completed;
       break;
     case protocol::AppEventKind::kTaskEvicted:

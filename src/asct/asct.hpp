@@ -12,6 +12,7 @@
 
 #include <functional>
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -86,6 +87,10 @@ struct AppProgress {
   bool done = false;
   bool failed = false;
   std::string reject_reason;
+  /// Tasks whose kTaskCompleted event was already counted. After a manager
+  /// failover with journal replay the new GRM may re-deliver terminal events
+  /// the dead primary already sent; the ledger must not double-count them.
+  std::set<TaskId> completed_tasks;
 
   [[nodiscard]] SimDuration makespan() const {
     return done ? completed_at - submitted_at : -1;

@@ -45,9 +45,21 @@ class LruCache {
     return &entries_.front().second;
   }
 
+  /// Membership test that does NOT refresh recency (unlike get()).
+  [[nodiscard]] bool contains(const Key& key) const {
+    return index_.contains(key);
+  }
+
   [[nodiscard]] std::size_t size() const { return entries_.size(); }
   [[nodiscard]] std::size_t capacity() const { return capacity_; }
   [[nodiscard]] bool empty() const { return entries_.empty(); }
+
+  /// Recency-ordered view (front = most recent). Snapshot serializers walk
+  /// it back-to-front so that re-inserting with put() in iteration order
+  /// reconstructs the exact same recency order.
+  [[nodiscard]] const std::list<std::pair<Key, Value>>& entries() const {
+    return entries_;
+  }
 
   void clear() {
     entries_.clear();

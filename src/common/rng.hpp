@@ -55,6 +55,24 @@ class Rng {
   /// Requires a nonempty vector with nonnegative entries, not all zero.
   std::size_t weighted_index(const std::vector<double>& weights);
 
+  /// Full generator state, exposed so control-plane snapshots can persist a
+  /// component's stream mid-run and restore it bit-exactly: after
+  /// set_state(state()), every subsequent draw matches the original stream
+  /// (including a buffered Box-Muller spare).
+  struct State {
+    std::uint64_t s[4] = {0, 0, 0, 0};
+    bool have_spare_normal = false;
+    double spare_normal = 0.0;
+  };
+  [[nodiscard]] State state() const {
+    return State{{s_[0], s_[1], s_[2], s_[3]}, have_spare_normal_, spare_normal_};
+  }
+  void set_state(const State& state) {
+    for (int i = 0; i < 4; ++i) s_[i] = state.s[i];
+    have_spare_normal_ = state.have_spare_normal;
+    spare_normal_ = state.spare_normal;
+  }
+
   /// Fisher-Yates shuffle.
   template <class T>
   void shuffle(std::vector<T>& v) {

@@ -96,6 +96,64 @@ Cluster::Cluster(Grid& grid, ClusterId id, ClusterConfig config)
     standby_grm_->start(&gupa_, &repository_, &grid_.network());
   }
 
+  // --- Control-plane snapshots (optional; requires the standby) ---
+  // The primary periodically captures Trader/GRM/GUPA/ORB-dedup sections
+  // and ships them to a SnapshotStore on the standby's node; the standby
+  // installs them dormant and wakes the image only at promotion (first
+  // status frame or task resync it receives). The GUPA section is captured
+  // for warm-start files but has no loader here: primary and standby share
+  // the cluster's one GUPA object.
+  if (config_.snapshot.enabled && standby_grm_) {
+    snapshot_store_ =
+        std::make_unique<snapshot::SnapshotStore>(grid_.engine(), *standby_orb_);
+    grm::Grm* standby = standby_grm_.get();
+    orb::Orb* standby_orb = standby_orb_.get();
+    snapshot_store_->register_loader(
+        "trader", [standby](std::uint32_t version, cdr::Reader& r) {
+          return standby->trader().load(version, r);
+        });
+    snapshot_store_->register_loader(
+        "grm", [standby](std::uint32_t version, cdr::Reader& r) {
+          return standby->load(version, r);
+        });
+    snapshot_store_->register_loader(
+        "orb_dedup", [standby_orb](std::uint32_t version, cdr::Reader& r) {
+          return standby_orb->load_dedup(version, r);
+        });
+
+    snapshot_coordinator_ = std::make_unique<snapshot::SnapshotCoordinator>(
+        grid_.engine(), *manager_orb_, config_.snapshot);
+    grm::Grm* primary = grm_.get();
+    orb::Orb* manager_orb = manager_orb_.get();
+    lupa::Gupa* gupa = &gupa_;
+    snapshot_coordinator_->add_provider(
+        {"trader", services::Trader::kSnapshotVersion, [primary] {
+           cdr::Writer w;
+           primary->trader().save(w);
+           return w.take_buffer();
+         }});
+    snapshot_coordinator_->add_provider(
+        {"grm", grm::Grm::kSnapshotVersion, [primary] {
+           cdr::Writer w;
+           primary->save(w);
+           return w.take_buffer();
+         }});
+    snapshot_coordinator_->add_provider(
+        {"gupa", lupa::Gupa::kSnapshotVersion, [gupa] {
+           cdr::Writer w;
+           gupa->save(w);
+           return w.take_buffer();
+         }});
+    snapshot_coordinator_->add_provider(
+        {"orb_dedup", orb::Orb::kDedupSnapshotVersion, [manager_orb] {
+           cdr::Writer w;
+           manager_orb->save_dedup(w);
+           return w.take_buffer();
+         }});
+    snapshot_coordinator_->set_target(snapshot_store_->ref());
+    snapshot_coordinator_->start();
+  }
+
   // --- User node ---
   const auto user_addr = grid_.allocate_endpoint(segment_ids_.front());
   user_orb_ = std::make_unique<orb::Orb>(user_addr, grid_.transport(),
@@ -221,6 +279,12 @@ Cluster::Cluster(Grid& grid, ClusterId id, ClusterConfig config)
   if (standby_orb_) {
     add_registry("orb/" + config_.name + "/standby", &standby_orb_->metrics());
   }
+  if (snapshot_coordinator_) {
+    add_registry("snapshot/" + config_.name + "/coordinator",
+                 &snapshot_coordinator_->metrics());
+    add_registry("snapshot/" + config_.name + "/store",
+                 &snapshot_store_->metrics());
+  }
   add_registry("orb/" + config_.name + "/user", &user_orb_->metrics());
   for (std::size_t s = 0; s < batchers_.size(); ++s) {
     if (!batchers_[s].batcher) continue;
@@ -252,6 +316,7 @@ Cluster::~Cluster() {
     if (worker->owner) worker->owner->stop();
     worker->lrm->stop();
   }
+  if (snapshot_coordinator_) snapshot_coordinator_->stop();
   coordinator_->stop();
   if (standby_grm_) standby_grm_->stop();
   grm_->stop();

@@ -45,6 +45,7 @@
 #include "services/naming.hpp"
 #include "sim/engine.hpp"
 #include "sim/network.hpp"
+#include "snapshot/coordinator.hpp"
 
 namespace integrade::core {
 
@@ -78,6 +79,14 @@ struct ClusterConfig {
   /// message counts drop. With lrm.reliable_updates, the per-segment frame
   /// also takes over GRM liveness probing and failover.
   bool batch_heartbeats = false;
+  /// Control-plane snapshots (requires standby_grm): the primary manager
+  /// periodically captures Trader/GRM/GUPA/ORB-dedup state and ships it —
+  /// full image per epoch, then per-period deltas — to a SnapshotStore on
+  /// the standby's node. On failover the standby starts from the installed
+  /// image instead of an empty Trader, and LRM journal replay
+  /// (lrm.report_journal_window) closes the capture-to-failure gap.
+  /// Disabled by default: no timers, no endpoints, byte-identical runs.
+  snapshot::SnapshotOptions snapshot;
 };
 
 class Grid;
@@ -103,6 +112,13 @@ class Cluster {
   [[nodiscard]] asct::Asct& asct() { return *asct_; }
   [[nodiscard]] orb::Orb& manager_orb() { return *manager_orb_; }
   [[nodiscard]] orb::Orb& user_orb() { return *user_orb_; }
+  /// Null unless ClusterConfig::snapshot.enabled (and a standby exists).
+  [[nodiscard]] snapshot::SnapshotCoordinator* snapshot_coordinator() {
+    return snapshot_coordinator_.get();
+  }
+  [[nodiscard]] snapshot::SnapshotStore* snapshot_store() {
+    return snapshot_store_.get();
+  }
 
   [[nodiscard]] lrm::Lrm& lrm(std::size_t i) { return *workers_[i]->lrm; }
   /// Per-segment heartbeat batcher (ClusterConfig::batch_heartbeats); null
@@ -163,6 +179,10 @@ class Cluster {
   // Warm-standby Cluster Manager (optional).
   std::unique_ptr<orb::Orb> standby_orb_;
   std::unique_ptr<grm::Grm> standby_grm_;
+
+  // Control-plane snapshots (optional; requires the standby).
+  std::unique_ptr<snapshot::SnapshotStore> snapshot_store_;
+  std::unique_ptr<snapshot::SnapshotCoordinator> snapshot_coordinator_;
 
   // User node.
   std::unique_ptr<orb::Orb> user_orb_;

@@ -6,6 +6,7 @@
 
 #include "common/log.hpp"
 #include "protocol/trace_names.hpp"
+#include "snapshot/state_codecs.hpp"
 
 namespace integrade::grm {
 
@@ -72,6 +73,12 @@ class GrmServant final : public orb::SkeletonBase {
           grm.handle_cluster_summary(summary);
           return cdr::Empty{};
         });
+    register_op<protocol::TaskResync, cdr::Empty>(
+        "task_resync",
+        [&grm](const protocol::TaskResync& resync) -> Result<cdr::Empty> {
+          grm.handle_task_resync(resync);
+          return cdr::Empty{};
+        });
   }
 
   [[nodiscard]] const char* type_id() const override {
@@ -134,6 +141,23 @@ void Grm::handle_update_status(const protocol::NodeStatus& status) {
 }
 
 void Grm::handle_update_status_batch(const protocol::NodeStatusBatch& batch) {
+  // Epoch guard: after a failover the demoted primary's network queues can
+  // still drain batches stamped with the old epoch. Applying them would
+  // resurrect offers the new GRM just learned are stale. Epoch 0 marks an
+  // unversioned sender (tests, legacy paths) and is never dropped.
+  bool epoch_advanced = false;
+  if (batch.epoch != 0) {
+    std::uint64_t& seen = segment_epochs_[batch.segment];
+    if (batch.epoch < seen) {
+      metrics_.counter("stale_epoch_batches_dropped").add();
+      return;
+    }
+    epoch_advanced = batch.epoch > seen;
+    seen = batch.epoch;
+  }
+  // Promotion: the first frame a snapshot-restored standby receives means
+  // the segment adopted it — wake the dormant image before applying.
+  if (restored_dormant_) recover_in_flight();
   metrics_.counter("status_batches_received").add();
   metrics_.counter("status_updates_received")
       .add(static_cast<std::int64_t>(batch.updates.size()));
@@ -145,7 +169,39 @@ void Grm::handle_update_status_batch(const protocol::NodeStatusBatch& batch) {
     on_update(status);
     any_shareable = any_shareable || status.shareable;
   }
-  if (any_shareable) kick_scheduler();
+  if (any_shareable) {
+    kick_scheduler(epoch_advanced ? options_.adoption_grace : 0);
+  }
+}
+
+void Grm::handle_task_resync(const protocol::TaskResync& resync) {
+  if (restored_dormant_) recover_in_flight();  // resync implies adoption
+  metrics_.counter("task_resyncs_received").add();
+  for (const TaskId id : resync.running) {
+    auto it = tasks_.find(id);
+    if (it == tasks_.end()) continue;
+    TaskRecord& task = it->second;
+    if (task.state == TaskState::kCompleted ||
+        task.state == TaskState::kFailed) {
+      continue;  // terminal outcome already known; the LRM's copy is doomed
+    }
+    if (task.state == TaskState::kRunning &&
+        task.placement.node == resync.node) {
+      continue;  // nothing to learn
+    }
+    const bool was_running = task.state == TaskState::kRunning;
+    task.remote_timeout.cancel();
+    task.remote_deadline = 0;
+    task.state = TaskState::kRunning;
+    task.placement = Placement{resync.node, resync.lrm};
+    task.waves = 0;
+    task.backoff = 0;
+    metrics_.counter("tasks_resynced").add();
+    if (!was_running) {
+      auto app_it = apps_.find(task.app);
+      if (app_it != apps_.end()) ++app_it->second.running;
+    }
+  }
 }
 
 void Grm::on_update(const protocol::NodeStatus& status) {
@@ -793,6 +849,7 @@ void Grm::handle_report(const protocol::TaskReport& report) {
       }
       if (task.state == TaskState::kRunning) --app.running;
       task.remote_timeout.cancel();
+      task.remote_deadline = 0;
       task.state = TaskState::kCompleted;
       --app.outstanding;
       if (tr != nullptr && task.span.valid()) {
@@ -997,11 +1054,20 @@ void Grm::forward_remote(TaskRecord& task) {
   }
 
   // If nobody adopts in time, reclaim the task locally.
+  task.remote_deadline = engine_.now() + 60 * kSecond;
+  arm_remote_timeout(task);
+}
+
+void Grm::arm_remote_timeout(TaskRecord& task) {
   const TaskId id = task.desc.id;
-  task.remote_timeout = engine_.schedule_after(60 * kSecond, [this, id] {
+  const SimDuration delay =
+      task.remote_deadline > engine_.now() ? task.remote_deadline - engine_.now()
+                                           : 0;
+  task.remote_timeout = engine_.schedule_after(delay, [this, id] {
     auto it = tasks_.find(id);
     if (it == tasks_.end() || it->second.state != TaskState::kRemote) return;
     metrics_.counter("remote_timeouts").add();
+    it->second.remote_deadline = 0;
     it->second.waves = 0;  // start the local/remote cycle over
     requeue_backoff(it->second);
   });
@@ -1095,11 +1161,241 @@ void Grm::handle_remote_adopted(const protocol::RemoteAdopted& ack) {
   auto it = tasks_.find(ack.task);
   if (it == tasks_.end() || it->second.state != TaskState::kRemote) return;
   it->second.remote_timeout.cancel();
+  it->second.remote_deadline = 0;
   metrics_.counter("remote_delegations").add();
   metrics_.summary("remote_hops").observe(static_cast<double>(ack.hops));
   // The adopting cluster executes the task but this GRM keeps ownership:
   // the adopter relays the final TaskReport here, and only that report
   // decrements the app's outstanding count.
+}
+
+// ---------------------------------------------------------------------------
+// Control-plane snapshots (docs/snapshots.md)
+// ---------------------------------------------------------------------------
+
+void Grm::save(cdr::Writer& w) const {
+  w.write_u64(next_reservation_);
+  cdr::Codec<Rng::State>::encode(w, rng_.state());
+  cdr::Codec<Rng::State>::encode(w, backoff_rng_.state());
+
+  w.write_u32(static_cast<std::uint32_t>(segment_epochs_.size()));
+  for (const auto& [segment, epoch] : segment_epochs_) {
+    w.write_i32(segment);
+    w.write_u64(epoch);
+  }
+
+  // nodes_ is hash-keyed; sort for deterministic bytes.
+  std::vector<NodeId> node_ids;
+  node_ids.reserve(nodes_.size());
+  for (const auto& [id, _] : nodes_) node_ids.push_back(id);
+  std::sort(node_ids.begin(), node_ids.end());
+  w.write_u32(static_cast<std::uint32_t>(node_ids.size()));
+  for (const NodeId id : node_ids) {
+    const NodeRecord& record = nodes_.at(id);
+    cdr::Codec<protocol::NodeStatus>::encode(w, record.status);
+    w.write_id(record.offer);
+    w.write_i64(record.last_update);
+  }
+
+  w.write_u32(static_cast<std::uint32_t>(apps_.size()));
+  for (const auto& [_, app] : apps_) {
+    cdr::Codec<protocol::ApplicationSpec>::encode(w, app.spec);
+    w.write_bool(app.adopted_remote);
+    cdr::Codec<orb::ObjectRef>::encode(w, app.origin);
+    w.write_i32(app.outstanding);
+    w.write_i32(app.running);
+    w.write_bool(app.bsp_ready_fired);
+    w.write_bool(app.failed);
+  }
+
+  w.write_u32(static_cast<std::uint32_t>(tasks_.size()));
+  for (const auto& [_, task] : tasks_) {
+    cdr::Codec<protocol::TaskDescriptor>::encode(w, task.desc);
+    w.write_id(task.app);
+    w.write_u8(static_cast<std::uint8_t>(task.state));
+    w.write_id(task.placement.node);
+    cdr::Codec<orb::ObjectRef>::encode(w, task.placement.lrm);
+    w.write_i32(task.waves);
+    w.write_i32(task.evictions);
+    w.write_i64(task.backoff);
+    w.write_i64(task.eligible_at);
+    w.write_i32(task.topology_segment);
+    w.write_i64(task.remote_deadline);
+    // remote_timeout (event handle) and span (tracer state) are transients:
+    // load() re-arms the former from remote_deadline; spans restart cold.
+  }
+
+  w.write_u32(static_cast<std::uint32_t>(queue_.size()));
+  for (const TaskId id : queue_) w.write_id(id);
+
+  std::vector<NodeId> inflight_ids;
+  inflight_ids.reserve(inflight_.size());
+  for (const auto& [id, _] : inflight_) inflight_ids.push_back(id);
+  std::sort(inflight_ids.begin(), inflight_ids.end());
+  w.write_u32(static_cast<std::uint32_t>(inflight_ids.size()));
+  for (const NodeId id : inflight_ids) {
+    w.write_id(id);
+    w.write_i32(inflight_.at(id));
+  }
+
+  w.write_u32(static_cast<std::uint32_t>(child_summaries_.size()));
+  for (const auto& [_, summary] : child_summaries_) {
+    cdr::Codec<protocol::ClusterSummary>::encode(w, summary);
+  }
+}
+
+Status Grm::load(std::uint32_t version, cdr::Reader& r) {
+  if (version != kSnapshotVersion) {
+    return Status(ErrorCode::kInvalidArgument,
+                  "grm snapshot version " + std::to_string(version) +
+                      " unsupported");
+  }
+
+  // Decode everything into scratch state first: a truncated or corrupt
+  // section must leave the live GRM untouched.
+  const std::uint64_t next_reservation = r.read_u64();
+  const Rng::State rng_state = cdr::Codec<Rng::State>::decode(r);
+  const Rng::State backoff_state = cdr::Codec<Rng::State>::decode(r);
+
+  std::map<std::int32_t, std::uint64_t> segment_epochs;
+  const std::uint32_t n_epochs = r.read_u32();
+  for (std::uint32_t i = 0; i < n_epochs && r.ok(); ++i) {
+    const std::int32_t segment = r.read_i32();
+    segment_epochs[segment] = r.read_u64();
+  }
+
+  std::unordered_map<NodeId, NodeRecord> nodes;
+  const std::uint32_t n_nodes = r.read_u32();
+  for (std::uint32_t i = 0; i < n_nodes && r.ok(); ++i) {
+    NodeRecord record;
+    record.status = cdr::Codec<protocol::NodeStatus>::decode(r);
+    record.offer = r.read_id<services::OfferTag>();
+    record.last_update = r.read_i64();
+    const NodeId id = record.status.node;
+    nodes.emplace(id, std::move(record));
+  }
+
+  std::map<AppId, AppRecord> apps;
+  const std::uint32_t n_apps = r.read_u32();
+  for (std::uint32_t i = 0; i < n_apps && r.ok(); ++i) {
+    AppRecord app;
+    app.spec = cdr::Codec<protocol::ApplicationSpec>::decode(r);
+    app.adopted_remote = r.read_bool();
+    app.origin = cdr::Codec<orb::ObjectRef>::decode(r);
+    app.outstanding = r.read_i32();
+    app.running = r.read_i32();
+    app.bsp_ready_fired = r.read_bool();
+    app.failed = r.read_bool();
+    const AppId id = app.spec.id;
+    apps.emplace(id, std::move(app));
+  }
+
+  std::map<TaskId, TaskRecord> tasks;
+  const std::uint32_t n_tasks = r.read_u32();
+  for (std::uint32_t i = 0; i < n_tasks && r.ok(); ++i) {
+    TaskRecord task;
+    task.desc = cdr::Codec<protocol::TaskDescriptor>::decode(r);
+    task.app = r.read_id<AppTag>();
+    const std::uint8_t state = r.read_u8();
+    if (r.ok() && state > static_cast<std::uint8_t>(TaskState::kFailed)) {
+      return Status(ErrorCode::kInternal, "grm snapshot has bad task state");
+    }
+    task.state = static_cast<TaskState>(state);
+    task.placement.node = r.read_id<NodeTag>();
+    task.placement.lrm = cdr::Codec<orb::ObjectRef>::decode(r);
+    task.waves = r.read_i32();
+    task.evictions = r.read_i32();
+    task.backoff = r.read_i64();
+    task.eligible_at = r.read_i64();
+    task.topology_segment = r.read_i32();
+    task.remote_deadline = r.read_i64();
+    const TaskId id = task.desc.id;
+    tasks.emplace(id, std::move(task));
+  }
+
+  std::deque<TaskId> queue;
+  const std::uint32_t n_queue = r.read_u32();
+  for (std::uint32_t i = 0; i < n_queue && r.ok(); ++i) {
+    queue.push_back(r.read_id<TaskTag>());
+  }
+
+  std::unordered_map<NodeId, int> inflight;
+  const std::uint32_t n_inflight = r.read_u32();
+  for (std::uint32_t i = 0; i < n_inflight && r.ok(); ++i) {
+    const NodeId id = r.read_id<NodeTag>();
+    inflight[id] = r.read_i32();
+  }
+
+  std::map<ClusterId, protocol::ClusterSummary> child_summaries;
+  const std::uint32_t n_summaries = r.read_u32();
+  for (std::uint32_t i = 0; i < n_summaries && r.ok(); ++i) {
+    protocol::ClusterSummary summary =
+        cdr::Codec<protocol::ClusterSummary>::decode(r);
+    const ClusterId id = summary.cluster;
+    child_summaries[id] = std::move(summary);
+  }
+
+  if (!r.ok()) return Status(ErrorCode::kInternal, "truncated grm snapshot");
+  if (nodes.size() != n_nodes || apps.size() != n_apps ||
+      tasks.size() != n_tasks) {
+    return Status(ErrorCode::kInternal, "duplicate key in grm snapshot");
+  }
+  // Cross-section consistency: every node record must reference an offer the
+  // (already loaded) Trader actually holds, or scheduling would chase
+  // dangling offer ids forever.
+  for (const auto& [id, record] : nodes) {
+    if (trader_.lookup(record.offer) == nullptr) {
+      return Status(ErrorCode::kInternal,
+                    "grm snapshot node " + to_string(id) +
+                        " references unknown trader offer");
+    }
+  }
+
+  // Commit. Cancel timers owned by the records being replaced first.
+  for (auto& [_, task] : tasks_) task.remote_timeout.cancel();
+  next_reservation_ = next_reservation;
+  rng_.set_state(rng_state);
+  backoff_rng_.set_state(backoff_state);
+  segment_epochs_ = std::move(segment_epochs);
+  nodes_ = std::move(nodes);
+  apps_ = std::move(apps);
+  tasks_ = std::move(tasks);
+  queue_ = std::move(queue);
+  inflight_ = std::move(inflight);
+  child_summaries_ = std::move(child_summaries);
+
+  // The loaded state stays dormant — no timers armed, no scheduler kick —
+  // until recover_in_flight() runs at promotion. A warm standby installs
+  // snapshots every period while the primary is still alive; arming timers
+  // here would let a remote-adoption timeout fire on the standby and start
+  // scheduling tasks the primary still owns.
+  restored_dormant_ = true;
+  return Status::ok();
+}
+
+void Grm::recover_in_flight() {
+  restored_dormant_ = false;
+  // Negotiation waves and reserve/execute callbacks died with the old
+  // primary: every task frozen mid-negotiation goes back to pending so the
+  // next scheduler pass (triggered by re-announced heartbeats) retries it.
+  inflight_.clear();
+  int recovered = 0;
+  for (auto& [id, task] : tasks_) {
+    if (task.state == TaskState::kNegotiating) {
+      task.state = TaskState::kPending;
+      queue_.push_back(id);
+      ++recovered;
+      continue;
+    }
+    // Tasks walking the wide-area hierarchy get their adoption timeout
+    // back; an already-expired deadline fires immediately and requeues.
+    if (task.state == TaskState::kRemote && task.remote_deadline > 0) {
+      arm_remote_timeout(task);
+    }
+  }
+  if (recovered > 0) {
+    metrics_.counter("tasks_recovered_from_snapshot").add(recovered);
+  }
 }
 
 // ---------------------------------------------------------------------------

@@ -67,6 +67,12 @@ struct GrmOptions {
   double cpu_request = 1.0;
   /// Summary push cadence toward the parent cluster.
   SimDuration summary_period = 60 * kSecond;
+  /// Extra delay before the first scheduler pass after a batch arrives with
+  /// a higher GRM epoch (standby adoption): gives TaskResync frames and
+  /// journal replays time to land before the new GRM re-places tasks the
+  /// old primary already placed. 0 (default) = no grace, byte-identical to
+  /// the historical behaviour.
+  SimDuration adoption_grace = 0;
 };
 
 enum class TaskState {
@@ -111,6 +117,9 @@ class Grm {
   void handle_remote_adopted(const protocol::RemoteAdopted& ack);
   void handle_cluster_summary(const protocol::ClusterSummary& summary);
   void handle_cancel_app(AppId app);
+  /// An adopted LRM declares which tasks are still running on it, so a GRM
+  /// restored from a snapshot marks them running instead of re-placing them.
+  void handle_task_resync(const protocol::TaskResync& resync);
 
   // ---- BSP coordinator integration (core library hooks in) ----
   struct Placement {
@@ -141,6 +150,30 @@ class Grm {
   [[nodiscard]] int running_tasks() const;
   [[nodiscard]] std::optional<protocol::NodeStatus> node_view(NodeId node) const;
 
+  // ---- control-plane snapshots (see docs/snapshots.md) ----
+  /// Snapshot format version for the "grm" section.
+  static constexpr std::uint32_t kSnapshotVersion = 1;
+  /// Serialize scheduler state: node records, apps, tasks, the pending
+  /// queue, in-flight counts, child summaries, reservation counter, epoch
+  /// guards, and both RNG streams. Engine-coupled transients (armed timers,
+  /// active negotiation waves, trace spans) are intentionally excluded; a
+  /// loaded GRM re-derives them. The Trader is its own snapshot section.
+  void save(cdr::Writer& w) const;
+  /// Replace scheduler state from a snapshot section. Decode-into-scratch:
+  /// on any error the GRM is untouched. Requires the Trader section to have
+  /// been loaded first (node records must reference live offers). The loaded
+  /// state is dormant until recover_in_flight().
+  Status load(std::uint32_t version, cdr::Reader& r);
+  /// After a failover load: tasks the snapshot froze mid-negotiation have
+  /// no surviving wave callbacks on this GRM — return them to the pending
+  /// queue (and clear in-flight counts) so the next scheduler pass retries
+  /// them, and kRemote adoption timeouts are re-armed. Separate from load():
+  /// a warm standby installs snapshots while the primary is alive and must
+  /// stay dormant (no timers, no kicks) until promoted — the first status
+  /// frame or task resync after adoption calls this automatically. Also
+  /// keeps save→load→save byte-identical.
+  void recover_in_flight();
+
  private:
   struct NodeRecord {
     services::OfferId offer;
@@ -159,6 +192,10 @@ class Grm {
     SimTime eligible_at = 0;
     std::int32_t topology_segment = -1;  // pinned segment, -1 = anywhere
     sim::EventHandle remote_timeout;
+    /// Absolute deadline of remote_timeout (kRemote tasks only): event
+    /// handles cannot be serialized, so snapshots persist the deadline and
+    /// load() re-arms the timer at the same instant.
+    SimTime remote_deadline = 0;
     /// Long-lived "grm.task" span: opened at submission, closed at final
     /// completion, so its duration is the submission→completion latency the
     /// E13 bench gates on. Inactive when tracing is off. All negotiation
@@ -192,6 +229,8 @@ class Grm {
   /// Requeue after a fruitless wave, advancing the task's backoff delay.
   void requeue_backoff(TaskRecord& task);
   void forward_remote(TaskRecord& task);
+  /// Arm (or re-arm) a kRemote task's adoption timeout at its deadline.
+  void arm_remote_timeout(TaskRecord& task);
   void notify(const AppRecord& app, protocol::AppEventKind kind, TaskId task,
               NodeId node, const std::string& detail);
   void maybe_app_done(AppId app_id);
@@ -232,6 +271,13 @@ class Grm {
   std::map<TaskId, TaskRecord> tasks_;
   std::deque<TaskId> queue_;
   std::map<ClusterId, protocol::ClusterSummary> child_summaries_;
+  /// Highest NodeStatusBatch epoch seen per segment: batches below it are
+  /// stale traffic from a demoted primary's queues and are dropped. Epoch 0
+  /// (unversioned senders) is never tracked or dropped.
+  std::map<std::int32_t, std::uint64_t> segment_epochs_;
+  /// True between load() and recover_in_flight(): snapshot state installed
+  /// but not yet activated (standby awaiting promotion).
+  bool restored_dormant_ = false;
 
   BspReadyHandler bsp_ready_;
   BspRankPlacedHandler bsp_placed_;

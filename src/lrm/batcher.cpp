@@ -38,6 +38,7 @@ void HeartbeatBatcher::stop() {
 
 void HeartbeatBatcher::send_frame() {
   if (!grm_.valid()) return;
+  batch_scratch_.epoch = epoch_;
   batch_scratch_.updates.clear();
   for (Lrm* member : members_) {
     if (member->crashed()) continue;  // a dead process has no status to report
@@ -66,6 +67,7 @@ void HeartbeatBatcher::send_frame() {
         if (++grm_misses_ < options_.grm_failure_threshold) return;
         grm_misses_ = 0;
         std::swap(grm_, standby_grm_);
+        ++epoch_;  // stale batches from the demoted primary's queues die
         metrics_.counter("grm_failovers").add();
         for (Lrm* member : members_) member->adopt_grm(grm_, standby_grm_);
         // Re-announce the whole segment at once: the standby rebuilds its

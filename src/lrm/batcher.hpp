@@ -88,6 +88,10 @@ class HeartbeatBatcher {
   orb::ObjectRef grm_;
   orb::ObjectRef standby_grm_;
   int grm_misses_ = 0;
+  /// GRM incarnation stamped on every frame; bumped on failover so the
+  /// adopting GRM can drop stale batches still draining from the old
+  /// primary (NodeStatusBatch::epoch).
+  std::uint64_t epoch_ = 1;
 
   sim::PeriodicTimer frame_timer_;
   sim::PeriodicTimer lupa_timer_;

@@ -170,6 +170,7 @@ void Lrm::restart() {
     report.node = machine_.id();
     report.outcome = TaskOutcome::kNodeFailed;
     report.detail = "node crashed and restarted";
+    journal_report(report);
     orb::reliable_oneway(orb_, orphan.report_to, "report", report);
   }
   orphans_.clear();
@@ -255,12 +256,63 @@ void Lrm::push_update() {
         }
         if (++grm_misses_ < options_.grm_failure_threshold) return;
         grm_misses_ = 0;
+        const orb::ObjectRef old_grm = grm_;
         std::swap(grm_, standby_grm_);
         metrics_.counter("grm_failovers").add();
+        resync_with_grm(old_grm);
         // Re-announce at once: the standby rebuilds its Trader state from
         // exactly these re-registration updates (soft-state recovery).
         push_update();
       });
+}
+
+void Lrm::adopt_grm(const orb::ObjectRef& grm, const orb::ObjectRef& standby) {
+  const orb::ObjectRef old_grm = grm_;
+  grm_ = grm;
+  standby_grm_ = standby;
+  grm_misses_ = 0;
+  resync_with_grm(old_grm);
+}
+
+void Lrm::resync_with_grm(const orb::ObjectRef& old_grm) {
+  if (options_.report_journal_window <= 0 || crashed_ || !grm_.valid()) return;
+  if (grm_ == old_grm) return;  // nothing changed
+  // Declare the tasks still running here so a snapshot-restored GRM marks
+  // them running instead of re-placing them, and route their completion
+  // reports to the live manager.
+  protocol::TaskResync resync;
+  resync.node = machine_.id();
+  resync.lrm = self_ref_;
+  for (auto& [id, task] : tasks_) {
+    if (task->report_to == old_grm) task->report_to = grm_;
+    resync.running.push_back(id);
+  }
+  metrics_.counter("task_resyncs_sent").add();
+  orb::reliable_oneway(orb_, grm_, "task_resync", resync);
+
+  // Replay recent terminal outcomes the dead primary may have swallowed.
+  // The GRM's duplicate-completion and stale-report guards (plus the ORB's
+  // at-most-once window for duplicated frames) make this idempotent.
+  prune_journal();
+  if (report_journal_.empty()) return;
+  metrics_.counter("journal_reports_replayed")
+      .add(static_cast<std::int64_t>(report_journal_.size()));
+  for (const JournalEntry& entry : report_journal_) {
+    orb::reliable_oneway(orb_, grm_, "report", entry.report);
+  }
+}
+
+void Lrm::journal_report(const protocol::TaskReport& report) {
+  if (options_.report_journal_window <= 0) return;
+  report_journal_.push_back(JournalEntry{engine_.now(), report});
+  prune_journal();
+}
+
+void Lrm::prune_journal() {
+  const SimTime cutoff = engine_.now() - options_.report_journal_window;
+  while (!report_journal_.empty() && report_journal_.front().at < cutoff) {
+    report_journal_.pop_front();
+  }
 }
 
 void Lrm::update_quiet_tracking() {
@@ -752,6 +804,7 @@ void Lrm::report(const RunningTask& task, TaskOutcome outcome,
   report.outcome = outcome;
   report.work_done = task.done;
   report.detail = detail;
+  journal_report(report);
   // Carry the run span's context so the GRM's "grm.report" span links under
   // this task's subtree.
   orb::TraceScope trace_scope(orb_, task.run_span.context());

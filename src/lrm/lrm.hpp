@@ -19,6 +19,7 @@
 // is exact for piecewise-constant rates.
 #pragma once
 
+#include <deque>
 #include <map>
 #include <memory>
 #include <optional>
@@ -63,6 +64,12 @@ struct LrmOptions {
   /// batcher also takes over GRM liveness probing and failover (it calls
   /// adopt_grm on its members), so push_update never probes in this mode.
   bool batched_updates = false;
+  /// Keep a sliding-window journal of outgoing TaskReports and replay it to
+  /// a newly adopted GRM (snapshot-restore failover): terminal outcomes the
+  /// dead primary swallowed are re-delivered, and the GRM's duplicate/stale
+  /// report guards make the replay idempotent. 0 (default) = no journal, no
+  /// resync traffic — byte-identical to the historical failover.
+  SimDuration report_journal_window = 0;
 };
 
 class Lrm {
@@ -99,12 +106,11 @@ class Lrm {
 
   /// Batched mode: the segment batcher detected a GRM failover and rotates
   /// every member onto the new primary so event-driven pushes and restart
-  /// re-announces go to the live manager.
-  void adopt_grm(const orb::ObjectRef& grm, const orb::ObjectRef& standby) {
-    grm_ = grm;
-    standby_grm_ = standby;
-    grm_misses_ = 0;
-  }
+  /// re-announces go to the live manager. With report_journal_window set,
+  /// adoption also resyncs the new GRM: running tasks are declared via a
+  /// TaskResync frame (and their report routing rewritten), and the recent
+  /// TaskReport journal is replayed.
+  void adopt_grm(const orb::ObjectRef& grm, const orb::ObjectRef& standby);
 
   [[nodiscard]] const orb::ObjectRef& ref() const { return self_ref_; }
   [[nodiscard]] NodeId node_id() const { return machine_.id(); }
@@ -188,6 +194,13 @@ class Lrm {
   void evict_all(protocol::TaskOutcome outcome, const std::string& detail);
   void report(const RunningTask& task, protocol::TaskOutcome outcome,
               const std::string& detail);
+  /// Remember an outgoing report for failover replay (no-op with the
+  /// journal disabled) and drop entries older than the window.
+  void journal_report(const protocol::TaskReport& report);
+  void prune_journal();
+  /// Post-adoption resync: declare running tasks to the new GRM, rewrite
+  /// their report routing away from `old_grm`, and replay the journal.
+  void resync_with_grm(const orb::ObjectRef& old_grm);
   void checkpoint_task(RunningTask& task);
   void update_quiet_tracking();
   /// Fold the elapsed interval into the duty-cycle accumulators; call at
@@ -226,6 +239,15 @@ class Lrm {
   bool crashed_ = false;
   int grm_misses_ = 0;  // consecutive unanswered reliable updates
   std::vector<Orphan> orphans_;
+
+  /// Recent outgoing TaskReports (report_journal_window > 0 only), oldest
+  /// first; replayed to a newly adopted GRM so terminal outcomes lost with
+  /// the old primary are re-delivered.
+  struct JournalEntry {
+    SimTime at = 0;
+    protocol::TaskReport report;
+  };
+  std::deque<JournalEntry> report_journal_;
 
   MInstr total_work_done_ = 0;
 

@@ -250,6 +250,44 @@ void Orb::handle_request(NodeAddress source, const ParsedFrame& frame) {
   transport_.send(self_, source, std::move(wire));
 }
 
+void Orb::save_dedup(cdr::Writer& w) const {
+  const auto& entries = dedup_.entries();
+  w.write_u32(static_cast<std::uint32_t>(entries.size()));
+  // Least-recent first: replaying put() in write order rebuilds recency.
+  for (auto it = entries.rbegin(); it != entries.rend(); ++it) {
+    w.write_u64(it->first.source);
+    w.write_u64(it->first.request_id);
+    w.write_octets(it->second);
+  }
+}
+
+Status Orb::load_dedup(std::uint32_t version, cdr::Reader& r) {
+  if (version != kDedupSnapshotVersion) {
+    return Status(ErrorCode::kInvalidArgument,
+                  "orb_dedup snapshot version " + std::to_string(version) +
+                      " unsupported");
+  }
+  const std::uint32_t count = r.read_u32();
+  std::vector<std::pair<DedupKey, std::vector<std::uint8_t>>> incoming;
+  for (std::uint32_t i = 0; i < count && r.ok(); ++i) {
+    DedupKey key;
+    key.source = r.read_u64();
+    key.request_id = r.read_u64();
+    std::vector<std::uint8_t> reply = r.read_octets();
+    incoming.emplace_back(key, std::move(reply));
+  }
+  if (!r.ok() || incoming.size() != count) {
+    return Status(ErrorCode::kInternal, "truncated orb_dedup snapshot");
+  }
+  if (options_.dedup_window == 0) return Status::ok();
+  for (auto& [key, reply] : incoming) {
+    // A locally-present entry is newer than the snapshot: keep it.
+    if (dedup_.contains(key)) continue;
+    dedup_.put(key, std::move(reply));
+  }
+  return Status::ok();
+}
+
 void Orb::handle_reply(const ParsedFrame& frame) {
   const ReplyHeader& rep = frame.reply;
   switch (rep.status) {

@@ -130,6 +130,16 @@ class Orb {
   [[nodiscard]] MetricRegistry& metrics() { return metrics_; }
   [[nodiscard]] sim::Engine* engine() { return engine_; }
 
+  // --- control-plane snapshots (see docs/snapshots.md) -------------------
+  /// Snapshot format version for the "orb_dedup" section.
+  static constexpr std::uint32_t kDedupSnapshotVersion = 1;
+  /// Serialize the at-most-once dedup window (keys + cached reply frames),
+  /// least-recent first so a load replays put() calls in recency order.
+  void save_dedup(cdr::Writer& w) const;
+  /// Merge a snapshotted dedup window into this ORB's window. Entries whose
+  /// key is already present locally are kept (the local entry is newer).
+  Status load_dedup(std::uint32_t version, cdr::Reader& r);
+
   // --- tracing (see docs/observability.md) -------------------------------
   /// Attach the process tracer. The tracer may be disabled; instrumented
   /// components must check `tracer() && tracer()->enabled()` before starting

@@ -115,13 +115,56 @@ NodeStatus Codec<NodeStatus>::decode(Reader& r) {
 
 void Codec<NodeStatusBatch>::encode(Writer& w, const NodeStatusBatch& v) {
   w.write_i32(v.segment);
+  w.write_u64(v.epoch);
   encode_sequence(w, v.updates);
 }
 
 NodeStatusBatch Codec<NodeStatusBatch>::decode(Reader& r) {
   NodeStatusBatch v;
   v.segment = r.read_i32();
+  v.epoch = r.read_u64();
   v.updates = decode_sequence<NodeStatus>(r);
+  return v;
+}
+
+void Codec<TaskResync>::encode(Writer& w, const TaskResync& v) {
+  w.write_id(v.node);
+  Codec<orb::ObjectRef>::encode(w, v.lrm);
+  w.write_u32(static_cast<std::uint32_t>(v.running.size()));
+  for (const TaskId t : v.running) w.write_id(t);
+}
+
+TaskResync Codec<TaskResync>::decode(Reader& r) {
+  TaskResync v;
+  v.node = r.read_id<NodeTag>();
+  v.lrm = Codec<orb::ObjectRef>::decode(r);
+  const std::uint32_t n = r.read_u32();
+  for (std::uint32_t i = 0; i < n && r.ok(); ++i) {
+    v.running.push_back(r.read_id<TaskTag>());
+  }
+  return v;
+}
+
+void Codec<SnapshotInstall>::encode(Writer& w, const SnapshotInstall& v) {
+  w.write_octets(v.image);
+}
+
+SnapshotInstall Codec<SnapshotInstall>::decode(Reader& r) {
+  SnapshotInstall v;
+  v.image = r.read_octets();
+  return v;
+}
+
+void Codec<SnapshotInstallReply>::encode(Writer& w,
+                                         const SnapshotInstallReply& v) {
+  w.write_bool(v.accepted);
+  w.write_string(v.reason);
+}
+
+SnapshotInstallReply Codec<SnapshotInstallReply>::decode(Reader& r) {
+  SnapshotInstallReply v;
+  v.accepted = r.read_bool();
+  v.reason = r.read_string();
   return v;
 }
 

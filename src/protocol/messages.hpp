@@ -66,6 +66,12 @@ struct NodeStatus {
 /// segment's updates for that period, never a prefix.
 struct NodeStatusBatch {
   std::int32_t segment = 0;  // reporting segment, for diagnostics
+  /// GRM incarnation the sender believes it is reporting to. Bumped by the
+  /// batcher when it fails over to the standby, so an adopting GRM can drop
+  /// stale batches still draining from the old primary's queues instead of
+  /// resurrecting dead offers. 0 = unversioned (legacy senders, unit
+  /// tests); never dropped.
+  std::uint64_t epoch = 0;
   std::vector<NodeStatus> updates;
 
   bool operator==(const NodeStatusBatch&) const = default;
@@ -340,6 +346,40 @@ struct TaskReport {
 };
 
 // ---------------------------------------------------------------------------
+// Failover & snapshot protocol (see docs/snapshots.md)
+// ---------------------------------------------------------------------------
+
+/// Sent by an LRM to a GRM that just adopted it (standby promotion): the
+/// set of tasks still running locally, so the new GRM can mark them running
+/// instead of re-scheduling them from a stale snapshot. Paired with a
+/// replay of the LRM's recent TaskReport journal for terminal outcomes that
+/// may have been lost with the old primary.
+struct TaskResync {
+  NodeId node;
+  orb::ObjectRef lrm;  // negotiation endpoint, same as NodeStatus::lrm
+  std::vector<TaskId> running;
+
+  bool operator==(const TaskResync&) const = default;
+};
+
+/// A control-plane snapshot image (snapshot::Envelope wire bytes) shipped
+/// from the primary's SnapshotCoordinator to the standby's SnapshotStore.
+/// The image is opaque at this layer; the store validates the envelope
+/// (magic, version, checksum) before applying it.
+struct SnapshotInstall {
+  std::vector<std::uint8_t> image;
+
+  bool operator==(const SnapshotInstall&) const = default;
+};
+
+struct SnapshotInstallReply {
+  bool accepted = false;
+  std::string reason;  // on rejection: why (sequencing gap, bad checksum...)
+
+  bool operator==(const SnapshotInstallReply&) const = default;
+};
+
+// ---------------------------------------------------------------------------
 // Usage Pattern Protocol (LUPA -> GUPA, GRM -> GUPA)
 // ---------------------------------------------------------------------------
 
@@ -502,6 +542,18 @@ template <> struct Codec<protocol::CancelApp> {
     v.app = r.read_id<AppTag>();
     return v;
   }
+};
+template <> struct Codec<protocol::TaskResync> {
+  static void encode(Writer& w, const protocol::TaskResync& v);
+  static protocol::TaskResync decode(Reader& r);
+};
+template <> struct Codec<protocol::SnapshotInstall> {
+  static void encode(Writer& w, const protocol::SnapshotInstall& v);
+  static protocol::SnapshotInstall decode(Reader& r);
+};
+template <> struct Codec<protocol::SnapshotInstallReply> {
+  static void encode(Writer& w, const protocol::SnapshotInstallReply& v);
+  static protocol::SnapshotInstallReply decode(Reader& r);
 };
 template <> struct Codec<protocol::CancelTask> {
   static void encode(Writer& w, const protocol::CancelTask& v) {

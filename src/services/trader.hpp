@@ -133,6 +133,20 @@ class Trader {
   /// first violation found.
   [[nodiscard]] Status check_invariants() const;
 
+  /// Control-plane snapshot format version for the "trader" section.
+  static constexpr std::uint32_t kSnapshotVersion = 1;
+
+  /// Serialize offers + the id counter. The secondary indexes are derived
+  /// state rebuilt on load, and the compiled-expression caches are
+  /// non-observable memos cleared on load — neither is serialized, so
+  /// save→load→save is byte-identical by construction.
+  void save(cdr::Writer& w) const;
+
+  /// Replace the trader's state from a snapshot section. Decodes into
+  /// scratch and validates before committing: on any error the trader is
+  /// left untouched. On success both indexes are rebuilt and verified.
+  Status load(std::uint32_t version, cdr::Reader& r);
+
  private:
   struct ProviderKey {
     std::string service_type;

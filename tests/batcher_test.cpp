@@ -188,6 +188,77 @@ TEST(HeartbeatBatching, ReliableFrameFailsOverWholeSegmentToStandby) {
       grid.run_until_app_done(cluster, app, grid.engine().now() + kHour));
 }
 
+TEST(HeartbeatBatching, StaleEpochBatchesFromDemotedPrimaryAreDropped) {
+  // Failover race: the adopting GRM's re-announce (epoch n+1) can interleave
+  // with NodeStatusBatch frames from the demoted primary's network queues
+  // (epoch n). The stale frames must be dropped, or they would resurrect
+  // offer state the new manager just replaced.
+  core::Grid grid(19);
+  auto& cluster = grid.add_cluster(ladder_cluster(3, 19, /*batch=*/true));
+  grid.run_for(2 * kMinute);
+  grm::Grm& grm = cluster.grm();
+  const NodeId node = cluster.lrm(0).node_id();
+
+  protocol::NodeStatusBatch fresh;
+  fresh.segment = 0;
+  fresh.epoch = 2;  // the new primary's incarnation
+  fresh.updates.push_back(cluster.lrm(0).current_status());
+  const double fresh_cpu = fresh.updates[0].exportable_cpu;
+  grm.handle_update_status_batch(fresh);
+  ASSERT_TRUE(grm.node_view(node).has_value());
+  EXPECT_EQ(grm.node_view(node)->exportable_cpu, fresh_cpu);
+
+  // A late frame from the old epoch carries older (different) dynamic state;
+  // applying it would roll the node's offer backwards.
+  protocol::NodeStatusBatch stale = fresh;
+  stale.epoch = 1;
+  stale.updates[0].exportable_cpu = fresh_cpu / 2;
+  stale.updates[0].running_tasks = 99;
+  grm.handle_update_status_batch(stale);
+  EXPECT_EQ(grm.metrics().counter_value("stale_epoch_batches_dropped"), 1);
+  EXPECT_EQ(grm.node_view(node)->exportable_cpu, fresh_cpu);
+  EXPECT_NE(grm.node_view(node)->running_tasks, 99);
+
+  // Equal epoch (the current incarnation's own traffic) still applies, and
+  // epoch 0 marks an unversioned sender — never dropped.
+  protocol::NodeStatusBatch current = fresh;
+  current.updates[0].running_tasks = 3;
+  grm.handle_update_status_batch(current);
+  EXPECT_EQ(grm.node_view(node)->running_tasks, 3);
+  protocol::NodeStatusBatch legacy = fresh;
+  legacy.epoch = 0;
+  legacy.updates[0].running_tasks = 4;
+  grm.handle_update_status_batch(legacy);
+  EXPECT_EQ(grm.node_view(node)->running_tasks, 4);
+  EXPECT_EQ(grm.metrics().counter_value("stale_epoch_batches_dropped"), 1);
+}
+
+TEST(HeartbeatBatching, AdoptionIsIdempotent) {
+  // Re-adopting the same manager (duplicate failover signals) must not
+  // resend resync traffic or rewrite anything.
+  core::Grid grid(23);
+  auto config = ladder_cluster(3, 23, /*batch=*/true);
+  config.standby_grm = true;
+  config.lrm.reliable_updates = true;
+  config.lrm.report_journal_window = 10 * kMinute;
+  auto& cluster = grid.add_cluster(config);
+  grid.run_for(2 * kMinute);
+
+  lrm::Lrm& lrm = cluster.lrm(0);
+  const auto before = lrm.metrics().counter_value("task_resyncs_sent");
+  lrm.adopt_grm(lrm.grm(), cluster.standby_grm()->ref());  // same primary
+  grid.run_for(kMinute);
+  EXPECT_EQ(lrm.metrics().counter_value("task_resyncs_sent"), before);
+
+  // A real change does resync (and only once per change).
+  lrm.adopt_grm(cluster.standby_grm()->ref(), cluster.grm_ref());
+  grid.run_for(kMinute);
+  EXPECT_EQ(lrm.metrics().counter_value("task_resyncs_sent"), before + 1);
+  lrm.adopt_grm(cluster.standby_grm()->ref(), cluster.grm_ref());
+  grid.run_for(kMinute);
+  EXPECT_EQ(lrm.metrics().counter_value("task_resyncs_sent"), before + 1);
+}
+
 TEST(HeartbeatBatching, EmptySegmentsGetNoBatcher) {
   // A segment with no provider nodes must not cost a timer or an endpoint.
   core::Grid grid(17);

@@ -169,6 +169,61 @@ TEST_P(ValueRoundTrip, EncodesAndDecodes) {
   }
 }
 
+TEST(TruncationSweep, ReaderLatchesCleanlyAtEveryCutOffset) {
+  // Reader bounds contract: any read past a truncation latches ok()=false,
+  // every subsequent read returns a zero value (empty string/octets), and
+  // nothing throws — so a decoder that checks ok() once at the end never
+  // commits partial state.
+  Writer w;
+  w.write_u32(7);
+  w.write_string("snapshot-section");
+  w.write_u64(0x1122334455667788ULL);
+  w.write_octets({1, 2, 3, 4, 5});
+  w.write_f64(2.5);
+  const auto bytes = w.take_buffer();
+
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    Reader r(bytes.data(), len);
+    (void)r.read_u32();
+    (void)r.read_string();
+    (void)r.read_u64();
+    (void)r.read_octets();
+    (void)r.read_f64();
+    EXPECT_FALSE(r.ok()) << "cut at " << len << " read past the end";
+    // Latched: everything after the failure is zero, and stays failed.
+    EXPECT_EQ(r.read_u32(), 0u);
+    EXPECT_EQ(r.read_u64(), 0u);
+    EXPECT_TRUE(r.read_string().empty());
+    EXPECT_TRUE(r.read_octets().empty());
+    EXPECT_FALSE(r.ok());
+  }
+
+  // The untruncated buffer reads back exactly.
+  Reader full(bytes.data(), bytes.size());
+  EXPECT_EQ(full.read_u32(), 7u);
+  EXPECT_EQ(full.read_string(), "snapshot-section");
+  EXPECT_EQ(full.read_u64(), 0x1122334455667788ULL);
+  EXPECT_EQ(full.read_octets(), (std::vector<std::uint8_t>{1, 2, 3, 4, 5}));
+  EXPECT_EQ(full.read_f64(), 2.5);
+  EXPECT_TRUE(full.exhausted());
+}
+
+TEST(TruncationSweep, OversizedLengthPrefixesFailWithoutAllocating) {
+  // A corrupted length prefix must not make the reader trust it: a string
+  // or sequence header claiming more bytes than remain fails cleanly
+  // instead of allocating gigabytes or reading out of bounds.
+  Writer w;
+  w.write_u32(0x7fffffff);  // absurd element count / length
+  const auto bytes = w.take_buffer();
+  Reader r(bytes.data(), bytes.size());
+  EXPECT_TRUE(r.read_string().empty());
+  EXPECT_FALSE(r.ok());
+
+  Reader r2(bytes.data(), bytes.size());
+  EXPECT_TRUE(r2.read_octets().empty());
+  EXPECT_FALSE(r2.ok());
+}
+
 TEST(ValueTest, CorruptTagDecodesWithoutCrash) {
   auto bytes = encode_message(Value(7));
   bytes[0] = 99;  // invalid tag

@@ -64,8 +64,9 @@ TEST_F(GrmFixture, SubmitValidatesExpressions) {
 
   AppBuilder empty("empty");
   auto empty_spec = empty.kind(protocol::AppKind::kSequential)
+                        .tasks(1, 1000.0)
                         .build(cluster.asct().ref());
-  // no tasks() call -> assertion in builder; construct manually instead.
+  // A task-less build() asserts in Debug; make the spec empty after the fact.
   empty_spec.tasks.clear();
   reply = cluster.grm().handle_submit(empty_spec);
   EXPECT_FALSE(reply.accepted);

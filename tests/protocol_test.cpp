@@ -83,11 +83,34 @@ TEST(ProtocolRoundTrip, NodeStatusBatch) {
   other.shareable = true;
   other.running_tasks = 0;
   batch.updates.push_back(other);
+  batch.epoch = 7;  // failover incarnation stamp
   expect_round_trip(batch);
 
   NodeStatusBatch empty;
   empty.segment = 0;
-  expect_round_trip(empty);
+  expect_round_trip(empty);  // epoch 0 = unversioned legacy sender
+}
+
+TEST(ProtocolRoundTrip, FailoverMessages) {
+  TaskResync resync;
+  resync.node = NodeId(11);
+  resync.lrm = sample_ref();
+  resync.running = {TaskId(3), TaskId(5), TaskId(8)};
+  expect_round_trip(resync);
+  expect_round_trip(TaskResync{});
+
+  SnapshotInstall install;
+  install.image = {0x49, 0x47, 0x53, 0x4e, 1, 2, 3};
+  expect_round_trip(install);
+  expect_round_trip(SnapshotInstall{});
+
+  SnapshotInstallReply accepted;
+  accepted.accepted = true;
+  expect_round_trip(accepted);
+  SnapshotInstallReply rejected;
+  rejected.accepted = false;
+  rejected.reason = "checksum mismatch";
+  expect_round_trip(rejected);
 }
 
 TEST(ProtocolRoundTrip, TaskDescriptor) { expect_round_trip(sample_task()); }

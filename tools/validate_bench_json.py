@@ -69,6 +69,56 @@ def validate_parsim(path, doc):
     return 0
 
 
+# The failover file feeds CI's E16 gate (restore latency, exactly-once
+# execution, warm start); pin its fields so a rename cannot silently turn
+# the gate into a no-op.
+FAILOVER_TOP_KEYS = {
+    "nodes": int,
+    "tasks": int,
+    "warm_start_ok": bool,
+    "snapshot_vs_unbatched_speedup": (int, float),
+}
+FAILOVER_CELL_KEYS = {
+    "mode": str,
+    "detect_s": (int, float),
+    "restore_s": (int, float),
+    "reconverge_s": (int, float),
+    "completion_rate": (int, float),
+    "lost_tasks": int,
+    "duplicate_executions": int,
+    "known_at_promotion": int,
+    "capacity": int,
+    "tasks_recovered_from_snapshot": int,
+    "app_known": bool,
+}
+FAILOVER_MODES = {"snapshot", "heartbeat-batched", "heartbeat-unbatched"}
+
+
+def validate_failover(path, doc):
+    for key, kind in FAILOVER_TOP_KEYS.items():
+        value = doc.get(key)
+        if kind is not bool and isinstance(value, bool):
+            return fail(path, f'failover: "{key}" must not be a bool')
+        if not isinstance(value, kind):
+            return fail(path, f'failover: "{key}" missing or not {kind}')
+    cells = doc.get("cells")
+    if not isinstance(cells, list) or not cells:
+        return fail(path, 'failover: "cells" must be a non-empty list')
+    modes = set()
+    for i, cell in enumerate(cells):
+        for key, kind in FAILOVER_CELL_KEYS.items():
+            value = cell.get(key)
+            if kind is not bool and isinstance(value, bool):
+                return fail(path, f"failover: cells[{i}].{key} must not be a bool")
+            if not isinstance(value, kind):
+                return fail(path, f"failover: cells[{i}].{key} missing or not {kind}")
+        modes.add(cell["mode"])
+    if not FAILOVER_MODES <= modes:
+        return fail(path, "failover: cells must cover the snapshot, "
+                          "heartbeat-batched, and heartbeat-unbatched modes")
+    return 0
+
+
 def validate(path):
     try:
         with open(path, "r", encoding="utf-8") as handle:
@@ -103,6 +153,8 @@ def validate(path):
         return fail(path, "no measurement payload (no list-of-rows or object key)")
 
     if name == "parsim" and validate_parsim(path, doc):
+        return 1
+    if name == "failover" and validate_failover(path, doc):
         return 1
 
     print(f"{path}: ok ({name!r}, {payloads} payload key(s))")
