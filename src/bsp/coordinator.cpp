@@ -1,7 +1,9 @@
 #include "bsp/coordinator.hpp"
 
+#include <algorithm>
 #include <cassert>
 
+#include "ckpt/store.hpp"
 #include "common/log.hpp"
 
 namespace integrade::bsp {
@@ -15,6 +17,21 @@ class CoordinatorServant final : public orb::SkeletonBase {
         "chunk_done",
         [&coordinator](const protocol::BspChunkDone& done) -> Result<cdr::Empty> {
           coordinator.handle_chunk_done(done);
+          return cdr::Empty{};
+        });
+    // Data-plane completions. Registering extra operations is byte-invisible:
+    // no wire traffic exists unless an agent sends these frames.
+    register_op<protocol::CkptSaveDone, cdr::Empty>(
+        "ckpt_saved",
+        [&coordinator](const protocol::CkptSaveDone& done) -> Result<cdr::Empty> {
+          coordinator.handle_ckpt_saved(done);
+          return cdr::Empty{};
+        });
+    register_op<protocol::CkptRestoreDone, cdr::Empty>(
+        "ckpt_restored",
+        [&coordinator](const protocol::CkptRestoreDone& done)
+            -> Result<cdr::Empty> {
+          coordinator.handle_ckpt_restored(done);
           return cdr::Empty{};
         });
   }
@@ -59,6 +76,32 @@ void BspCoordinator::stop() {
 const AppStats* BspCoordinator::stats(AppId app) const {
   auto it = apps_.find(app);
   return it == apps_.end() ? nullptr : &it->second.stats;
+}
+
+void BspCoordinator::set_data_plane(
+    ckpt::ChunkStore* repository_store, orb::ObjectRef repository_store_ref,
+    std::function<orb::ObjectRef(NodeId)> agent_of, int replicate_k) {
+  dp_store_ = repository_store;
+  dp_store_ref_ = std::move(repository_store_ref);
+  dp_agent_of_ = std::move(agent_of);
+  dp_replicate_k_ = replicate_k;
+}
+
+std::vector<orb::ObjectRef> BspCoordinator::peer_agents(
+    const App& app, std::int32_t rank, std::size_t limit) const {
+  std::vector<orb::ObjectRef> peers;
+  const auto own = app.placement[static_cast<std::size_t>(rank)].node;
+  for (std::int32_t step = 1; step < app.processes(); ++step) {
+    if (peers.size() >= limit) break;
+    const auto other = static_cast<std::size_t>((rank + step) % app.processes());
+    const NodeId node = app.placement[other].node;
+    if (node == own || !app.rank_up[other]) continue;
+    orb::ObjectRef agent = dp_agent_of_(node);
+    if (!agent.valid()) continue;
+    if (std::find(peers.begin(), peers.end(), agent) != peers.end()) continue;
+    peers.push_back(std::move(agent));
+  }
+  return peers;
 }
 
 // ---------------------------------------------------------------------------
@@ -126,9 +169,41 @@ void BspCoordinator::resume(App& app) {
   }
   app.superstep = resume_from;
 
-  // Surviving and replacement ranks reload the checkpointed state from the
-  // repository (bulk transfer billed on the network).
-  if (app.committed_superstep >= 0 && network_ != nullptr) {
+  if (data_plane_enabled() && app.committed_superstep >= 0) {
+    // Each rank re-materializes the committed recovery line through its
+    // agent: chunks already in the local store cost nothing, missing ones
+    // stream from peer replicas first, the repository as fallback. The
+    // superstep cycle resumes only when every rank reports restored.
+    app.phase = Phase::kRestoring;
+    app.awaiting.clear();
+    app.restore_started_at = engine_.now();
+    const std::int64_t version = app.committed_superstep;
+    for (std::int32_t rank = 0; rank < app.processes(); ++rank) {
+      const protocol::CkptManifest* manifest =
+          dp_store_->manifest(app.spec.id, rank, version);
+      const orb::ObjectRef agent =
+          dp_agent_of_(app.placement[static_cast<std::size_t>(rank)].node);
+      if (manifest == nullptr || !agent.valid()) continue;
+      app.awaiting.insert(rank);
+      protocol::CkptRestoreRequest request;
+      request.app = app.spec.id;
+      request.rank = rank;
+      request.version = version;
+      request.epoch = app.epoch;
+      request.manifest = *manifest;
+      request.repository = dp_store_ref_;
+      request.peers = peer_agents(app, rank, static_cast<std::size_t>(
+                                                 app.processes()));
+      request.notify = self_ref_;
+      orb::oneway(orb_, agent, "ckpt_restore", request);
+    }
+    if (!app.awaiting.empty()) return;
+    // No manifests to restore (e.g. the line predates the data plane):
+    // fall through to the superstep cycle.
+  } else if (app.committed_superstep >= 0 && network_ != nullptr) {
+    // Legacy path: surviving and replacement ranks alike reload the whole
+    // checkpoint image from the repository (bulk transfer billed on the
+    // network, no completion tracking).
     for (std::int32_t rank = 0; rank < app.processes(); ++rank) {
       const auto& task = app.task(rank);
       const auto host = app.placement[static_cast<std::size_t>(rank)].lrm.host;
@@ -139,6 +214,31 @@ void BspCoordinator::resume(App& app) {
     }
   }
   begin_superstep(app);
+}
+
+void BspCoordinator::handle_ckpt_restored(const protocol::CkptRestoreDone& done) {
+  auto it = apps_.find(done.app);
+  if (it == apps_.end()) return;
+  App& app = it->second;
+  if (app.epoch != done.epoch || app.phase != Phase::kRestoring ||
+      app.committed_superstep != done.version) {
+    return;  // stale: suspended or rolled elsewhere meanwhile
+  }
+  app.stats.restore_bytes_pulled += done.bytes_pulled;
+  app.stats.restore_chunks_local += done.chunks_local;
+  app.stats.restore_chunks_from_peers += done.chunks_from_peers;
+  app.stats.restore_chunks_from_repository += done.chunks_from_repository;
+  if (!done.ok) {
+    // The rank could not reassemble the image (all replicas unreachable).
+    // It stays awaiting; a later suspend/resume retries.
+    return;
+  }
+  app.awaiting.erase(done.rank);
+  if (app.awaiting.empty()) {
+    ++app.stats.restores;
+    app.stats.restore_time_total += engine_.now() - app.restore_started_at;
+    begin_superstep(app);
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -263,6 +363,32 @@ void BspCoordinator::begin_checkpoint(App& app) {
   const std::int64_t superstep = app.superstep;
   const AppId app_id = app.spec.id;
 
+  if (data_plane_enabled()) {
+    // Content-addressed path: each rank's agent chunks its image and ships
+    // only what the repository and its replica peers are missing. Completion
+    // arrives as ckpt_saved frames.
+    for (std::int32_t rank = 0; rank < app.processes(); ++rank) {
+      const orb::ObjectRef agent =
+          dp_agent_of_(app.placement[static_cast<std::size_t>(rank)].node);
+      if (!agent.valid()) continue;
+      app.awaiting.insert(rank);
+      protocol::CkptSaveRequest request;
+      request.app = app_id;
+      request.rank = rank;
+      request.version = superstep;
+      request.epoch = epoch;
+      request.image_bytes = app.task(rank).checkpoint_bytes;
+      request.repository = dp_store_ref_;
+      request.peers = peer_agents(app, rank,
+                                  static_cast<std::size_t>(
+                                      std::max(0, dp_replicate_k_)));
+      request.notify = self_ref_;
+      orb::oneway(orb_, agent, "ckpt_save", request);
+    }
+    if (app.awaiting.empty()) commit_checkpoint(app);
+    return;
+  }
+
   for (std::int32_t rank = 0; rank < app.processes(); ++rank) {
     const auto& task = app.task(rank);
     app.awaiting.insert(rank);
@@ -290,15 +416,7 @@ void BspCoordinator::begin_checkpoint(App& app) {
       (void)repository_->store(std::move(checkpoint));
 
       a.awaiting.erase(rank);
-      if (a.awaiting.empty()) {
-        a.committed_superstep = superstep;
-        ++a.stats.checkpoints_committed;
-        if (repository_ != nullptr) {
-          repository_->prune(app_id, superstep);
-        }
-        ++a.superstep;
-        begin_superstep(a);
-      }
+      if (a.awaiting.empty()) commit_checkpoint(a);
     };
 
     const auto host = app.placement[static_cast<std::size_t>(rank)].lrm.host;
@@ -310,6 +428,77 @@ void BspCoordinator::begin_checkpoint(App& app) {
       engine_.schedule_after(0, std::move(commit));
     }
   }
+}
+
+void BspCoordinator::commit_checkpoint(App& app) {
+  const std::int64_t superstep = app.superstep;
+  app.committed_superstep = superstep;
+  ++app.stats.checkpoints_committed;
+  if (repository_ != nullptr) {
+    // The committed line supersedes everything older — blob checkpoints and,
+    // via the repository's embedded chunk store, manifests whose chunks the
+    // refcounted GC can now reclaim.
+    repository_->prune(app.spec.id, superstep);
+  }
+  if (data_plane_enabled()) {
+    // Tell the provider-side stores too; their GC runs on the same sweep.
+    std::vector<orb::ObjectRef> notified;
+    protocol::CkptPrune prune;
+    prune.app = app.spec.id;
+    prune.keep_from = superstep;
+    for (std::int32_t rank = 0; rank < app.processes(); ++rank) {
+      orb::ObjectRef agent =
+          dp_agent_of_(app.placement[static_cast<std::size_t>(rank)].node);
+      if (!agent.valid() ||
+          std::find(notified.begin(), notified.end(), agent) != notified.end()) {
+        continue;
+      }
+      orb::oneway(orb_, agent, "ckpt_prune", prune);
+      notified.push_back(std::move(agent));
+    }
+  }
+  ++app.superstep;
+  begin_superstep(app);
+}
+
+void BspCoordinator::handle_ckpt_saved(const protocol::CkptSaveDone& done) {
+  auto it = apps_.find(done.app);
+  if (it == apps_.end()) return;
+  App& app = it->second;
+  if (app.epoch != done.epoch || app.phase != Phase::kCheckpointing ||
+      app.superstep != done.version) {
+    return;  // stale: rolled back meanwhile
+  }
+  if (!done.ok) {
+    // Replication failed; the rank stays awaiting so the checkpoint never
+    // commits — the same stall semantics as a lost legacy transfer.
+    return;
+  }
+  app.stats.ckpt_image_bytes += done.image_bytes;
+  app.stats.ckpt_bytes_shipped += done.bytes_shipped;
+  app.stats.ckpt_chunks_shipped += done.chunks_shipped;
+  app.stats.ckpt_chunks_deduped += done.chunks_deduped;
+
+  // Keep the blob record alongside the manifest: completeness tracking and
+  // the sequential restore path read the repository, and the blob is tiny
+  // (portable progress state, no image bytes).
+  if (repository_ != nullptr) {
+    ckpt::Checkpoint checkpoint;
+    checkpoint.app = done.app;
+    checkpoint.rank = done.rank;
+    checkpoint.version = done.version;
+    checkpoint.created_at = engine_.now();
+    const auto& shape = app.spec.tasks.front();
+    checkpoint.state = cdr::encode_message(ckpt::SequentialState{
+        static_cast<MInstr>(done.version + 1) *
+        (shape.bsp_supersteps > 0
+             ? shape.work / static_cast<MInstr>(shape.bsp_supersteps)
+             : 0.0)});
+    (void)repository_->store(std::move(checkpoint));
+  }
+
+  app.awaiting.erase(done.rank);
+  if (app.awaiting.empty()) commit_checkpoint(app);
 }
 
 void BspCoordinator::app_cancelled(AppId app_id) {

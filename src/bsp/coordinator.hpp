@@ -51,6 +51,18 @@ struct AppStats {
   int checkpoints_committed = 0;
   bool completed = false;
 
+  // Checkpoint data-plane accounting (zero when the plane is disabled).
+  std::int64_t ckpt_image_bytes = 0;     // logical bytes checkpointed
+  std::int64_t ckpt_bytes_shipped = 0;   // payload bytes that crossed the wire
+  std::int64_t ckpt_chunks_shipped = 0;
+  std::int64_t ckpt_chunks_deduped = 0;
+  int restores = 0;                      // completed restore rounds
+  SimDuration restore_time_total = 0;    // resume() -> all ranks restored
+  std::int64_t restore_bytes_pulled = 0;
+  std::int64_t restore_chunks_local = 0;
+  std::int64_t restore_chunks_from_peers = 0;
+  std::int64_t restore_chunks_from_repository = 0;
+
   [[nodiscard]] SimDuration elapsed() const {
     return completed ? finished_at - started_at : -1;
   }
@@ -73,6 +85,17 @@ class BspCoordinator {
     on_complete_ = std::move(callback);
   }
 
+  /// Route checkpoints through the content-addressed data plane instead of
+  /// the legacy whole-image network bill. `repository_store` is the chunk
+  /// store co-located with this coordinator (the manager's repository),
+  /// `repository_store_ref` its wire ref for the agents, `agent_of` resolves
+  /// a provider node to its CkptAgent ref, and `replicate_k` is how many
+  /// peer stores each rank's checkpoint also lands on.
+  void set_data_plane(ckpt::ChunkStore* repository_store,
+                      orb::ObjectRef repository_store_ref,
+                      std::function<orb::ObjectRef(NodeId)> agent_of,
+                      int replicate_k);
+
   [[nodiscard]] const AppStats* stats(AppId app) const;
 
   // --- GRM hook entry points (public for tests) ---
@@ -81,9 +104,18 @@ class BspCoordinator {
   void rank_lost(AppId app, std::int32_t rank);
   void app_cancelled(AppId app);
   void handle_chunk_done(const protocol::BspChunkDone& done);
+  void handle_ckpt_saved(const protocol::CkptSaveDone& done);
+  void handle_ckpt_restored(const protocol::CkptRestoreDone& done);
 
  private:
-  enum class Phase { kComputing, kExchanging, kBarrier, kCheckpointing, kSuspended };
+  enum class Phase {
+    kComputing,
+    kExchanging,
+    kBarrier,
+    kCheckpointing,
+    kRestoring,
+    kSuspended,
+  };
 
   struct App {
     protocol::ApplicationSpec spec;
@@ -94,6 +126,7 @@ class BspCoordinator {
     std::int64_t committed_superstep = -1; // last complete checkpoint line
     std::uint64_t epoch = 0;  // bumped on every suspend; stales old events
     std::set<std::int32_t> awaiting;      // ranks not yet done with phase
+    SimTime restore_started_at = 0;       // kRestoring entry time
     AppStats stats;
 
     [[nodiscard]] std::int32_t processes() const {
@@ -115,9 +148,20 @@ class BspCoordinator {
   void begin_barrier(App& app);
   void after_barrier(App& app);
   void begin_checkpoint(App& app);
+  void commit_checkpoint(App& app);
   void resume(App& app);
   void finish(App& app);
   void suspend(App& app);
+
+  [[nodiscard]] bool data_plane_enabled() const {
+    return dp_store_ != nullptr && static_cast<bool>(dp_agent_of_);
+  }
+  /// Agents of the nodes hosting the other ranks, nearest ranks first, no
+  /// duplicates, excluding `rank`'s own node. The first replicate_k entries
+  /// are the save-time replica set; restore stripes across all of them.
+  [[nodiscard]] std::vector<orb::ObjectRef> peer_agents(const App& app,
+                                                        std::int32_t rank,
+                                                        std::size_t limit) const;
 
   sim::Engine& engine_;
   orb::Orb& orb_;
@@ -130,6 +174,12 @@ class BspCoordinator {
   std::map<AppId, App> apps_;
   std::function<void(AppId, const AppStats&)> on_complete_;
   bool started_ = false;
+
+  // Checkpoint data plane (null/empty = legacy whole-image path).
+  ckpt::ChunkStore* dp_store_ = nullptr;
+  orb::ObjectRef dp_store_ref_;
+  std::function<orb::ObjectRef(NodeId)> dp_agent_of_;
+  int dp_replicate_k_ = 0;
 };
 
 }  // namespace integrade::bsp

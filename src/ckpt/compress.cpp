@@ -1,0 +1,184 @@
+#include "ckpt/compress.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace integrade::ckpt {
+namespace {
+
+// Stream format constants. Offsets are 1..kWindow back from the write cursor,
+// match lengths are kMinMatch..kMinMatch+15 so length-3 fits in 4 bits.
+constexpr std::size_t kWindow = 4096;        // 12-bit offset
+constexpr std::size_t kMinMatch = 3;
+constexpr std::size_t kMaxMatch = kMinMatch + 15;  // 4-bit length field
+
+// Hash-chain match finder: heads indexed by a 3-byte hash, chains bounded so
+// worst-case inputs stay linear-ish.
+constexpr std::size_t kHashBits = 13;
+constexpr std::size_t kHashSize = std::size_t{1} << kHashBits;
+constexpr int kMaxChain = 32;
+
+inline std::uint32_t hash3(const std::uint8_t* p) {
+  const std::uint32_t v = std::uint32_t{p[0]} | (std::uint32_t{p[1]} << 8) |
+                          (std::uint32_t{p[2]} << 16);
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> lz_compress(const std::uint8_t* input,
+                                      std::size_t size) {
+  std::vector<std::uint8_t> out;
+  if (size == 0) return out;
+  out.reserve(size / 2 + 16);
+
+  std::vector<std::int32_t> head(kHashSize, -1);
+  std::vector<std::int32_t> prev(size, -1);
+
+  std::size_t pos = 0;
+  while (pos < size) {
+    const std::size_t control_at = out.size();
+    out.push_back(0);
+    std::uint8_t control = 0;
+    for (int bit = 0; bit < 8 && pos < size; ++bit) {
+      std::size_t best_len = 0;
+      std::size_t best_off = 0;
+      if (pos + kMinMatch <= size) {
+        const std::uint32_t h = hash3(input + pos);
+        std::int32_t cand = head[h];
+        const std::size_t limit =
+            std::min(kMaxMatch, size - pos);
+        for (int depth = 0; cand >= 0 && depth < kMaxChain; ++depth) {
+          const std::size_t off = pos - static_cast<std::size_t>(cand);
+          if (off > kWindow) break;  // chain only gets older from here
+          const std::uint8_t* a = input + pos;
+          const std::uint8_t* b = input + cand;
+          std::size_t len = 0;
+          while (len < limit && a[len] == b[len]) ++len;
+          if (len > best_len) {
+            best_len = len;
+            best_off = off;
+            if (len == limit) break;
+          }
+          cand = prev[static_cast<std::size_t>(cand)];
+        }
+      }
+      if (best_len >= kMinMatch) {
+        // Token: low byte = offset-1 low bits; high byte = offset-1 high
+        // nibble in bits 4..7, length-kMinMatch in bits 0..3.
+        const std::uint32_t off1 = static_cast<std::uint32_t>(best_off - 1);
+        out.push_back(static_cast<std::uint8_t>(off1 & 0xff));
+        out.push_back(static_cast<std::uint8_t>(((off1 >> 8) & 0x0f) << 4 |
+                                                (best_len - kMinMatch)));
+        // Insert every covered position into the chains.
+        const std::size_t end = pos + best_len;
+        for (; pos < end; ++pos) {
+          if (pos + kMinMatch <= size) {
+            const std::uint32_t h = hash3(input + pos);
+            prev[pos] = head[h];
+            head[h] = static_cast<std::int32_t>(pos);
+          }
+        }
+      } else {
+        control |= static_cast<std::uint8_t>(1u << bit);
+        out.push_back(input[pos]);
+        if (pos + kMinMatch <= size) {
+          const std::uint32_t h = hash3(input + pos);
+          prev[pos] = head[h];
+          head[h] = static_cast<std::int32_t>(pos);
+        }
+        ++pos;
+      }
+    }
+    out[control_at] = control;
+  }
+  return out;
+}
+
+Result<std::vector<std::uint8_t>> lz_decompress(const std::uint8_t* input,
+                                                std::size_t size,
+                                                std::size_t raw_size) {
+  std::vector<std::uint8_t> out;
+  out.reserve(raw_size);
+  std::size_t pos = 0;
+  while (pos < size) {
+    const std::uint8_t control = input[pos++];
+    for (int bit = 0; bit < 8; ++bit) {
+      if (out.size() == raw_size) {
+        // Output complete; the stream must end exactly here.
+        if (pos != size) {
+          return Status(ErrorCode::kInvalidArgument,
+                        "lz stream continues past declared raw size");
+        }
+        return out;
+      }
+      if (pos >= size) break;  // stream exhausted mid-control-group
+      if (control & (1u << bit)) {
+        out.push_back(input[pos++]);
+      } else {
+        if (pos + 2 > size) {
+          return Status(ErrorCode::kInvalidArgument,
+                        "lz stream truncated inside a match token");
+        }
+        const std::uint8_t lo = input[pos];
+        const std::uint8_t hi = input[pos + 1];
+        pos += 2;
+        const std::size_t off =
+            (std::size_t{lo} | (static_cast<std::size_t>(hi >> 4) << 8)) + 1;
+        const std::size_t len = static_cast<std::size_t>(hi & 0x0f) + kMinMatch;
+        if (off > out.size()) {
+          return Status(ErrorCode::kInvalidArgument,
+                        "lz match offset reaches before stream start");
+        }
+        if (out.size() + len > raw_size) {
+          return Status(ErrorCode::kInvalidArgument,
+                        "lz match overruns declared raw size");
+        }
+        // Byte-by-byte: overlapping matches (off < len) are legal and copy
+        // the bytes the match itself produces.
+        std::size_t src = out.size() - off;
+        for (std::size_t i = 0; i < len; ++i) out.push_back(out[src + i]);
+      }
+    }
+  }
+  if (out.size() != raw_size) {
+    return Status(ErrorCode::kInvalidArgument,
+                  "lz stream ended short of declared raw size");
+  }
+  return out;
+}
+
+PackedChunk pack_chunk(const std::vector<std::uint8_t>& raw,
+                       bool try_compress) {
+  PackedChunk packed;
+  packed.raw_size = static_cast<std::uint32_t>(raw.size());
+  if (try_compress && !raw.empty()) {
+    std::vector<std::uint8_t> lz = lz_compress(raw);
+    if (lz.size() < raw.size()) {
+      packed.encoding = Encoding::kLz;
+      packed.payload = std::move(lz);
+      return packed;
+    }
+  }
+  packed.encoding = Encoding::kRaw;
+  packed.payload = raw;
+  return packed;
+}
+
+Result<std::vector<std::uint8_t>> unpack_chunk(
+    Encoding encoding, std::uint32_t raw_size,
+    const std::vector<std::uint8_t>& payload) {
+  switch (encoding) {
+    case Encoding::kRaw:
+      if (payload.size() != raw_size) {
+        return Status(ErrorCode::kInvalidArgument,
+                      "raw chunk payload size disagrees with raw_size");
+      }
+      return payload;
+    case Encoding::kLz:
+      return lz_decompress(payload, raw_size);
+  }
+  return Status(ErrorCode::kInvalidArgument, "unknown chunk encoding");
+}
+
+}  // namespace integrade::ckpt

@@ -2,7 +2,17 @@
 
 #include <algorithm>
 
+#include "ckpt/store.hpp"
+
 namespace integrade::ckpt {
+
+CheckpointRepository::CheckpointRepository() = default;
+CheckpointRepository::~CheckpointRepository() = default;
+
+ChunkStore& CheckpointRepository::enable_data_plane() {
+  if (chunks_ == nullptr) chunks_ = std::make_unique<ChunkStore>();
+  return *chunks_;
+}
 
 Status CheckpointRepository::store(Checkpoint checkpoint) {
   const RankKey key{checkpoint.app, checkpoint.rank};
@@ -58,6 +68,7 @@ std::optional<std::int64_t> CheckpointRepository::latest_complete_version(
 }
 
 void CheckpointRepository::prune(AppId app, std::int64_t keep_from) {
+  if (chunks_ != nullptr) chunks_->prune(app, keep_from);
   for (auto& [key, versions] : data_) {
     if (key.app != app) continue;
     for (auto it = versions.begin(); it != versions.end();) {
@@ -72,6 +83,7 @@ void CheckpointRepository::prune(AppId app, std::int64_t keep_from) {
 }
 
 void CheckpointRepository::drop_app(AppId app) {
+  if (chunks_ != nullptr) chunks_->drop_app(app);
   for (auto it = data_.begin(); it != data_.end();) {
     if (it->first.app == app) {
       for (const auto& [_, c] : it->second) {

@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -22,6 +23,8 @@
 #include "common/types.hpp"
 
 namespace integrade::ckpt {
+
+class ChunkStore;
 
 struct Checkpoint {
   AppId app;
@@ -41,6 +44,11 @@ struct SequentialState {
 
 class CheckpointRepository {
  public:
+  CheckpointRepository();
+  ~CheckpointRepository();
+  CheckpointRepository(const CheckpointRepository&) = delete;
+  CheckpointRepository& operator=(const CheckpointRepository&) = delete;
+
   /// Store a checkpoint. Versions must not regress for a given (app, rank);
   /// older versions are rejected (a stale writer racing a recovery).
   Status store(Checkpoint checkpoint);
@@ -65,6 +73,14 @@ class CheckpointRepository {
   [[nodiscard]] std::size_t checkpoint_count() const;
   [[nodiscard]] std::int64_t stores() const { return stores_; }
 
+  /// Attach the content-addressed data plane (see store.hpp). Blob
+  /// checkpoints keep working unchanged; once enabled, prune()/drop_app()
+  /// also release manifests in the chunk store so its refcounted GC can
+  /// reclaim chunk bytes. Idempotent.
+  ChunkStore& enable_data_plane();
+  [[nodiscard]] ChunkStore* data_plane() { return chunks_.get(); }
+  [[nodiscard]] const ChunkStore* data_plane() const { return chunks_.get(); }
+
  private:
   struct RankKey {
     AppId app;
@@ -75,6 +91,7 @@ class CheckpointRepository {
   std::map<RankKey, std::map<std::int64_t, Checkpoint>> data_;
   Bytes total_bytes_ = 0;
   std::int64_t stores_ = 0;
+  std::unique_ptr<ChunkStore> chunks_;  // null until enable_data_plane()
 };
 
 }  // namespace integrade::ckpt

@@ -1,0 +1,260 @@
+#include "ckpt/store.hpp"
+
+#include <algorithm>
+
+#include "security/sha256.hpp"
+
+namespace integrade::ckpt {
+
+bool ChunkStore::has(const protocol::CkptHash& hash) const {
+  return chunks_.contains(hash);
+}
+
+const ChunkStore::StoredChunk* ChunkStore::get(
+    const protocol::CkptHash& hash) const {
+  auto it = chunks_.find(hash);
+  return it == chunks_.end() ? nullptr : &it->second;
+}
+
+Result<bool> ChunkStore::put(const protocol::CkptHash& hash, Encoding encoding,
+                             std::uint32_t raw_size,
+                             std::vector<std::uint8_t> payload, bool verify) {
+  ++puts_;
+  if (chunks_.contains(hash)) {
+    ++dedup_hits_;
+    return false;
+  }
+  if (verify) {
+    auto raw = unpack_chunk(encoding, raw_size, payload);
+    if (!raw.is_ok()) {
+      ++rejects_;
+      return raw.status();
+    }
+    if (security::Sha256::hash(raw.value()) != hash) {
+      ++rejects_;
+      return Status(ErrorCode::kInvalidArgument,
+                    "chunk payload fails content-hash verification");
+    }
+  }
+  StoredChunk chunk;
+  chunk.encoding = encoding;
+  chunk.raw_size = raw_size;
+  chunk.payload = std::move(payload);
+  stored_bytes_ += static_cast<Bytes>(chunk.payload.size());
+  raw_bytes_ += raw_size;
+  stored_bytes_added_ += static_cast<Bytes>(chunk.payload.size());
+  raw_bytes_added_ += raw_size;
+  chunks_.emplace(hash, std::move(chunk));
+  return true;
+}
+
+Result<bool> ChunkStore::put(const protocol::CkptChunkData& chunk,
+                             bool verify) {
+  return put(chunk.hash, static_cast<Encoding>(chunk.encoding), chunk.raw_size,
+             chunk.payload, verify);
+}
+
+std::vector<std::uint32_t> ChunkStore::missing(
+    const protocol::CkptManifest& manifest) const {
+  std::vector<std::uint32_t> out;
+  for (std::uint32_t i = 0; i < manifest.chunks.size(); ++i) {
+    if (!chunks_.contains(manifest.chunks[i].hash)) out.push_back(i);
+  }
+  return out;
+}
+
+Status ChunkStore::install(protocol::CkptManifest manifest,
+                           std::int64_t prune_below) {
+  const LineKey key{manifest.app, manifest.rank};
+  auto& line = manifests_[key];
+  if (!line.empty() && manifest.version < line.rbegin()->first) {
+    return Status(ErrorCode::kFailedPrecondition,
+                  "manifest version regresses for this rank");
+  }
+  if (auto it = line.find(manifest.version); it != line.end()) {
+    return it->second == manifest
+               ? Status::ok()
+               : Status(ErrorCode::kFailedPrecondition,
+                        "conflicting manifest already installed at version");
+  }
+  for (const auto& ref : manifest.chunks) {
+    if (!chunks_.contains(ref.hash)) {
+      return Status(ErrorCode::kFailedPrecondition,
+                    "manifest references a chunk the store lacks");
+    }
+  }
+  for (const auto& ref : manifest.chunks) {
+    auto& chunk = chunks_.find(ref.hash)->second;
+    ++chunk.refs;
+    chunk.orphan_sweeps = 0;
+  }
+  logical_bytes_installed_ += static_cast<Bytes>(manifest.image_bytes);
+  ++installs_;
+  const AppId app = manifest.app;
+  const std::int32_t rank = manifest.rank;
+  line.emplace(manifest.version, std::move(manifest));
+  if (prune_below >= 0) prune_line(app, rank, prune_below);
+  return Status::ok();
+}
+
+const protocol::CkptManifest* ChunkStore::manifest(AppId app, std::int32_t rank,
+                                                   std::int64_t version) const {
+  auto line = manifests_.find({app, rank});
+  if (line == manifests_.end()) return nullptr;
+  auto it = line->second.find(version);
+  return it == line->second.end() ? nullptr : &it->second;
+}
+
+const protocol::CkptManifest* ChunkStore::latest_manifest(
+    AppId app, std::int32_t rank) const {
+  auto line = manifests_.find({app, rank});
+  if (line == manifests_.end() || line->second.empty()) return nullptr;
+  return &line->second.rbegin()->second;
+}
+
+std::optional<std::int64_t> ChunkStore::latest_complete_version(
+    AppId app, std::int32_t processes) const {
+  std::optional<std::int64_t> complete;
+  auto rank0 = manifests_.find({app, 0});
+  if (rank0 == manifests_.end()) return std::nullopt;
+  for (auto it = rank0->second.rbegin(); it != rank0->second.rend(); ++it) {
+    const std::int64_t version = it->first;
+    bool all = true;
+    for (std::int32_t rank = 1; rank < processes; ++rank) {
+      if (manifest(app, rank, version) == nullptr) {
+        all = false;
+        break;
+      }
+    }
+    if (all) return version;
+  }
+  return std::nullopt;
+}
+
+std::size_t ChunkStore::manifest_count() const {
+  std::size_t n = 0;
+  for (const auto& [key, line] : manifests_) n += line.size();
+  return n;
+}
+
+void ChunkStore::release_manifest(const protocol::CkptManifest& m) {
+  for (const auto& ref : m.chunks) {
+    auto it = chunks_.find(ref.hash);
+    if (it == chunks_.end()) continue;
+    if (--it->second.refs <= 0) reclaim_if_unreferenced(ref.hash);
+  }
+}
+
+void ChunkStore::reclaim_if_unreferenced(const protocol::CkptHash& hash) {
+  auto it = chunks_.find(hash);
+  if (it == chunks_.end() || it->second.refs > 0) return;
+  stored_bytes_ -= static_cast<Bytes>(it->second.payload.size());
+  raw_bytes_ -= it->second.raw_size;
+  bytes_reclaimed_ += static_cast<Bytes>(it->second.payload.size());
+  ++chunks_reclaimed_;
+  chunks_.erase(it);
+}
+
+void ChunkStore::prune(AppId app, std::int64_t keep_from) {
+  for (auto& [key, line] : manifests_) {
+    if (key.app != app) continue;
+    for (auto it = line.begin();
+         it != line.end() && it->first < keep_from;) {
+      release_manifest(it->second);
+      it = line.erase(it);
+    }
+  }
+  // Sweep orphans from saves that shipped chunks but never installed their
+  // manifest (the writer crashed mid-checkpoint). Two-sweep aging: a chunk
+  // that is merely in flight (put landed, install pending) survives the
+  // first sweep and is pinned by its install before the second.
+  for (auto it = chunks_.begin(); it != chunks_.end();) {
+    if (it->second.refs <= 0 && ++it->second.orphan_sweeps >= 2) {
+      stored_bytes_ -= static_cast<Bytes>(it->second.payload.size());
+      raw_bytes_ -= it->second.raw_size;
+      bytes_reclaimed_ += static_cast<Bytes>(it->second.payload.size());
+      ++chunks_reclaimed_;
+      it = chunks_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void ChunkStore::prune_line(AppId app, std::int32_t rank,
+                            std::int64_t keep_from) {
+  auto line = manifests_.find({app, rank});
+  if (line == manifests_.end()) return;
+  for (auto it = line->second.begin();
+       it != line->second.end() && it->first < keep_from;) {
+    release_manifest(it->second);
+    it = line->second.erase(it);
+  }
+}
+
+void ChunkStore::drop_app(AppId app) {
+  for (auto it = manifests_.begin(); it != manifests_.end();) {
+    if (it->first.app == app) {
+      for (auto& [version, m] : it->second) release_manifest(m);
+      it = manifests_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+Result<std::vector<std::uint8_t>> ChunkStore::materialize(
+    AppId app, std::int32_t rank, std::int64_t version) const {
+  const protocol::CkptManifest* m = manifest(app, rank, version);
+  if (m == nullptr) {
+    return Status(ErrorCode::kNotFound, "no manifest at requested version");
+  }
+  std::vector<std::uint8_t> image;
+  image.reserve(m->image_bytes);
+  for (const auto& ref : m->chunks) {
+    const StoredChunk* chunk = get(ref.hash);
+    if (chunk == nullptr) {
+      return Status(ErrorCode::kInternal,
+                    "installed manifest references a missing chunk");
+    }
+    auto raw = unpack_chunk(chunk->encoding, chunk->raw_size, chunk->payload);
+    if (!raw.is_ok()) return raw.status();
+    image.insert(image.end(), raw.value().begin(), raw.value().end());
+  }
+  if (image.size() != m->image_bytes) {
+    return Status(ErrorCode::kInternal,
+                  "materialized image size disagrees with manifest");
+  }
+  return image;
+}
+
+double ChunkStore::dedup_ratio() const {
+  return raw_bytes_added_ > 0
+             ? static_cast<double>(logical_bytes_installed_) /
+                   static_cast<double>(raw_bytes_added_)
+             : 1.0;
+}
+
+double ChunkStore::compression_ratio() const {
+  return stored_bytes_ > 0
+             ? static_cast<double>(raw_bytes_) / static_cast<double>(stored_bytes_)
+             : 1.0;
+}
+
+void ChunkStore::fill_metrics(MetricRegistry& out) const {
+  out.counter("chunks_resident").add(static_cast<std::int64_t>(chunks_.size()));
+  out.counter("manifests_resident").add(static_cast<std::int64_t>(manifest_count()));
+  out.counter("stored_bytes").add(stored_bytes_);
+  out.counter("raw_bytes").add(raw_bytes_);
+  out.counter("bytes_reclaimed").add(bytes_reclaimed_);
+  out.counter("logical_bytes_installed").add(logical_bytes_installed_);
+  out.counter("raw_bytes_added").add(raw_bytes_added_);
+  out.counter("stored_bytes_added").add(stored_bytes_added_);
+  out.counter("puts").add(puts_);
+  out.counter("dedup_hits").add(dedup_hits_);
+  out.counter("rejects").add(rejects_);
+  out.counter("installs").add(installs_);
+  out.counter("chunks_reclaimed").add(chunks_reclaimed_);
+}
+
+}  // namespace integrade::ckpt

@@ -1,6 +1,9 @@
 #include "core/grid.hpp"
 
 #include <cassert>
+#include <map>
+
+#include "ckpt/store.hpp"
 
 namespace integrade::core {
 
@@ -72,6 +75,16 @@ Cluster::Cluster(Grid& grid, ClusterId id, ClusterConfig config)
   gupa_ref_ = manager_orb_->activate(std::make_shared<GupaServant>(gupa_));
   ckpt_ref_ =
       manager_orb_->activate(std::make_shared<CheckpointServant>(repository_));
+  // Checkpoint data plane (optional): the repository grows an embedded
+  // content-addressed chunk store, exposed over the wire so provider agents
+  // can offer/put/get chunks against it. Nothing here runs when disabled —
+  // no servant, no shifted object keys, no wire bytes.
+  ckpt::ChunkStore* ckpt_store = nullptr;
+  if (config_.ckpt.enabled) {
+    ckpt_store = &repository_.enable_data_plane();
+    ckpt_store_ref_ = manager_orb_->activate(
+        std::make_shared<ckpt::StoreServant>(*ckpt_store));
+  }
   grm_ = std::make_unique<grm::Grm>(grid_.engine(), *manager_orb_, id_,
                                     grid_.fork_rng(), config_.grm);
   grm_->start(&gupa_, &repository_, &grid_.network());
@@ -214,7 +227,33 @@ Cluster::Cluster(Grid& grid, ClusterId id, ClusterConfig config)
                                              grid_.fork_rng(), lrm_options);
     worker->lrm->start(grm_->ref(), gupa_ref_, ckpt_ref_, &grid_.network());
     if (standby_grm_) worker->lrm->set_standby_grm(standby_grm_->ref());
+    if (config_.ckpt.enabled) {
+      worker->ckpt_agent = std::make_unique<ckpt::CkptAgent>(
+          grid_.engine(), *worker->orb, config_.ckpt);
+      worker->ckpt_agent->set_repository(ckpt_store_ref_);
+      worker->ckpt_agent->start();
+      worker->lrm->set_ckpt_agent(worker->ckpt_agent.get());
+    }
     workers_.push_back(std::move(worker));
+  }
+
+  // Route BSP checkpoints through the data plane now that every provider's
+  // agent exists (the resolver map is captured by value and the agent refs
+  // keep their object keys across crash/restart cycles).
+  if (config_.ckpt.enabled) {
+    auto agents = std::make_shared<std::map<NodeId, orb::ObjectRef>>();
+    for (const auto& worker : workers_) {
+      if (worker->ckpt_agent) {
+        (*agents)[worker->machine->id()] = worker->ckpt_agent->ref();
+      }
+    }
+    coordinator_->set_data_plane(
+        ckpt_store, ckpt_store_ref_,
+        [agents](NodeId node) {
+          auto it = agents->find(node);
+          return it == agents->end() ? orb::ObjectRef{} : it->second;
+        },
+        config_.ckpt.replicate_k);
   }
 
   // --- Per-segment heartbeat batchers ---
@@ -300,6 +339,25 @@ Cluster::Cluster(Grid& grid, ClusterId id, ClusterConfig config)
       out.summary("harvest_duty_cycle").observe(lrm->harvest_duty_cycle());
     });
     hub_names_.push_back(std::move(name));
+  }
+  if (config_.ckpt.enabled) {
+    ckpt::ChunkStore* repo_store = repository_.data_plane();
+    std::string repo_name = "ckpt/" + config_.name + "/repository";
+    hub.add_source(repo_name, [repo_store](MetricRegistry& out) {
+      repo_store->fill_metrics(out);
+    });
+    hub_names_.push_back(std::move(repo_name));
+    for (std::size_t i = 0; i < workers_.size(); ++i) {
+      ckpt::CkptAgent* agent = workers_[i]->ckpt_agent.get();
+      if (agent == nullptr) continue;
+      std::string name =
+          "ckpt/" + config_.name + "-n" + std::to_string(i + 1);
+      hub.add_source(name, [agent](MetricRegistry& out) {
+        out = agent->metrics();
+        agent->store().fill_metrics(out);
+      });
+      hub_names_.push_back(std::move(name));
+    }
   }
 }
 

@@ -29,6 +29,7 @@
 
 #include "asct/asct.hpp"
 #include "bsp/coordinator.hpp"
+#include "ckpt/agent.hpp"
 #include "ckpt/repository.hpp"
 #include "common/rng.hpp"
 #include "grm/grm.hpp"
@@ -87,6 +88,13 @@ struct ClusterConfig {
   /// (lrm.report_journal_window) closes the capture-to-failure gap.
   /// Disabled by default: no timers, no endpoints, byte-identical runs.
   snapshot::SnapshotOptions snapshot;
+  /// Content-addressed checkpoint data plane (see docs/checkpoints.md):
+  /// every provider node runs a CkptAgent + chunk store, the repository
+  /// grows an embedded chunk store with a wire servant, and BSP/sequential
+  /// checkpoints ship as deduped, LZ-compressed chunks with peer
+  /// replication. Disabled by default: no servants, no agents, no wire
+  /// bytes — runs are byte-identical to the legacy whole-image path.
+  ckpt::DataPlaneOptions ckpt;
 };
 
 class Grid;
@@ -121,6 +129,15 @@ class Cluster {
   }
 
   [[nodiscard]] lrm::Lrm& lrm(std::size_t i) { return *workers_[i]->lrm; }
+  /// Provider `i`'s checkpoint data-plane agent; null unless
+  /// ClusterConfig::ckpt.enabled.
+  [[nodiscard]] ckpt::CkptAgent* ckpt_agent(std::size_t i) {
+    return workers_[i]->ckpt_agent.get();
+  }
+  /// Wire ref of the repository's chunk-store servant (nil when disabled).
+  [[nodiscard]] const orb::ObjectRef& ckpt_store_ref() const {
+    return ckpt_store_ref_;
+  }
   /// Per-segment heartbeat batcher (ClusterConfig::batch_heartbeats); null
   /// when batching is off or the segment has no provider nodes.
   [[nodiscard]] lrm::HeartbeatBatcher* batcher(int local_segment) {
@@ -160,6 +177,9 @@ class Cluster {
     std::unique_ptr<node::OwnerWorkload> owner;
     std::unique_ptr<orb::Orb> orb;
     std::unique_ptr<lrm::Lrm> lrm;
+    /// Declared after lrm (and orb): the agent must die before the ORB its
+    /// pending transfers resolve on.
+    std::unique_ptr<ckpt::CkptAgent> ckpt_agent;
   };
 
   Grid& grid_;
@@ -173,6 +193,7 @@ class Cluster {
   ckpt::CheckpointRepository repository_;
   orb::ObjectRef gupa_ref_;
   orb::ObjectRef ckpt_ref_;
+  orb::ObjectRef ckpt_store_ref_;  // repository chunk store (data plane)
   std::unique_ptr<grm::Grm> grm_;
   std::unique_ptr<bsp::BspCoordinator> coordinator_;
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "ckpt/agent.hpp"
 #include "common/log.hpp"
 #include "protocol/properties.hpp"
 #include "protocol/trace_names.hpp"
@@ -145,6 +146,7 @@ void Lrm::crash() {
     task->checkpoint_timer.stop();
     orphans_.push_back(Orphan{id, task->report_to});
   }
+  if (ckpt_agent_ != nullptr) ckpt_agent_->stop();
   orb_.deactivate(self_ref_.key);
 }
 
@@ -156,6 +158,7 @@ void Lrm::restart() {
   // Same object key: the LRM references held by the GRM's offers and any
   // BSP coordinator survive the outage.
   self_ref_ = orb_.activate(std::make_shared<LrmServant>(*this), self_ref_.key);
+  if (ckpt_agent_ != nullptr) ckpt_agent_->start();  // same key too
 
   update_quiet_tracking();
   last_owner_present_ = machine_.owner_load().present;
@@ -823,13 +826,22 @@ void Lrm::checkpoint_task(RunningTask& task) {
   checkpoint.state = cdr::encode_message(ckpt::SequentialState{task.done});
   metrics_.counter("checkpoints_taken").add();
 
-  // Bill the bulk state transfer separately from the control message.
-  if (task.desc.checkpoint_bytes > 0 && network_ != nullptr &&
-      network_->attached(orb_.address()) &&
-      network_->attached(checkpoint_service_.host)) {
+  if (ckpt_agent_ != nullptr) {
+    // Data plane: the image ships as content-addressed chunks — only what
+    // the repository's store is missing crosses the wire, LZ-compressed.
+    ckpt_agent_->save_sequential(checkpoint.app, checkpoint.rank,
+                                 checkpoint.version,
+                                 task.desc.checkpoint_bytes);
+  } else if (task.desc.checkpoint_bytes > 0 && network_ != nullptr &&
+             network_->attached(orb_.address()) &&
+             network_->attached(checkpoint_service_.host)) {
+    // Legacy: bill the whole-image transfer separately from the control
+    // message.
     network_->send(orb_.address(), checkpoint_service_.host,
                    task.desc.checkpoint_bytes, [] {});
   }
+  // The portable progress blob always lands in the repository — it is what
+  // the GRM's restore path reads on requeue.
   orb::oneway(orb_, checkpoint_service_, "store_checkpoint", checkpoint);
 }
 

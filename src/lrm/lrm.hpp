@@ -37,6 +37,10 @@
 #include "sim/engine.hpp"
 #include "sim/network.hpp"
 
+namespace integrade::ckpt {
+class CkptAgent;
+}
+
 namespace integrade::lrm {
 
 struct LrmOptions {
@@ -102,6 +106,12 @@ class Lrm {
   /// Warm-standby Cluster Manager to fail over to when reliable_updates
   /// detects the primary is gone.
   void set_standby_grm(const orb::ObjectRef& standby) { standby_grm_ = standby; }
+
+  /// Attach this node's checkpoint data-plane agent. Sequential checkpoints
+  /// then ship as deduped, compressed chunks instead of a whole-image
+  /// network bill; crash()/restart() take the agent down and up with the
+  /// node (its chunk store, modeling disk, survives the outage).
+  void set_ckpt_agent(ckpt::CkptAgent* agent) { ckpt_agent_ = agent; }
   [[nodiscard]] const orb::ObjectRef& grm() const { return grm_; }
 
   /// Batched mode: the segment batcher detected a GRM failover and rotates
@@ -224,6 +234,7 @@ class Lrm {
   orb::ObjectRef standby_grm_;
   orb::ObjectRef gupa_;
   orb::ObjectRef checkpoint_service_;
+  ckpt::CkptAgent* ckpt_agent_ = nullptr;  // null = legacy whole-image path
   sim::Network* network_ = nullptr;
 
   std::unique_ptr<lupa::Lupa> lupa_;

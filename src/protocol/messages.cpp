@@ -536,4 +536,296 @@ BspChunkDone Codec<BspChunkDone>::decode(Reader& r) {
   return v;
 }
 
+// --- Checkpoint data plane --------------------------------------------------
+
+namespace {
+
+void encode_hash(Writer& w, const CkptHash& h) {
+  for (std::uint8_t b : h) w.write_u8(b);
+}
+
+CkptHash decode_hash(Reader& r) {
+  CkptHash h{};
+  for (auto& b : h) b = r.read_u8();
+  return h;
+}
+
+void encode_ref_seq(Writer& w, const std::vector<orb::ObjectRef>& refs) {
+  w.write_u32(static_cast<std::uint32_t>(refs.size()));
+  for (const auto& ref : refs) Codec<orb::ObjectRef>::encode(w, ref);
+}
+
+std::vector<orb::ObjectRef> decode_ref_seq(Reader& r) {
+  const std::uint32_t n = r.read_u32();
+  std::vector<orb::ObjectRef> refs;
+  for (std::uint32_t i = 0; i < n && r.ok(); ++i) {
+    refs.push_back(Codec<orb::ObjectRef>::decode(r));
+  }
+  return refs;
+}
+
+}  // namespace
+
+void Codec<CkptChunkRef>::encode(Writer& w, const CkptChunkRef& v) {
+  encode_hash(w, v.hash);
+  w.write_u32(v.raw_size);
+}
+
+CkptChunkRef Codec<CkptChunkRef>::decode(Reader& r) {
+  CkptChunkRef v;
+  v.hash = decode_hash(r);
+  v.raw_size = r.read_u32();
+  return v;
+}
+
+void Codec<CkptManifest>::encode(Writer& w, const CkptManifest& v) {
+  w.write_id(v.app);
+  w.write_i32(v.rank);
+  w.write_i64(v.version);
+  w.write_u8(v.chunker);
+  w.write_u32(v.chunk_size);
+  w.write_u64(v.image_bytes);
+  w.write_u32(static_cast<std::uint32_t>(v.chunks.size()));
+  for (const auto& c : v.chunks) Codec<CkptChunkRef>::encode(w, c);
+}
+
+CkptManifest Codec<CkptManifest>::decode(Reader& r) {
+  CkptManifest v;
+  v.app = r.read_id<AppTag>();
+  v.rank = r.read_i32();
+  v.version = r.read_i64();
+  v.chunker = r.read_u8();
+  v.chunk_size = r.read_u32();
+  v.image_bytes = r.read_u64();
+  const std::uint32_t n = r.read_u32();
+  for (std::uint32_t i = 0; i < n && r.ok(); ++i) {
+    v.chunks.push_back(Codec<CkptChunkRef>::decode(r));
+  }
+  return v;
+}
+
+void Codec<CkptManifestOffer>::encode(Writer& w, const CkptManifestOffer& v) {
+  Codec<CkptManifest>::encode(w, v.manifest);
+}
+
+CkptManifestOffer Codec<CkptManifestOffer>::decode(Reader& r) {
+  CkptManifestOffer v;
+  v.manifest = Codec<CkptManifest>::decode(r);
+  return v;
+}
+
+void Codec<CkptChunkNeed>::encode(Writer& w, const CkptChunkNeed& v) {
+  w.write_bool(v.accepted);
+  w.write_string(v.reason);
+  w.write_u32(static_cast<std::uint32_t>(v.missing.size()));
+  for (auto i : v.missing) w.write_u32(i);
+}
+
+CkptChunkNeed Codec<CkptChunkNeed>::decode(Reader& r) {
+  CkptChunkNeed v;
+  v.accepted = r.read_bool();
+  v.reason = r.read_string();
+  const std::uint32_t n = r.read_u32();
+  for (std::uint32_t i = 0; i < n && r.ok(); ++i) v.missing.push_back(r.read_u32());
+  return v;
+}
+
+void Codec<CkptChunkData>::encode(Writer& w, const CkptChunkData& v) {
+  encode_hash(w, v.hash);
+  w.write_u8(v.encoding);
+  w.write_u32(v.raw_size);
+  w.write_octets(v.payload);
+}
+
+CkptChunkData Codec<CkptChunkData>::decode(Reader& r) {
+  CkptChunkData v;
+  v.hash = decode_hash(r);
+  v.encoding = r.read_u8();
+  v.raw_size = r.read_u32();
+  v.payload = r.read_octets();
+  return v;
+}
+
+void Codec<CkptChunkPut>::encode(Writer& w, const CkptChunkPut& v) {
+  w.write_id(v.app);
+  w.write_u32(static_cast<std::uint32_t>(v.chunks.size()));
+  for (const auto& c : v.chunks) Codec<CkptChunkData>::encode(w, c);
+}
+
+CkptChunkPut Codec<CkptChunkPut>::decode(Reader& r) {
+  CkptChunkPut v;
+  v.app = r.read_id<AppTag>();
+  const std::uint32_t n = r.read_u32();
+  for (std::uint32_t i = 0; i < n && r.ok(); ++i) {
+    v.chunks.push_back(Codec<CkptChunkData>::decode(r));
+  }
+  return v;
+}
+
+void Codec<CkptPutReply>::encode(Writer& w, const CkptPutReply& v) {
+  w.write_i32(v.stored);
+  w.write_i32(v.rejected);
+}
+
+CkptPutReply Codec<CkptPutReply>::decode(Reader& r) {
+  CkptPutReply v;
+  v.stored = r.read_i32();
+  v.rejected = r.read_i32();
+  return v;
+}
+
+void Codec<CkptManifestInstall>::encode(Writer& w, const CkptManifestInstall& v) {
+  Codec<CkptManifest>::encode(w, v.manifest);
+  w.write_i64(v.prune_below);
+}
+
+CkptManifestInstall Codec<CkptManifestInstall>::decode(Reader& r) {
+  CkptManifestInstall v;
+  v.manifest = Codec<CkptManifest>::decode(r);
+  v.prune_below = r.read_i64();
+  return v;
+}
+
+void Codec<CkptInstallReply>::encode(Writer& w, const CkptInstallReply& v) {
+  w.write_bool(v.accepted);
+  w.write_string(v.reason);
+}
+
+CkptInstallReply Codec<CkptInstallReply>::decode(Reader& r) {
+  CkptInstallReply v;
+  v.accepted = r.read_bool();
+  v.reason = r.read_string();
+  return v;
+}
+
+void Codec<CkptChunkGet>::encode(Writer& w, const CkptChunkGet& v) {
+  w.write_u32(static_cast<std::uint32_t>(v.hashes.size()));
+  for (const auto& h : v.hashes) encode_hash(w, h);
+}
+
+CkptChunkGet Codec<CkptChunkGet>::decode(Reader& r) {
+  CkptChunkGet v;
+  const std::uint32_t n = r.read_u32();
+  for (std::uint32_t i = 0; i < n && r.ok(); ++i) v.hashes.push_back(decode_hash(r));
+  return v;
+}
+
+void Codec<CkptChunkGetReply>::encode(Writer& w, const CkptChunkGetReply& v) {
+  w.write_u32(static_cast<std::uint32_t>(v.chunks.size()));
+  for (const auto& c : v.chunks) Codec<CkptChunkData>::encode(w, c);
+}
+
+CkptChunkGetReply Codec<CkptChunkGetReply>::decode(Reader& r) {
+  CkptChunkGetReply v;
+  const std::uint32_t n = r.read_u32();
+  for (std::uint32_t i = 0; i < n && r.ok(); ++i) {
+    v.chunks.push_back(Codec<CkptChunkData>::decode(r));
+  }
+  return v;
+}
+
+void Codec<CkptSaveRequest>::encode(Writer& w, const CkptSaveRequest& v) {
+  w.write_id(v.app);
+  w.write_i32(v.rank);
+  w.write_i64(v.version);
+  w.write_u64(v.epoch);
+  w.write_i64(v.image_bytes);
+  Codec<orb::ObjectRef>::encode(w, v.repository);
+  encode_ref_seq(w, v.peers);
+  w.write_i64(v.prune_below);
+  Codec<orb::ObjectRef>::encode(w, v.notify);
+}
+
+CkptSaveRequest Codec<CkptSaveRequest>::decode(Reader& r) {
+  CkptSaveRequest v;
+  v.app = r.read_id<AppTag>();
+  v.rank = r.read_i32();
+  v.version = r.read_i64();
+  v.epoch = r.read_u64();
+  v.image_bytes = r.read_i64();
+  v.repository = Codec<orb::ObjectRef>::decode(r);
+  v.peers = decode_ref_seq(r);
+  v.prune_below = r.read_i64();
+  v.notify = Codec<orb::ObjectRef>::decode(r);
+  return v;
+}
+
+void Codec<CkptSaveDone>::encode(Writer& w, const CkptSaveDone& v) {
+  w.write_id(v.app);
+  w.write_i32(v.rank);
+  w.write_i64(v.version);
+  w.write_u64(v.epoch);
+  w.write_bool(v.ok);
+  w.write_i64(v.image_bytes);
+  w.write_i32(v.chunks_total);
+  w.write_i32(v.chunks_shipped);
+  w.write_i32(v.chunks_deduped);
+  w.write_i64(v.bytes_shipped);
+}
+
+CkptSaveDone Codec<CkptSaveDone>::decode(Reader& r) {
+  CkptSaveDone v;
+  v.app = r.read_id<AppTag>();
+  v.rank = r.read_i32();
+  v.version = r.read_i64();
+  v.epoch = r.read_u64();
+  v.ok = r.read_bool();
+  v.image_bytes = r.read_i64();
+  v.chunks_total = r.read_i32();
+  v.chunks_shipped = r.read_i32();
+  v.chunks_deduped = r.read_i32();
+  v.bytes_shipped = r.read_i64();
+  return v;
+}
+
+void Codec<CkptRestoreRequest>::encode(Writer& w, const CkptRestoreRequest& v) {
+  w.write_id(v.app);
+  w.write_i32(v.rank);
+  w.write_i64(v.version);
+  w.write_u64(v.epoch);
+  Codec<CkptManifest>::encode(w, v.manifest);
+  Codec<orb::ObjectRef>::encode(w, v.repository);
+  encode_ref_seq(w, v.peers);
+  Codec<orb::ObjectRef>::encode(w, v.notify);
+}
+
+CkptRestoreRequest Codec<CkptRestoreRequest>::decode(Reader& r) {
+  CkptRestoreRequest v;
+  v.app = r.read_id<AppTag>();
+  v.rank = r.read_i32();
+  v.version = r.read_i64();
+  v.epoch = r.read_u64();
+  v.manifest = Codec<CkptManifest>::decode(r);
+  v.repository = Codec<orb::ObjectRef>::decode(r);
+  v.peers = decode_ref_seq(r);
+  v.notify = Codec<orb::ObjectRef>::decode(r);
+  return v;
+}
+
+void Codec<CkptRestoreDone>::encode(Writer& w, const CkptRestoreDone& v) {
+  w.write_id(v.app);
+  w.write_i32(v.rank);
+  w.write_i64(v.version);
+  w.write_u64(v.epoch);
+  w.write_bool(v.ok);
+  w.write_i32(v.chunks_local);
+  w.write_i32(v.chunks_from_peers);
+  w.write_i32(v.chunks_from_repository);
+  w.write_i64(v.bytes_pulled);
+}
+
+CkptRestoreDone Codec<CkptRestoreDone>::decode(Reader& r) {
+  CkptRestoreDone v;
+  v.app = r.read_id<AppTag>();
+  v.rank = r.read_i32();
+  v.version = r.read_i64();
+  v.epoch = r.read_u64();
+  v.ok = r.read_bool();
+  v.chunks_local = r.read_i32();
+  v.chunks_from_peers = r.read_i32();
+  v.chunks_from_repository = r.read_i32();
+  v.bytes_pulled = r.read_i64();
+  return v;
+}
+
 }  // namespace integrade::cdr

@@ -13,6 +13,7 @@
 // in tests/protocol_test.cpp under both byte orders.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -380,6 +381,187 @@ struct SnapshotInstallReply {
 };
 
 // ---------------------------------------------------------------------------
+// Checkpoint data plane (see docs/checkpoints.md)
+//
+// Checkpoints are content-addressed: an image is a *manifest* of SHA-256
+// chunk references, and only chunks the destination store is missing travel
+// the wire (offer/need negotiation), LZ-compressed. Chunks replicate to k
+// peer stores so restart-after-crash pulls from surviving neighbors instead
+// of the cluster manager.
+// ---------------------------------------------------------------------------
+
+/// SHA-256 of the *raw* (uncompressed) chunk bytes. Plain array here so the
+/// wire layer does not depend on src/security.
+using CkptHash = std::array<std::uint8_t, 32>;
+
+struct CkptChunkRef {
+  CkptHash hash{};
+  std::uint32_t raw_size = 0;
+
+  bool operator==(const CkptChunkRef&) const = default;
+};
+
+/// A checkpoint as a recipe: ordered chunk references reassembling the
+/// image. Byte-identical chunks across versions share one stored copy.
+struct CkptManifest {
+  AppId app;
+  std::int32_t rank = 0;
+  std::int64_t version = 0;     // BSP: superstep index
+  std::uint8_t chunker = 0;     // ckpt::Chunker the image was split with
+  std::uint32_t chunk_size = 0; // fixed chunk size / CDC target average
+  std::uint64_t image_bytes = 0;
+  std::vector<CkptChunkRef> chunks;
+
+  bool operator==(const CkptManifest&) const = default;
+};
+
+/// Sender -> store: "I want to install this manifest; which chunks do you
+/// lack?" The reply's `missing` indexes into manifest.chunks.
+struct CkptManifestOffer {
+  CkptManifest manifest;
+
+  bool operator==(const CkptManifestOffer&) const = default;
+};
+
+struct CkptChunkNeed {
+  bool accepted = false;
+  std::string reason;  // on rejection: version regression, malformed manifest
+  std::vector<std::uint32_t> missing;
+
+  bool operator==(const CkptChunkNeed&) const = default;
+};
+
+/// One chunk payload in transit: raw or LZ-compressed (ckpt::Encoding).
+struct CkptChunkData {
+  CkptHash hash{};
+  std::uint8_t encoding = 0;
+  std::uint32_t raw_size = 0;
+  std::vector<std::uint8_t> payload;
+
+  bool operator==(const CkptChunkData&) const = default;
+};
+
+struct CkptChunkPut {
+  AppId app;  // for diagnostics; chunks are content-addressed, not per-app
+  std::vector<CkptChunkData> chunks;
+
+  bool operator==(const CkptChunkPut&) const = default;
+};
+
+struct CkptPutReply {
+  std::int32_t stored = 0;
+  std::int32_t rejected = 0;  // failed integrity verification
+
+  bool operator==(const CkptPutReply&) const = default;
+};
+
+/// Commit a manifest at the destination store (all chunks must be present).
+/// prune_below >= 0 additionally drops this rank's manifests with older
+/// versions, releasing their chunk references.
+struct CkptManifestInstall {
+  CkptManifest manifest;
+  std::int64_t prune_below = -1;
+
+  bool operator==(const CkptManifestInstall&) const = default;
+};
+
+struct CkptInstallReply {
+  bool accepted = false;
+  std::string reason;
+
+  bool operator==(const CkptInstallReply&) const = default;
+};
+
+/// Fetch chunks by hash (restart path). The reply carries the subset the
+/// store actually has; absent hashes are simply omitted.
+struct CkptChunkGet {
+  std::vector<CkptHash> hashes;
+
+  bool operator==(const CkptChunkGet&) const = default;
+};
+
+struct CkptChunkGetReply {
+  std::vector<CkptChunkData> chunks;
+
+  bool operator==(const CkptChunkGetReply&) const = default;
+};
+
+/// Release recovery lines older than keep_from on a peer/agent store after a
+/// newer line is complete everywhere (refcounted GC reclaims chunk bytes).
+struct CkptPrune {
+  AppId app;
+  std::int64_t keep_from = 0;
+
+  bool operator==(const CkptPrune&) const = default;
+};
+
+struct CkptDrop {
+  AppId app;
+
+  bool operator==(const CkptDrop&) const = default;
+};
+
+/// Coordinator -> rank agent: capture superstep `version` and persist it to
+/// the repository store plus the listed peer stores; report to `notify`.
+struct CkptSaveRequest {
+  AppId app;
+  std::int32_t rank = 0;
+  std::int64_t version = 0;
+  std::uint64_t epoch = 0;  // coordinator recovery epoch (stales old replies)
+  std::int64_t image_bytes = 0;  // checkpoint image size (task descriptor)
+  orb::ObjectRef repository;
+  std::vector<orb::ObjectRef> peers;
+  std::int64_t prune_below = -1;
+  orb::ObjectRef notify;
+
+  bool operator==(const CkptSaveRequest&) const = default;
+};
+
+struct CkptSaveDone {
+  AppId app;
+  std::int32_t rank = 0;
+  std::int64_t version = 0;
+  std::uint64_t epoch = 0;
+  bool ok = false;
+  std::int64_t image_bytes = 0;
+  std::int32_t chunks_total = 0;
+  std::int32_t chunks_shipped = 0;   // actually sent to repository + peers
+  std::int32_t chunks_deduped = 0;   // already present at every destination
+  std::int64_t bytes_shipped = 0;    // payload bytes that crossed the wire
+
+  bool operator==(const CkptSaveDone&) const = default;
+};
+
+/// Coordinator -> rank agent (rollback): materialize `manifest` locally,
+/// pulling missing chunks peers-first, repository as fallback.
+struct CkptRestoreRequest {
+  AppId app;
+  std::int32_t rank = 0;
+  std::int64_t version = 0;
+  std::uint64_t epoch = 0;
+  CkptManifest manifest;
+  orb::ObjectRef repository;
+  std::vector<orb::ObjectRef> peers;
+  orb::ObjectRef notify;
+
+  bool operator==(const CkptRestoreRequest&) const = default;
+};
+
+struct CkptRestoreDone {
+  AppId app;
+  std::int32_t rank = 0;
+  std::int64_t version = 0;
+  std::uint64_t epoch = 0;
+  bool ok = false;
+  std::int32_t chunks_local = 0;            // already in the local store
+  std::int32_t chunks_from_peers = 0;
+  std::int32_t chunks_from_repository = 0;
+  std::int64_t bytes_pulled = 0;
+
+  bool operator==(const CkptRestoreDone&) const = default;
+};
+
+// ---------------------------------------------------------------------------
 // Usage Pattern Protocol (LUPA -> GUPA, GRM -> GUPA)
 // ---------------------------------------------------------------------------
 
@@ -554,6 +736,88 @@ template <> struct Codec<protocol::SnapshotInstall> {
 template <> struct Codec<protocol::SnapshotInstallReply> {
   static void encode(Writer& w, const protocol::SnapshotInstallReply& v);
   static protocol::SnapshotInstallReply decode(Reader& r);
+};
+template <> struct Codec<protocol::CkptChunkRef> {
+  static void encode(Writer& w, const protocol::CkptChunkRef& v);
+  static protocol::CkptChunkRef decode(Reader& r);
+};
+template <> struct Codec<protocol::CkptManifest> {
+  static void encode(Writer& w, const protocol::CkptManifest& v);
+  static protocol::CkptManifest decode(Reader& r);
+};
+template <> struct Codec<protocol::CkptManifestOffer> {
+  static void encode(Writer& w, const protocol::CkptManifestOffer& v);
+  static protocol::CkptManifestOffer decode(Reader& r);
+};
+template <> struct Codec<protocol::CkptChunkNeed> {
+  static void encode(Writer& w, const protocol::CkptChunkNeed& v);
+  static protocol::CkptChunkNeed decode(Reader& r);
+};
+template <> struct Codec<protocol::CkptChunkData> {
+  static void encode(Writer& w, const protocol::CkptChunkData& v);
+  static protocol::CkptChunkData decode(Reader& r);
+};
+template <> struct Codec<protocol::CkptChunkPut> {
+  static void encode(Writer& w, const protocol::CkptChunkPut& v);
+  static protocol::CkptChunkPut decode(Reader& r);
+};
+template <> struct Codec<protocol::CkptPutReply> {
+  static void encode(Writer& w, const protocol::CkptPutReply& v);
+  static protocol::CkptPutReply decode(Reader& r);
+};
+template <> struct Codec<protocol::CkptManifestInstall> {
+  static void encode(Writer& w, const protocol::CkptManifestInstall& v);
+  static protocol::CkptManifestInstall decode(Reader& r);
+};
+template <> struct Codec<protocol::CkptInstallReply> {
+  static void encode(Writer& w, const protocol::CkptInstallReply& v);
+  static protocol::CkptInstallReply decode(Reader& r);
+};
+template <> struct Codec<protocol::CkptChunkGet> {
+  static void encode(Writer& w, const protocol::CkptChunkGet& v);
+  static protocol::CkptChunkGet decode(Reader& r);
+};
+template <> struct Codec<protocol::CkptChunkGetReply> {
+  static void encode(Writer& w, const protocol::CkptChunkGetReply& v);
+  static protocol::CkptChunkGetReply decode(Reader& r);
+};
+template <> struct Codec<protocol::CkptPrune> {
+  static void encode(Writer& w, const protocol::CkptPrune& v) {
+    w.write_id(v.app);
+    w.write_i64(v.keep_from);
+  }
+  static protocol::CkptPrune decode(Reader& r) {
+    protocol::CkptPrune v;
+    v.app = r.read_id<AppTag>();
+    v.keep_from = r.read_i64();
+    return v;
+  }
+};
+template <> struct Codec<protocol::CkptDrop> {
+  static void encode(Writer& w, const protocol::CkptDrop& v) {
+    w.write_id(v.app);
+  }
+  static protocol::CkptDrop decode(Reader& r) {
+    protocol::CkptDrop v;
+    v.app = r.read_id<AppTag>();
+    return v;
+  }
+};
+template <> struct Codec<protocol::CkptSaveRequest> {
+  static void encode(Writer& w, const protocol::CkptSaveRequest& v);
+  static protocol::CkptSaveRequest decode(Reader& r);
+};
+template <> struct Codec<protocol::CkptSaveDone> {
+  static void encode(Writer& w, const protocol::CkptSaveDone& v);
+  static protocol::CkptSaveDone decode(Reader& r);
+};
+template <> struct Codec<protocol::CkptRestoreRequest> {
+  static void encode(Writer& w, const protocol::CkptRestoreRequest& v);
+  static protocol::CkptRestoreRequest decode(Reader& r);
+};
+template <> struct Codec<protocol::CkptRestoreDone> {
+  static void encode(Writer& w, const protocol::CkptRestoreDone& v);
+  static protocol::CkptRestoreDone decode(Reader& r);
 };
 template <> struct Codec<protocol::CancelTask> {
   static void encode(Writer& w, const protocol::CancelTask& v) {

@@ -82,6 +82,7 @@ Status Trader::modify(OfferId id, PropertySet properties, SimTime now) {
   }
   it->second.properties = std::move(properties);
   it->second.modified_at = now;
+  ++it->second.refreshes;
   return Status::ok();
 }
 
@@ -208,11 +209,12 @@ void Trader::save(cdr::Writer& w) const {
     cdr::Codec<PropertySet>::encode(w, offer.properties);
     w.write_i64(offer.exported_at);
     w.write_i64(offer.modified_at);
+    w.write_i64(offer.refreshes);
   }
 }
 
 Status Trader::load(std::uint32_t version, cdr::Reader& r) {
-  if (version != kSnapshotVersion) {
+  if (version < 1 || version > kSnapshotVersion) {
     return Status(ErrorCode::kInvalidArgument,
                   "trader snapshot version " + std::to_string(version) +
                       " unsupported");
@@ -228,6 +230,9 @@ Status Trader::load(std::uint32_t version, cdr::Reader& r) {
     offer.properties = cdr::Codec<PropertySet>::decode(r);
     offer.exported_at = r.read_i64();
     offer.modified_at = r.read_i64();
+    // v1 -> v2 migration shim: v1 images predate the refresh counter, so a
+    // migrated offer starts counting from its restore.
+    offer.refreshes = version >= 2 ? r.read_i64() : 0;
     const OfferId id = offer.id;
     offers.emplace(id, std::move(offer));
   }

@@ -44,6 +44,9 @@ struct ServiceOffer {
   PropertySet properties;
   SimTime exported_at = 0;
   SimTime modified_at = 0;
+  /// Property refreshes since export (modify/refresh calls). Serialized from
+  /// snapshot format v2 on; v1 images load with 0.
+  std::int64_t refreshes = 0;
 };
 
 class Trader {
@@ -71,6 +74,7 @@ class Trader {
     }
     fn(it->second.properties);
     it->second.modified_at = now;
+    ++it->second.refreshes;
     return Status::ok();
   }
 
@@ -134,15 +138,18 @@ class Trader {
   [[nodiscard]] Status check_invariants() const;
 
   /// Control-plane snapshot format version for the "trader" section.
-  static constexpr std::uint32_t kSnapshotVersion = 1;
+  /// v1: id, service_type, provider, properties, exported_at, modified_at.
+  /// v2: v1 fields + refreshes (i64) per offer.
+  static constexpr std::uint32_t kSnapshotVersion = 2;
 
-  /// Serialize offers + the id counter. The secondary indexes are derived
-  /// state rebuilt on load, and the compiled-expression caches are
-  /// non-observable memos cleared on load — neither is serialized, so
-  /// save→load→save is byte-identical by construction.
+  /// Serialize offers + the id counter (current format, v2). The secondary
+  /// indexes are derived state rebuilt on load, and the compiled-expression
+  /// caches are non-observable memos cleared on load — neither is
+  /// serialized, so save→load→save is byte-identical by construction.
   void save(cdr::Writer& w) const;
 
-  /// Replace the trader's state from a snapshot section. Decodes into
+  /// Replace the trader's state from a snapshot section. Accepts the current
+  /// format and migrates v1 images (refreshes defaults to 0). Decodes into
   /// scratch and validates before committing: on any error the trader is
   /// left untouched. On success both indexes are rebuilt and verified.
   Status load(std::uint32_t version, cdr::Reader& r);

@@ -153,5 +153,103 @@ TEST(BspCoordinator, StatsForUnknownAppIsNull) {
   EXPECT_EQ(run.cluster->coordinator().stats(AppId(424242)), nullptr);
 }
 
+// --- content-addressed checkpoint data plane ---
+
+struct DataPlaneRun {
+  core::Grid grid;
+  core::Cluster* cluster;
+
+  explicit DataPlaneRun(std::uint64_t seed, int nodes = 8)
+      : grid(seed), cluster(nullptr) {
+    core::ClusterConfig config = core::quiet_cluster(nodes, seed);
+    config.ckpt.enabled = true;
+    cluster = &grid.add_cluster(config);
+    grid.run_for(2 * kMinute);
+  }
+
+  AppId submit(int processes, int supersteps, MInstr work, int ckpt_every,
+               Bytes ckpt_bytes) {
+    AppBuilder builder("bsp-dp");
+    builder.bsp(processes, supersteps, work, 0, ckpt_every, ckpt_bytes);
+    return cluster->asct().submit(cluster->grm_ref(),
+                                  builder.build(cluster->asct().ref()));
+  }
+};
+
+TEST(BspDataPlane, DedupCutsCheckpointTraffic) {
+  DataPlaneRun run(31);
+  const AppId app = run.submit(4, 20, 2'000.0, /*every=*/2, 4 * kMiB);
+  ASSERT_TRUE(run.grid.run_until_app_done(*run.cluster, app,
+                                          run.grid.engine().now() + 8 * kHour));
+  const auto* stats = run.cluster->coordinator().stats(app);
+  ASSERT_NE(stats, nullptr);
+  EXPECT_EQ(stats->checkpoints_committed, 10);
+  // Every one of the 4 ranks checkpointed 4 MiB ten times...
+  EXPECT_EQ(stats->ckpt_image_bytes,
+            10 * 4 * 4 * static_cast<std::int64_t>(kMiB));
+  // ...but after the first save only dirty chunks cross the wire, so total
+  // shipped bytes (repository + 2 replicas) stay well under the logical
+  // volume of a whole-image scheme shipping to the repository alone.
+  EXPECT_GT(stats->ckpt_chunks_deduped, stats->ckpt_chunks_shipped);
+  EXPECT_LT(stats->ckpt_bytes_shipped, stats->ckpt_image_bytes / 2);
+  // The repository's chunk store saw >=3x dedup across supersteps.
+  const auto* repo_store = run.cluster->repository().data_plane();
+  ASSERT_NE(repo_store, nullptr);
+  EXPECT_GE(repo_store->dedup_ratio(), 3.0);
+  // Commit-time pruning reclaimed superseded versions' chunks (refcounted
+  // GC through CheckpointRepository::prune).
+  EXPECT_GT(repo_store->bytes_reclaimed(), 0);
+}
+
+TEST(BspDataPlane, RollbackRestoresThroughChunkStores) {
+  DataPlaneRun run(32, 6);
+  const AppId app = run.submit(4, 30, 20'000.0, /*every=*/5, kMiB);
+  run.grid.run_for(6 * kMinute);
+
+  int victim = -1;
+  for (std::size_t i = 0; i < run.cluster->size(); ++i) {
+    if (run.cluster->lrm(i).running_task_count() > 0) {
+      victim = static_cast<int>(i);
+      break;
+    }
+  }
+  ASSERT_GE(victim, 0);
+  node::OwnerLoad busy;
+  busy.present = true;
+  busy.cpu_fraction = 0.9;
+  run.cluster->machine(static_cast<std::size_t>(victim)).set_owner_load(busy);
+  run.grid.run_for(kMinute);
+  run.cluster->machine(static_cast<std::size_t>(victim))
+      .set_owner_load(node::OwnerLoad{});
+
+  ASSERT_TRUE(run.grid.run_until_app_done(*run.cluster, app,
+                                          run.grid.engine().now() + 12 * kHour));
+  const auto* stats = run.cluster->coordinator().stats(app);
+  EXPECT_GE(stats->rollbacks, 1);
+  EXPECT_GE(stats->restores, 1);
+  EXPECT_EQ(stats->supersteps_completed, 30 + stats->supersteps_replayed);
+  // Restores went through the data plane: ranks re-used locally cached
+  // chunks or pulled from peers/repository rather than re-shipping whole
+  // images from the manager.
+  EXPECT_GT(stats->restore_chunks_local + stats->restore_chunks_from_peers +
+                stats->restore_chunks_from_repository,
+            0);
+}
+
+TEST(BspDataPlane, SequentialCheckpointsFlowThroughAgent) {
+  DataPlaneRun run(33, 4);
+  AppBuilder builder("seq-dp");
+  builder.tasks(2, 300'000.0).checkpoint_period(20 * kSecond, 2 * kMiB);
+  const AppId app = run.cluster->asct().submit(
+      run.cluster->grm_ref(), builder.build(run.cluster->asct().ref()));
+  ASSERT_TRUE(run.grid.run_until_app_done(*run.cluster, app,
+                                          run.grid.engine().now() + 4 * kHour));
+  // The repository store holds deduped manifests from the LRM timer path.
+  const auto* repo_store = run.cluster->repository().data_plane();
+  ASSERT_NE(repo_store, nullptr);
+  EXPECT_GT(repo_store->installs(), 0);
+  EXPECT_GE(repo_store->dedup_ratio(), 2.0);
+}
+
 }  // namespace
 }  // namespace integrade::bsp

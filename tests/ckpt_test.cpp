@@ -1,7 +1,22 @@
-// Checkpoint repository: versioning, global consistency lines, pruning.
+// Checkpoint repository: versioning, global consistency lines, pruning —
+// plus the content-addressed data plane: chunking, compression, the chunk
+// store's refcounted GC, and the agent's peer-first restore path.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <numeric>
+
+#include "ckpt/agent.hpp"
+#include "ckpt/chunk.hpp"
+#include "ckpt/compress.hpp"
 #include "ckpt/repository.hpp"
+#include "ckpt/store.hpp"
+#include "common/rng.hpp"
+#include "orb/transport.hpp"
+#include "security/sha256.hpp"
+#include "sim/engine.hpp"
+#include "sim/faults.hpp"
+#include "sim/network.hpp"
 
 namespace integrade::ckpt {
 namespace {
@@ -104,6 +119,385 @@ TEST(CkptRepo, SequentialStateRoundTrip) {
   auto decoded = cdr::decode_message<SequentialState>(bytes);
   ASSERT_TRUE(decoded.is_ok());
   EXPECT_EQ(decoded.value(), state);
+}
+
+// --- chunking ---
+
+void expect_exact_cover(const std::vector<ChunkSpan>& spans, std::size_t size) {
+  std::uint64_t at = 0;
+  for (const auto& span : spans) {
+    EXPECT_EQ(span.offset, at);
+    EXPECT_GT(span.size, 0u);
+    at += span.size;
+  }
+  EXPECT_EQ(at, size);
+}
+
+TEST(Chunking, FixedBoundarySweep) {
+  ChunkParams params;
+  params.chunker = Chunker::kFixed;
+  params.chunk_size = 4096;
+  const std::size_t cs = params.chunk_size;
+  // Image sizes straddling every interesting boundary.
+  for (std::size_t size : {std::size_t{0}, std::size_t{1}, cs - 1, cs, cs + 1,
+                           2 * cs, 2 * cs + 17}) {
+    std::vector<std::uint8_t> image(size, 0x5a);
+    auto spans = chunk_spans(image, params);
+    expect_exact_cover(spans, size);
+    EXPECT_EQ(spans.size(), (size + cs - 1) / cs);
+    for (const auto& span : spans) EXPECT_LE(span.size, cs);
+  }
+}
+
+TEST(Chunking, CdcBoundarySweepRespectsBounds) {
+  ChunkParams params;
+  params.chunker = Chunker::kCdc;
+  params.chunk_size = 4096;
+  params.cdc_min = 1024;
+  params.cdc_max = 16384;
+  Rng rng(99);
+  const std::size_t cs = params.chunk_size;
+  for (std::size_t size : {std::size_t{0}, std::size_t{1}, cs - 1, cs, cs + 1,
+                           std::size_t{200'000}}) {
+    std::vector<std::uint8_t> image(size);
+    for (auto& b : image) b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    auto spans = chunk_spans(image, params);
+    expect_exact_cover(spans, size);
+    for (std::size_t i = 0; i < spans.size(); ++i) {
+      EXPECT_LE(spans[i].size, params.cdc_max);
+      // Every span but the last respects the minimum.
+      if (i + 1 < spans.size()) EXPECT_GE(spans[i].size, params.cdc_min);
+    }
+  }
+}
+
+TEST(Chunking, CdcBoundariesShiftLocallyOnInsertion) {
+  // An insertion near the front must not re-chunk the distant tail: spans
+  // resynchronize, so most chunk hashes are shared with the original.
+  ChunkParams params;
+  params.chunker = Chunker::kCdc;
+  params.chunk_size = 4096;
+  params.cdc_min = 1024;
+  params.cdc_max = 16384;
+  Rng rng(7);
+  std::vector<std::uint8_t> image(256 * 1024);
+  for (auto& b : image) b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+  std::vector<std::uint8_t> shifted(image);
+  shifted.insert(shifted.begin() + 1000, {1, 2, 3, 4, 5, 6, 7});
+
+  auto hashes = [&](const std::vector<std::uint8_t>& img) {
+    std::vector<security::Digest> out;
+    for (const auto& span : chunk_spans(img, params)) {
+      out.push_back(security::Sha256::hash(img.data() + span.offset, span.size));
+    }
+    return out;
+  };
+  const auto a = hashes(image);
+  const auto b = hashes(shifted);
+  std::size_t shared = 0;
+  for (const auto& h : b) {
+    if (std::find(a.begin(), a.end(), h) != a.end()) ++shared;
+  }
+  // All but the first couple of chunks resynchronize.
+  EXPECT_GE(shared + 3, b.size());
+  EXPECT_GE(shared, a.size() / 2);
+}
+
+// --- compression ---
+
+TEST(Compress, RoundTripAndRawFallback) {
+  // Compressible: repeated text.
+  std::vector<std::uint8_t> text;
+  for (int i = 0; i < 200; ++i) {
+    for (char c : std::string("the quick brown fox ")) {
+      text.push_back(static_cast<std::uint8_t>(c));
+    }
+  }
+  auto packed = pack_chunk(text, /*try_compress=*/true);
+  EXPECT_EQ(packed.encoding, Encoding::kLz);
+  EXPECT_LT(packed.payload.size(), text.size());
+  auto unpacked = unpack_chunk(packed.encoding, packed.raw_size, packed.payload);
+  ASSERT_TRUE(unpacked.is_ok());
+  EXPECT_EQ(unpacked.value(), text);
+
+  // Incompressible: random bytes fall back to kRaw, verbatim.
+  Rng rng(3);
+  std::vector<std::uint8_t> noise(4096);
+  for (auto& b : noise) b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+  auto raw = pack_chunk(noise, /*try_compress=*/true);
+  EXPECT_EQ(raw.encoding, Encoding::kRaw);
+  EXPECT_EQ(raw.payload, noise);
+
+  // try_compress=false always stores raw.
+  EXPECT_EQ(pack_chunk(text, /*try_compress=*/false).encoding, Encoding::kRaw);
+}
+
+TEST(Compress, TruncatedStreamRejected) {
+  std::vector<std::uint8_t> text(8192, 0x41);
+  auto packed = pack_chunk(text, true);
+  ASSERT_EQ(packed.encoding, Encoding::kLz);
+  auto cut = packed.payload;
+  cut.resize(cut.size() / 2);
+  EXPECT_FALSE(unpack_chunk(Encoding::kLz, packed.raw_size, cut).is_ok());
+  // Wrong declared size also rejected.
+  EXPECT_FALSE(
+      unpack_chunk(Encoding::kLz, packed.raw_size + 1, packed.payload).is_ok());
+}
+
+// --- image model ---
+
+TEST(ImageModel, DeterministicAndIncrementallyDirty) {
+  ImageModelParams params;
+  params.image_bytes = 512 * 1024;
+  ImageModel model(AppId(3), 1, params);
+  EXPECT_TRUE(model.dirty_pages(0).empty());
+  EXPECT_FALSE(model.dirty_pages(1).empty());
+  // Pure function: identical renders, and a sibling model agrees.
+  EXPECT_EQ(model.render(4), model.render(4));
+  EXPECT_EQ(model.render(4), ImageModel(AppId(3), 1, params).render(4));
+  // Different rank -> different bytes.
+  EXPECT_NE(model.render(4), ImageModel(AppId(3), 2, params).render(4));
+  // Consecutive supersteps differ only in the dirtied pages.
+  const auto before = model.render(3);
+  const auto after = model.render(4);
+  const auto dirty = model.dirty_pages(4);
+  for (std::size_t page = 0; page < model.pages(); ++page) {
+    const std::size_t off = page * params.page_size;
+    const std::size_t len = std::min<std::size_t>(
+        params.page_size, params.image_bytes - off);
+    const bool changed = !std::equal(before.begin() + off,
+                                     before.begin() + off + len,
+                                     after.begin() + off);
+    const bool dirtied = std::find(dirty.begin(), dirty.end(), page) != dirty.end();
+    EXPECT_EQ(changed, dirtied) << "page " << page;
+  }
+}
+
+// --- chunk store ---
+
+protocol::CkptManifest manifest_for(const std::vector<std::uint8_t>& image,
+                                    ChunkStore& store, AppId app,
+                                    std::int32_t rank, std::int64_t version,
+                                    const ChunkParams& params) {
+  protocol::CkptManifest m;
+  m.app = app;
+  m.rank = rank;
+  m.version = version;
+  m.chunker = static_cast<std::uint8_t>(params.chunker);
+  m.chunk_size = params.chunk_size;
+  m.image_bytes = image.size();
+  for (const auto& span : chunk_spans(image, params)) {
+    std::vector<std::uint8_t> raw(image.begin() + span.offset,
+                                  image.begin() + span.offset + span.size);
+    const auto hash = security::Sha256::hash(raw);
+    if (!store.has(hash)) {
+      auto packed = pack_chunk(raw, true);
+      EXPECT_TRUE(store
+                      .put(hash, packed.encoding, packed.raw_size,
+                           std::move(packed.payload), /*verify=*/false)
+                      .is_ok());
+    }
+    m.chunks.push_back({hash, span.size});
+  }
+  return m;
+}
+
+TEST(ChunkStore, ManifestRoundTripMaterializes) {
+  ChunkStore store;
+  ChunkParams params;
+  params.chunk_size = 16 * 1024;
+  ImageModelParams mp;
+  mp.image_bytes = 300'000;
+  ImageModel model(AppId(5), 0, mp);
+  const auto image = model.render(2);
+  auto m = manifest_for(image, store, AppId(5), 0, 2, params);
+  ASSERT_TRUE(store.install(m).is_ok());
+  ASSERT_NE(store.manifest(AppId(5), 0, 2), nullptr);
+  auto back = store.materialize(AppId(5), 0, 2);
+  ASSERT_TRUE(back.is_ok());
+  EXPECT_EQ(back.value(), image);
+}
+
+TEST(ChunkStore, DedupAcrossDirtySupersteps) {
+  // "Dirty 5% of pages" supersteps: storing each full image should cost
+  // roughly only the dirty fraction after the first, i.e. dedup >= 3x.
+  ChunkStore store;
+  ChunkParams params;  // 64 KiB fixed
+  ImageModelParams mp;
+  mp.image_bytes = 4 * kMiB;
+  ImageModel model(AppId(6), 0, mp);
+  for (std::int64_t step = 0; step <= 8; ++step) {
+    const auto image = model.render(step);
+    auto m = manifest_for(image, store, AppId(6), 0, step, params);
+    ASSERT_TRUE(store.install(m).is_ok());
+  }
+  EXPECT_GE(store.dedup_ratio(), 3.0);
+  // Far more bytes were installed (logically) than ever stored.
+  EXPECT_GT(store.logical_bytes_installed(), 3 * store.raw_bytes_added());
+  // Compression on the synthetic content also wins.
+  EXPECT_GT(store.compression_ratio(), 1.2);
+}
+
+TEST(ChunkStore, CorruptedChunkRejected) {
+  ChunkStore store;
+  std::vector<std::uint8_t> raw(8192, 0x42);
+  const auto hash = security::Sha256::hash(raw);
+  auto packed = pack_chunk(raw, true);
+
+  // Tampered payload: hash mismatch after unpack.
+  auto tampered = packed.payload;
+  tampered[tampered.size() / 2] ^= 0xff;
+  auto r1 = store.put(hash, packed.encoding, packed.raw_size, tampered, true);
+  EXPECT_FALSE(r1.is_ok());
+  // Garbage that is not even a valid LZ stream.
+  std::vector<std::uint8_t> garbage(64, 0xff);
+  auto r2 = store.put(hash, Encoding::kLz, 8192, garbage, true);
+  EXPECT_FALSE(r2.is_ok());
+  EXPECT_EQ(store.rejects(), 2);
+  EXPECT_FALSE(store.has(hash));
+  EXPECT_EQ(store.chunk_count(), 0u);
+
+  // The honest payload lands.
+  auto r3 = store.put(hash, packed.encoding, packed.raw_size,
+                      std::move(packed.payload), true);
+  ASSERT_TRUE(r3.is_ok());
+  EXPECT_TRUE(r3.value());
+  EXPECT_TRUE(store.has(hash));
+}
+
+TEST(ChunkStore, PruneReclaimsUnreferencedChunks) {
+  ChunkStore store;
+  ChunkParams params;
+  params.chunk_size = 16 * 1024;
+  ImageModelParams mp;
+  mp.image_bytes = 1 * kMiB;
+  mp.dirty_permille = 300;  // heavy churn: most chunks die with their version
+  mp.dirty_run_pages = 16;
+  ImageModel model(AppId(8), 0, mp);
+  for (std::int64_t step = 0; step <= 5; ++step) {
+    const auto image = model.render(step);
+    auto m = manifest_for(image, store, AppId(8), 0, step, params);
+    ASSERT_TRUE(store.install(m).is_ok());
+  }
+  const auto resident_before = store.stored_bytes();
+  store.prune(AppId(8), 5);
+  EXPECT_GT(store.bytes_reclaimed(), 0);
+  EXPECT_LT(store.stored_bytes(), resident_before);
+  EXPECT_GT(store.chunks_reclaimed(), 0);
+  // The kept version still materializes intact.
+  auto back = store.materialize(AppId(8), 0, 5);
+  ASSERT_TRUE(back.is_ok());
+  EXPECT_EQ(back.value(), model.render(5));
+  EXPECT_EQ(store.manifest_count(), 1u);
+}
+
+TEST(ChunkStore, OrphanChunksNeedTwoSweeps) {
+  // A chunk put without a manifest install (aborted save) survives the
+  // first prune sweep and is reclaimed by the second.
+  ChunkStore store;
+  std::vector<std::uint8_t> raw(4096, 0x17);
+  const auto hash = security::Sha256::hash(raw);
+  auto packed = pack_chunk(raw, true);
+  ASSERT_TRUE(store.put(hash, packed.encoding, packed.raw_size,
+                        std::move(packed.payload), false)
+                  .is_ok());
+  store.prune(AppId(1), 100);
+  EXPECT_TRUE(store.has(hash));
+  store.prune(AppId(1), 100);
+  EXPECT_FALSE(store.has(hash));
+  EXPECT_GT(store.bytes_reclaimed(), 0);
+}
+
+TEST(ChunkStore, InstallRejectsRegressionAndMissingChunks) {
+  ChunkStore store;
+  ChunkParams params;
+  std::vector<std::uint8_t> image(100'000, 0x31);
+  auto m5 = manifest_for(image, store, AppId(9), 0, 5, params);
+  ASSERT_TRUE(store.install(m5).is_ok());
+  auto m4 = m5;
+  m4.version = 4;
+  EXPECT_FALSE(store.install(m4).is_ok());  // regression
+  auto m6 = m5;
+  m6.version = 6;
+  m6.chunks.push_back({protocol::CkptHash{{9, 9, 9}}, 4096});
+  EXPECT_FALSE(store.install(m6).is_ok());  // references absent chunk
+  // Idempotent re-install of the current version.
+  EXPECT_TRUE(store.install(m5).is_ok());
+}
+
+// --- agent: peer-first restore under manager partition ---
+
+TEST(CkptAgent, RestorePullsFromPeersWhenManagerPartitioned) {
+  sim::Engine engine;
+  sim::Network network(engine, Rng(42));
+  network.set_jitter(0.0);
+  sim::FaultInjector faults(engine, network, Rng(43));
+  auto lan = network.add_segment(sim::SegmentSpec{});
+  for (sim::EndpointId ep = 1; ep <= 4; ++ep) network.attach(ep, lan);
+  orb::SimNetworkTransport transport(network);
+
+  // Node 1: the cluster manager's repository store.
+  orb::Orb manager_orb(1, transport, &engine);
+  ChunkStore repo_store;
+  auto repo_ref =
+      manager_orb.activate(std::make_shared<StoreServant>(repo_store));
+
+  DataPlaneOptions options;
+  options.enabled = true;
+  options.chunking.chunk_size = 16 * 1024;
+  orb::Orb orb_a(2, transport, &engine);
+  orb::Orb orb_b(3, transport, &engine);
+  orb::Orb orb_c(4, transport, &engine);
+  CkptAgent agent_a(engine, orb_a, options);
+  CkptAgent agent_b(engine, orb_b, options);
+  CkptAgent agent_c(engine, orb_c, options);
+  for (auto* agent : {&agent_a, &agent_b, &agent_c}) {
+    agent->set_repository(repo_ref);
+    agent->start();
+  }
+
+  // Rank 0 checkpoints on node A, replicating to peer B (and the manager).
+  const AppId app(77);
+  protocol::CkptSaveRequest save;
+  save.app = app;
+  save.rank = 0;
+  save.version = 3;
+  save.image_bytes = 600'000;
+  save.repository = repo_ref;
+  save.peers = {agent_b.ref()};
+  agent_a.handle_save(save);
+  engine.run();
+  const auto* manifest = agent_a.store().latest_manifest(app, 0);
+  ASSERT_NE(manifest, nullptr);
+  ASSERT_EQ(manifest->version, 3);
+  ASSERT_NE(agent_b.store().manifest(app, 0, 3), nullptr);
+  ASSERT_NE(repo_store.manifest(app, 0, 3), nullptr);
+
+  // The manager node drops off the network; node A dies too. The rank is
+  // rescheduled onto node C, which has none of the chunks.
+  faults.crash_endpoint(1);
+  faults.crash_endpoint(2);
+  agent_a.abort_inflight();
+
+  protocol::CkptRestoreRequest restore;
+  restore.app = app;
+  restore.rank = 0;
+  restore.version = 3;
+  restore.manifest = *manifest;
+  restore.repository = repo_ref;      // unreachable
+  restore.peers = {agent_b.ref()};    // the surviving replica
+  agent_c.handle_restore(restore);
+  engine.run();
+
+  // C rebuilt the image from B alone.
+  ASSERT_NE(agent_c.store().manifest(app, 0, 3), nullptr);
+  auto image = agent_c.store().materialize(app, 0, 3);
+  ASSERT_TRUE(image.is_ok());
+  ImageModelParams mp;
+  mp.image_bytes = 600'000;
+  EXPECT_EQ(image.value(), ImageModel(app, 0, mp).render(3));
+  EXPECT_GT(agent_c.metrics().counter_value("restore_chunks_from_peers"), 0);
+  EXPECT_EQ(agent_c.metrics().counter_value("restore_chunks_from_repository"), 0);
 }
 
 }  // namespace

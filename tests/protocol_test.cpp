@@ -273,6 +273,115 @@ TEST(ProtocolRoundTrip, SmallMessages) {
   expect_round_trip(cdr::Empty{});
 }
 
+// --- checkpoint data plane ---
+
+CkptManifest sample_manifest() {
+  CkptManifest m;
+  m.app = AppId(11);
+  m.rank = 2;
+  m.version = 7;
+  m.chunker = 1;
+  m.chunk_size = 64 * 1024;
+  m.image_bytes = 200'000;
+  for (std::uint8_t i = 0; i < 3; ++i) {
+    CkptChunkRef ref;
+    ref.hash.fill(i);
+    ref.raw_size = 65536;
+    m.chunks.push_back(ref);
+  }
+  m.chunks.back().raw_size = 68928;
+  return m;
+}
+
+TEST(ProtocolRoundTrip, CkptManifestFrames) {
+  expect_round_trip(sample_manifest());
+  expect_round_trip(CkptManifestOffer{sample_manifest()});
+  CkptChunkNeed need;
+  need.accepted = true;
+  need.missing = {0, 2};
+  expect_round_trip(need);
+  need.accepted = false;
+  need.reason = "version regression";
+  need.missing.clear();
+  expect_round_trip(need);
+  CkptManifestInstall install;
+  install.manifest = sample_manifest();
+  install.prune_below = 5;
+  expect_round_trip(install);
+  expect_round_trip(CkptInstallReply{true, ""});
+  expect_round_trip(CkptInstallReply{false, "missing chunk"});
+}
+
+TEST(ProtocolRoundTrip, CkptChunkFrames) {
+  CkptChunkData chunk;
+  chunk.hash.fill(0xab);
+  chunk.encoding = 1;
+  chunk.raw_size = 4096;
+  chunk.payload = {1, 2, 3, 4, 5};
+  expect_round_trip(chunk);
+  CkptChunkPut put;
+  put.app = AppId(11);
+  put.chunks = {chunk, chunk};
+  expect_round_trip(put);
+  expect_round_trip(CkptPutReply{2, 1});
+  CkptChunkGet get;
+  get.hashes = {chunk.hash, CkptHash{}};
+  expect_round_trip(get);
+  expect_round_trip(CkptChunkGetReply{{chunk}});
+  expect_round_trip(CkptPrune{AppId(11), 6});
+  expect_round_trip(CkptDrop{AppId(11)});
+}
+
+TEST(ProtocolRoundTrip, CkptLifecycleFrames) {
+  CkptSaveRequest save;
+  save.app = AppId(11);
+  save.rank = 2;
+  save.version = 7;
+  save.epoch = 3;
+  save.image_bytes = 200'000;
+  save.repository = sample_ref();
+  save.peers = {sample_ref(), sample_ref()};
+  save.prune_below = 4;
+  save.notify = sample_ref();
+  expect_round_trip(save);
+
+  CkptSaveDone done;
+  done.app = AppId(11);
+  done.rank = 2;
+  done.version = 7;
+  done.epoch = 3;
+  done.ok = true;
+  done.image_bytes = 200'000;
+  done.chunks_total = 4;
+  done.chunks_shipped = 1;
+  done.chunks_deduped = 3;
+  done.bytes_shipped = 70'000;
+  expect_round_trip(done);
+
+  CkptRestoreRequest restore;
+  restore.app = AppId(11);
+  restore.rank = 2;
+  restore.version = 7;
+  restore.epoch = 4;
+  restore.manifest = sample_manifest();
+  restore.repository = sample_ref();
+  restore.peers = {sample_ref()};
+  restore.notify = sample_ref();
+  expect_round_trip(restore);
+
+  CkptRestoreDone rdone;
+  rdone.app = AppId(11);
+  rdone.rank = 2;
+  rdone.version = 7;
+  rdone.epoch = 4;
+  rdone.ok = true;
+  rdone.chunks_local = 1;
+  rdone.chunks_from_peers = 2;
+  rdone.chunks_from_repository = 1;
+  rdone.bytes_pulled = 140'000;
+  expect_round_trip(rdone);
+}
+
 TEST(ProtocolRoundTrip, TruncatedStatusFailsCleanly) {
   auto bytes = cdr::encode_message(sample_status());
   bytes.resize(bytes.size() / 2);

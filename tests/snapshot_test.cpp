@@ -100,6 +100,82 @@ TEST(SnapshotComponents, TraderRoundTripIsByteIdenticalAndQueriesMatch) {
   }
 }
 
+TEST(SnapshotComponents, TraderLoadsCommittedV1ImageByteForByte) {
+  // A v1 "trader" section exactly as the v1 writer committed it: id counter,
+  // offer count, then per offer id / type / provider / properties /
+  // exported_at / modified_at — no refresh counter (that field is v2).
+  orb::ObjectRef provider;
+  provider.host = 7;
+  provider.key = ObjectId(3);
+  provider.type_id = "IDL:integrade/Lrm:1.0";
+  services::PropertySet props;
+  props.set("cpu_mips", 1400.0);
+  props.set("shareable", true);
+
+  cdr::Writer v1;
+  v1.write_u64(2);  // next_id
+  v1.write_u32(1);  // offer count
+  v1.write_id(services::OfferId(1));
+  v1.write_string(protocol::kNodeServiceType);
+  cdr::Codec<orb::ObjectRef>::encode(v1, provider);
+  cdr::Codec<services::PropertySet>::encode(v1, props);
+  v1.write_i64(30 * kSecond);   // exported_at
+  v1.write_i64(90 * kSecond);   // modified_at
+  const auto v1_bytes = v1.take_buffer();
+
+  services::Trader trader;
+  cdr::Reader r(v1_bytes.data(), v1_bytes.size());
+  ASSERT_TRUE(trader.load(/*version=*/1, r).is_ok());
+  ASSERT_EQ(trader.offer_count(), 1u);
+  const auto* offer = trader.lookup(services::OfferId(1));
+  ASSERT_NE(offer, nullptr);
+  EXPECT_EQ(offer->service_type, protocol::kNodeServiceType);
+  EXPECT_EQ(offer->provider, provider);
+  EXPECT_EQ(offer->exported_at, 30 * kSecond);
+  EXPECT_EQ(offer->modified_at, 90 * kSecond);
+  EXPECT_EQ(offer->refreshes, 0);  // migration default
+  EXPECT_TRUE(trader.check_invariants().is_ok());
+
+  // Re-saving emits the current (v2) format: v1 payload + refreshes per
+  // offer, and that format round-trips byte-identically.
+  cdr::Writer w2;
+  trader.save(w2);
+  const auto v2_bytes = w2.take_buffer();
+  EXPECT_EQ(v2_bytes.size(), v1_bytes.size() + 8);  // one offer, one i64
+  services::Trader again;
+  cdr::Reader r2(v2_bytes.data(), v2_bytes.size());
+  ASSERT_TRUE(again.load(services::Trader::kSnapshotVersion, r2).is_ok());
+  cdr::Writer w3;
+  again.save(w3);
+  EXPECT_EQ(w3.buffer(), v2_bytes);
+
+  // A v1 reader would misparse v2 bytes — and future versions are refused.
+  cdr::Reader r3(v2_bytes.data(), v2_bytes.size());
+  EXPECT_FALSE(trader.load(services::Trader::kSnapshotVersion + 1, r3).is_ok());
+}
+
+TEST(SnapshotComponents, TraderRefreshCounterSurvivesSnapshot) {
+  services::Trader trader;
+  services::PropertySet props;
+  props.set("cpu_mips", 1000.0);
+  const auto id = trader.export_offer("node", orb::ObjectRef{}, props);
+  ASSERT_TRUE(trader.modify(id, props, 10 * kSecond).is_ok());
+  ASSERT_TRUE(trader
+                  .refresh(id, [](services::PropertySet& p) {
+                    p.set("cpu_mips", 900.0);
+                  }, 20 * kSecond)
+                  .is_ok());
+  EXPECT_EQ(trader.lookup(id)->refreshes, 2);
+
+  cdr::Writer w;
+  trader.save(w);
+  const auto bytes = w.take_buffer();
+  services::Trader restored;
+  cdr::Reader r(bytes.data(), bytes.size());
+  ASSERT_TRUE(restored.load(services::Trader::kSnapshotVersion, r).is_ok());
+  EXPECT_EQ(restored.lookup(id)->refreshes, 2);
+}
+
 TEST(SnapshotComponents, TraderLoadRejectsGarbageAndKeepsState) {
   services::Trader trader;
   services::PropertySet props;

@@ -119,6 +119,69 @@ def validate_failover(path, doc):
     return 0
 
 
+# The bsp_churn file feeds CI's E17 gate (checkpoint dedup ratio, wire-byte
+# reduction vs whole-image shipping, restart latency under churn); pin its
+# fields so a rename cannot silently turn the gate into a no-op.
+BSP_CHURN_TOP_KEYS = {
+    "nodes": int,
+    "ranks": int,
+    "supersteps": int,
+    "image_mib": (int, float),
+    "dedup_ratio_best": (int, float),
+    "wire_reduction_best": (int, float),
+    "restart_speedup": (int, float),
+    "gates_ok": bool,
+}
+BSP_CHURN_CELL_KEYS = {
+    "cell": str,
+    "chunker": str,
+    "chunk_kib": int,
+    "compress": bool,
+    "dedup": bool,
+    "replicate_k": int,
+    "converged": bool,
+    "dedup_ratio": (int, float),
+    "bytes_on_wire": int,
+    "wire_bytes_per_logical": (int, float),
+    "restores": int,
+    "restart_ms": (int, float),
+    "checkpoints": int,
+    "rollbacks": int,
+    "elapsed_min": (int, float),
+}
+
+
+def validate_bsp_churn(path, doc):
+    for key, kind in BSP_CHURN_TOP_KEYS.items():
+        value = doc.get(key)
+        if kind is not bool and isinstance(value, bool):
+            return fail(path, f'bsp_churn: "{key}" must not be a bool')
+        if not isinstance(value, kind):
+            return fail(path, f'bsp_churn: "{key}" missing or not {kind}')
+    cells = doc.get("cells")
+    if not isinstance(cells, list) or not cells:
+        return fail(path, 'bsp_churn: "cells" must be a non-empty list')
+    has_baseline = False
+    has_dedup_lz = False
+    has_cdc = False
+    for i, cell in enumerate(cells):
+        for key, kind in BSP_CHURN_CELL_KEYS.items():
+            value = cell.get(key)
+            if kind is not bool and isinstance(value, bool):
+                return fail(path, f"bsp_churn: cells[{i}].{key} must not be a bool")
+            if not isinstance(value, kind):
+                return fail(path, f"bsp_churn: cells[{i}].{key} missing or not {kind}")
+        if cell["chunker"] not in ("fixed", "cdc"):
+            return fail(path, f"bsp_churn: cells[{i}].chunker must be fixed or cdc")
+        has_baseline = has_baseline or not cell["dedup"]
+        has_dedup_lz = has_dedup_lz or (cell["dedup"] and cell["compress"])
+        has_cdc = has_cdc or cell["chunker"] == "cdc"
+    if not (has_baseline and has_dedup_lz and has_cdc):
+        return fail(path, "bsp_churn: cells must cover the whole-image "
+                          "baseline, a dedup+compress cell, and a CDC cell")
+    return 0
+
+
 def validate(path):
     try:
         with open(path, "r", encoding="utf-8") as handle:
@@ -155,6 +218,8 @@ def validate(path):
     if name == "parsim" and validate_parsim(path, doc):
         return 1
     if name == "failover" and validate_failover(path, doc):
+        return 1
+    if name == "bsp_churn" and validate_bsp_churn(path, doc):
         return 1
 
     print(f"{path}: ok ({name!r}, {payloads} payload key(s))")
