@@ -109,6 +109,17 @@ AppBuilder& AppBuilder::topology(protocol::TopologySpec topo) {
   return *this;
 }
 
+AppBuilder& AppBuilder::tenant(std::string tenant) {
+  tenant_ = std::move(tenant);
+  return *this;
+}
+
+AppBuilder& AppBuilder::bid(double budget, SimDuration deadline) {
+  bid_budget_ = budget;
+  bid_deadline_ = deadline;
+  return *this;
+}
+
 protocol::ApplicationSpec AppBuilder::build(const orb::ObjectRef& notify) const {
   protocol::ApplicationSpec spec;
   spec.id = id_;
@@ -119,6 +130,9 @@ protocol::ApplicationSpec AppBuilder::build(const orb::ObjectRef& notify) const 
   spec.topology = topology_;
   spec.estimated_duration = estimated_;
   spec.notify = notify;
+  spec.tenant = tenant_;
+  spec.bid_budget = bid_budget_;
+  spec.bid_deadline = bid_deadline_;
 
   if (kind_ == protocol::AppKind::kBsp) {
     assert(bsp_processes_ > 0 && bsp_supersteps_ > 0);

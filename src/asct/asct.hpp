@@ -46,6 +46,14 @@ class AppBuilder {
   AppBuilder& bsp(int processes, int supersteps, MInstr work_per_superstep,
                   Bytes comm, int ckpt_every, Bytes ckpt_bytes);
   AppBuilder& topology(protocol::TopologySpec topo);
+  /// Scheduling economy: the tenant this application bills against. Rides a
+  /// trailing extension on the submit frame — absent (the default) it adds
+  /// no wire bytes.
+  AppBuilder& tenant(std::string tenant);
+  /// Deadline/budget bid: `deadline` is relative to submission; the GRM
+  /// schedules EDF within the tenant, and node owners may screen the bid
+  /// with an NCC `bid_filter` constraint.
+  AppBuilder& bid(double budget, SimDuration deadline);
 
   /// Finalize. `notify` is the ASCT notification ref (Asct::ref()).
   [[nodiscard]] protocol::ApplicationSpec build(const orb::ObjectRef& notify) const;
@@ -73,6 +81,10 @@ class AppBuilder {
   Bytes bsp_comm_ = 0;
   int bsp_ckpt_every_ = 0;
   protocol::TopologySpec topology_;
+  // Scheduling economy.
+  std::string tenant_;
+  double bid_budget_ = 0.0;
+  SimDuration bid_deadline_ = 0;
 };
 
 struct AppProgress {

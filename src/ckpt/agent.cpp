@@ -87,6 +87,19 @@ StoreServant::StoreServant(ChunkStore& store, PruneHook on_prune,
         reply.reason = status.message();
         return reply;
       });
+  register_op<protocol::CkptManifestQuery, protocol::CkptManifestQueryReply>(
+      "ckpt_manifest_latest",
+      [&store](const protocol::CkptManifestQuery& query)
+          -> Result<protocol::CkptManifestQueryReply> {
+        protocol::CkptManifestQueryReply reply;
+        const protocol::CkptManifest* latest =
+            store.latest_manifest(query.app, query.rank);
+        if (latest != nullptr) {
+          reply.found = true;
+          reply.manifest = *latest;
+        }
+        return reply;
+      });
   register_op<protocol::CkptChunkGet, protocol::CkptChunkGetReply>(
       "ckpt_get",
       [&store](const protocol::CkptChunkGet& get)
@@ -145,6 +158,10 @@ struct CkptAgent::RestoreOp {
   protocol::CkptRestoreRequest request;
   protocol::CkptRestoreDone done;
   std::vector<protocol::CkptHash> missing;  // unique, sorted
+  /// Chunks held against concurrent prune/GC for the life of this op:
+  /// everything resident at start plus everything ingested since. Released
+  /// by finish_restore or whenever the op is cancelled.
+  std::vector<protocol::CkptHash> pinned;
   int stage = 0;  // 0 = peers (striped), 1 = repository, 2 = peers one-by-one
   std::size_t retry_peer = 0;
   int outstanding = 0;  // replies pending in the striped wave
@@ -180,7 +197,10 @@ void CkptAgent::stop() {
 
 void CkptAgent::abort_inflight() {
   for (auto& [key, op] : saves_) op->cancelled = true;
-  for (auto& [key, op] : restores_) op->cancelled = true;
+  for (auto& [key, op] : restores_) {
+    op->cancelled = true;
+    release_pins(*op);
+  }
   saves_.clear();
   restores_.clear();
   // The chunk store models on-disk state and survives; the incremental image
@@ -406,7 +426,8 @@ void CkptAgent::finish_save(const std::shared_ptr<SaveOp>& op, bool ok) {
 }
 
 void CkptAgent::save_sequential(AppId app, std::int32_t rank,
-                                std::int64_t version, Bytes image_bytes) {
+                                std::int64_t version, Bytes image_bytes,
+                                const std::vector<orb::ObjectRef>& peers) {
   if (!started_ || !repository_.valid()) return;
   const LineKey key{app.value, rank};
   const std::int64_t ordinal = ++lines_[key].seq_ordinal;
@@ -431,6 +452,12 @@ void CkptAgent::save_sequential(AppId app, std::int32_t rank,
                                 image_bytes);
   op->done.chunks_total = static_cast<std::int32_t>(op->manifest.chunks.size());
   op->destinations.push_back(repository_);
+  for (const auto& peer : peers) {
+    if (peer.valid() && peer.host != orb_.address()) {
+      op->request.peers.push_back(peer);
+      op->destinations.push_back(peer);
+    }
+  }
   metrics_.counter("seq_saves").add();
   saves_[key] = op;
   ship_next(op);
@@ -441,6 +468,7 @@ void CkptAgent::handle_restore(const protocol::CkptRestoreRequest& request) {
   const LineKey key{request.app.value, request.rank};
   if (auto it = restores_.find(key); it != restores_.end()) {
     it->second->cancelled = true;
+    release_pins(*it->second);
     restores_.erase(it);
   }
   // Whatever the incremental cache held is stale after a rollback; it is
@@ -469,9 +497,28 @@ void CkptAgent::handle_restore(const protocol::CkptRestoreRequest& request) {
   std::sort(op->missing.begin(), op->missing.end());
   op->missing.erase(std::unique(op->missing.begin(), op->missing.end()),
                     op->missing.end());
+  // Pin every manifest chunk already resident: a prune (another line's GC,
+  // an orphan sweep) racing this restore must not reclaim chunks the final
+  // install will reference.
+  for (const auto& ref : request.manifest.chunks) {
+    if (store_.has(ref.hash)) pin_for_restore(*op, ref.hash);
+  }
   metrics_.counter("restores").add();
   restores_[key] = op;
   restore_step(op);
+}
+
+void CkptAgent::pin_for_restore(RestoreOp& op, const protocol::CkptHash& hash) {
+  if (std::find(op.pinned.begin(), op.pinned.end(), hash) != op.pinned.end()) {
+    return;
+  }
+  store_.pin(hash);
+  op.pinned.push_back(hash);
+}
+
+void CkptAgent::release_pins(RestoreOp& op) {
+  for (const auto& hash : op.pinned) store_.unpin(hash);
+  op.pinned.clear();
 }
 
 void CkptAgent::restore_step(const std::shared_ptr<RestoreOp>& op) {
@@ -575,6 +622,7 @@ void CkptAgent::ingest(RestoreOp& op, const protocol::CkptChunkGetReply& reply,
         continue;
       }
     }
+    pin_for_restore(op, chunk.hash);
     op.done.bytes_pulled += static_cast<std::int64_t>(chunk.payload.size());
     if (from_repository) {
       ++op.done.chunks_from_repository;
@@ -591,6 +639,9 @@ void CkptAgent::finish_restore(const std::shared_ptr<RestoreOp>& op, bool ok) {
     restores_.erase(it);
   }
   op->cancelled = true;
+  // On success the install's refcounts now hold the chunks; on failure the
+  // orphan sweep may reclaim what we pulled. Either way the pins come off.
+  release_pins(*op);
   op->done.ok = ok;
   metrics_.counter(ok ? "restores_ok" : "restore_failures").add();
   metrics_.counter("restore_bytes_pulled").add(op->done.bytes_pulled);
@@ -625,6 +676,54 @@ void CkptAgent::finish_restore(const std::shared_ptr<RestoreOp>& op, bool ok) {
   }
 }
 
+void CkptAgent::warm_restore(AppId app, std::int32_t rank,
+                             std::vector<orb::ObjectRef> peers) {
+  if (!started_ || peers.empty()) return;
+  metrics_.counter("warm_restores").add();
+  try_warm_peer(app, rank,
+                std::make_shared<std::vector<orb::ObjectRef>>(std::move(peers)),
+                0);
+}
+
+void CkptAgent::try_warm_peer(AppId app, std::int32_t rank,
+                              std::shared_ptr<std::vector<orb::ObjectRef>> peers,
+                              std::size_t index) {
+  for (; index < peers->size(); ++index) {
+    const orb::ObjectRef& peer = (*peers)[index];
+    if (!peer.valid() || peer.host == orb_.address()) continue;
+    protocol::CkptManifestQuery query;
+    query.app = app;
+    query.rank = rank;
+    auto alive = alive_;
+    orb::call<protocol::CkptManifestQuery, protocol::CkptManifestQueryReply>(
+        orb_, peer, "ckpt_manifest_latest", query,
+        [this, alive, app, rank, peers,
+         index](Result<protocol::CkptManifestQueryReply> reply) {
+          if (!*alive) return;
+          if (!reply.is_ok() || !reply.value().found) {
+            try_warm_peer(app, rank, peers, index + 1);
+            return;
+          }
+          const protocol::CkptManifest* local =
+              store_.latest_manifest(app, rank);
+          if (local != nullptr &&
+              local->version >= reply.value().manifest.version) {
+            return;  // already as warm as the peers
+          }
+          protocol::CkptRestoreRequest request;
+          request.app = app;
+          request.rank = rank;
+          request.version = reply.value().manifest.version;
+          request.manifest = reply.value().manifest;
+          request.repository = repository_;
+          request.peers = *peers;
+          handle_restore(request);
+        },
+        kTransferTimeout);
+    return;
+  }
+}
+
 void CkptAgent::handle_prune(const protocol::CkptPrune& prune) {
   store_.prune(prune.app, prune.keep_from);
 }
@@ -645,6 +744,7 @@ void CkptAgent::handle_drop(const protocol::CkptDrop& drop) {
   for (auto it = restores_.begin(); it != restores_.end();) {
     if (it->first.app == drop.app.value) {
       it->second->cancelled = true;
+      release_pins(*it->second);
       it = restores_.erase(it);
     } else {
       ++it;

@@ -94,10 +94,20 @@ class CkptAgent {
   void handle_drop(const protocol::CkptDrop& drop);
 
   /// Sequential path (LRM checkpoint timer): chunk + dedup + compress the
-  /// task image and ship new chunks to the repository store. `version` must
-  /// be monotonic per (app, rank) — the LRM uses sim time.
+  /// task image and ship new chunks to the repository store — plus `peers`
+  /// (preemption-by-migration: the victim's final checkpoint replicates to
+  /// the peers the GRM picked, so the next host restores warm). `version`
+  /// must be monotonic per (app, rank) — the LRM uses sim time.
   void save_sequential(AppId app, std::int32_t rank, std::int64_t version,
-                       Bytes image_bytes);
+                       Bytes image_bytes,
+                       const std::vector<orb::ObjectRef>& peers = {});
+
+  /// Warm prefetch (new host of a preempted task): ask `peers` in order for
+  /// the latest (app, rank) manifest and restore it locally, pulling chunks
+  /// peers-first with the repository as fallback. Deterministic: peers are
+  /// tried in the given order, no timers beyond the ORB's own.
+  void warm_restore(AppId app, std::int32_t rank,
+                    std::vector<orb::ObjectRef> peers);
 
   /// Node crash: cancel every in-flight save/restore op. The chunk store
   /// itself survives (it models on-disk state); reachability is governed by
@@ -133,6 +143,11 @@ class CkptAgent {
   void finish_save(const std::shared_ptr<SaveOp>& op, bool ok);
   void restore_step(const std::shared_ptr<RestoreOp>& op);
   void finish_restore(const std::shared_ptr<RestoreOp>& op, bool ok);
+  void pin_for_restore(RestoreOp& op, const protocol::CkptHash& hash);
+  void release_pins(RestoreOp& op);
+  void try_warm_peer(AppId app, std::int32_t rank,
+                     std::shared_ptr<std::vector<orb::ObjectRef>> peers,
+                     std::size_t index);
   void ingest(RestoreOp& op, const protocol::CkptChunkGetReply& reply,
               bool from_repository);
   [[nodiscard]] std::vector<protocol::CkptChunkData> chunk_payloads(

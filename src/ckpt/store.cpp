@@ -145,9 +145,22 @@ void ChunkStore::release_manifest(const protocol::CkptManifest& m) {
   }
 }
 
+void ChunkStore::pin(const protocol::CkptHash& hash) {
+  auto it = chunks_.find(hash);
+  if (it != chunks_.end()) ++it->second.pins;
+}
+
+void ChunkStore::unpin(const protocol::CkptHash& hash) {
+  auto it = chunks_.find(hash);
+  if (it == chunks_.end() || it->second.pins <= 0) return;
+  if (--it->second.pins == 0 && it->second.refs <= 0) {
+    reclaim_if_unreferenced(hash);
+  }
+}
+
 void ChunkStore::reclaim_if_unreferenced(const protocol::CkptHash& hash) {
   auto it = chunks_.find(hash);
-  if (it == chunks_.end() || it->second.refs > 0) return;
+  if (it == chunks_.end() || it->second.refs > 0 || it->second.pins > 0) return;
   stored_bytes_ -= static_cast<Bytes>(it->second.payload.size());
   raw_bytes_ -= it->second.raw_size;
   bytes_reclaimed_ += static_cast<Bytes>(it->second.payload.size());
@@ -169,6 +182,11 @@ void ChunkStore::prune(AppId app, std::int64_t keep_from) {
   // that is merely in flight (put landed, install pending) survives the
   // first sweep and is pinned by its install before the second.
   for (auto it = chunks_.begin(); it != chunks_.end();) {
+    if (it->second.pins > 0) {
+      // Held by an in-flight restore: neither reclaim nor age it.
+      ++it;
+      continue;
+    }
     if (it->second.refs <= 0 && ++it->second.orphan_sweeps >= 2) {
       stored_bytes_ -= static_cast<Bytes>(it->second.payload.size());
       raw_bytes_ -= it->second.raw_size;

@@ -35,6 +35,10 @@ class ChunkStore {
     std::uint32_t raw_size = 0;
     std::vector<std::uint8_t> payload;
     std::int32_t refs = 0;  // manifests referencing this chunk
+    /// In-flight restores holding this chunk (see pin()). A pinned chunk is
+    /// never reclaimed, whatever its refcount: a prune racing a striped
+    /// peer restore must not evict chunks the restore is about to install.
+    std::int32_t pins = 0;
     /// Consecutive prune sweeps that found this chunk unreferenced. An
     /// orphan (its writer died between put and manifest install) is only
     /// reclaimed after two sweeps, so a prune from one app cannot evict
@@ -56,6 +60,13 @@ class ChunkStore {
   /// Indices into manifest.chunks of chunks this store lacks.
   [[nodiscard]] std::vector<std::uint32_t> missing(
       const protocol::CkptManifest& manifest) const;
+
+  /// Hold a resident chunk against reclamation while an in-flight restore
+  /// references it. No-op when the chunk is absent. Balanced by unpin(),
+  /// which reclaims immediately if the last pin drops off an unreferenced
+  /// chunk (the restore aborted before installing its manifest).
+  void pin(const protocol::CkptHash& hash);
+  void unpin(const protocol::CkptHash& hash);
 
   /// Commit a manifest. All referenced chunks must be resident; versions
   /// must not regress per (app, rank). Re-installing the same version is

@@ -87,6 +87,7 @@ Cluster::Cluster(Grid& grid, ClusterId id, ClusterConfig config)
   }
   grm_ = std::make_unique<grm::Grm>(grid_.engine(), *manager_orb_, id_,
                                     grid_.fork_rng(), config_.grm);
+  grm_->set_sched(config_.sched);
   grm_->start(&gupa_, &repository_, &grid_.network());
   coordinator_ = std::make_unique<bsp::BspCoordinator>(
       grid_.engine(), *manager_orb_, *grm_, &repository_, &grid_.network(),
@@ -106,6 +107,7 @@ Cluster::Cluster(Grid& grid, ClusterId id, ClusterConfig config)
     standby_orb_->set_tracer(&grid_.tracer());
     standby_grm_ = std::make_unique<grm::Grm>(grid_.engine(), *standby_orb_, id_,
                                               grid_.fork_rng(), config_.grm);
+    standby_grm_->set_sched(config_.sched);
     standby_grm_->start(&gupa_, &repository_, &grid_.network());
   }
 
@@ -146,7 +148,7 @@ Cluster::Cluster(Grid& grid, ClusterId id, ClusterConfig config)
            return w.take_buffer();
          }});
     snapshot_coordinator_->add_provider(
-        {"grm", grm::Grm::kSnapshotVersion, [primary] {
+        {"grm", primary->snapshot_version(), [primary] {
            cdr::Writer w;
            primary->save(w);
            return w.take_buffer();
@@ -254,6 +256,12 @@ Cluster::Cluster(Grid& grid, ClusterId id, ClusterConfig config)
           return it == agents->end() ? orb::ObjectRef{} : it->second;
         },
         config_.ckpt.replicate_k);
+    // The preemption path replicates a victim's final checkpoint to peer
+    // stores the GRM picks from this list.
+    std::vector<std::pair<NodeId, orb::ObjectRef>> agent_refs(agents->begin(),
+                                                              agents->end());
+    grm_->set_ckpt_agents(agent_refs);
+    if (standby_grm_) standby_grm_->set_ckpt_agents(agent_refs);
   }
 
   // --- Per-segment heartbeat batchers ---

@@ -95,6 +95,12 @@ struct ClusterConfig {
   /// replication. Disabled by default: no servants, no agents, no wire
   /// bytes — runs are byte-identical to the legacy whole-image path.
   ckpt::DataPlaneOptions ckpt;
+  /// Scheduling economy (see docs/scheduling.md): tenants with weights and
+  /// quotas, weighted fair-share dispatch, deadline/budget bids, admission
+  /// control, and checkpoint-assisted preemption. Disabled by default: no
+  /// timers, no endpoints, no RNG draws — dispatch order and every wire
+  /// byte are identical to the plain-FIFO scheduler.
+  sched::SchedOptions sched;
 };
 
 class Grid;

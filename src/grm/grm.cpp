@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <chrono>
+#include <map>
 
 #include "common/log.hpp"
 #include "protocol/trace_names.hpp"
@@ -121,6 +122,20 @@ void Grm::start(lupa::Gupa* gupa, ckpt::CheckpointRepository* checkpoints,
   summary_timer_.start(engine_, options_.summary_period, [this] { push_summary(); });
 }
 
+void Grm::set_sched(const sched::SchedOptions& options) {
+  sched_ = options;
+  queue_.configure(sched_);
+  tenant_registry_.configure(sched_);
+}
+
+void Grm::note_task_started(const TaskRecord& task) {
+  if (sched_.enabled) tenant_registry_.on_task_start(task.tenant);
+}
+
+void Grm::note_task_stopped(const TaskRecord& task) {
+  if (sched_.enabled) tenant_registry_.on_task_stop(task.tenant);
+}
+
 void Grm::stop() {
   if (!started_) return;
   started_ = false;
@@ -198,6 +213,7 @@ void Grm::handle_task_resync(const protocol::TaskResync& resync) {
     task.backoff = 0;
     metrics_.counter("tasks_resynced").add();
     if (!was_running) {
+      note_task_started(task);
       auto app_it = apps_.find(task.app);
       if (app_it != apps_.end()) ++app_it->second.running;
     }
@@ -263,6 +279,8 @@ void Grm::on_node_dead(NodeId node, const NodeRecord& record) {
       orb::oneway(orb_, record.status.lrm, "cancel", protocol::CancelTask{task_id});
     }
     ++task.evictions;
+    note_task_stopped(task);
+    preempting_.erase(task_id);
     metrics_.counter("tasks_node_failed").add();
     auto app_it = apps_.find(task.app);
     if (app_it != apps_.end()) {
@@ -339,6 +357,28 @@ protocol::SubmitReply Grm::handle_submit(const protocol::ApplicationSpec& spec) 
     }
   }
 
+  // Admission control: refuse work the grid cannot credibly queue rather
+  // than letting one tenant's backlog grow without bound.
+  if (sched_.enabled) {
+    const int incoming = static_cast<int>(spec.tasks.size());
+    const sched::TenantSpec quota = tenant_registry_.spec(spec.tenant);
+    if (quota.max_queued > 0 &&
+        static_cast<int>(queue_.tenant_size(spec.tenant)) + incoming >
+            quota.max_queued) {
+      reply.accepted = false;
+      reply.reason = "tenant queue quota exceeded";
+      metrics_.counter("sched_admission_rejected").add();
+      return reply;
+    }
+    if (sched_.max_total_queued > 0 &&
+        static_cast<int>(queue_.size()) + incoming > sched_.max_total_queued) {
+      reply.accepted = false;
+      reply.reason = "grid queue full";
+      metrics_.counter("sched_admission_rejected").add();
+      return reply;
+    }
+  }
+
   AppRecord app;
   app.spec = spec;
   app.outstanding = static_cast<int>(spec.tasks.size());
@@ -361,7 +401,13 @@ protocol::SubmitReply Grm::handle_submit(const protocol::ApplicationSpec& spec) 
     if (!rank_segment.empty() && i < rank_segment.size()) {
       task.topology_segment = rank_segment[i];
     }
+    if (sched_.enabled) {
+      task.tenant = spec.tenant;
+      if (spec.bid_deadline > 0) task.deadline = engine_.now() + spec.bid_deadline;
+    }
     const TaskId id = task.desc.id;
+    const std::string tenant = task.tenant;
+    const SimTime deadline = task.deadline;
     if (submit_span.valid()) {
       // Lifetime span per task; every negotiation wave parents on it and
       // its duration is the task's submission→completion latency.
@@ -370,7 +416,7 @@ protocol::SubmitReply Grm::handle_submit(const protocol::ApplicationSpec& spec) 
       task.span.task = id.value;
     }
     tasks_.emplace(id, std::move(task));
-    queue_.push_back(id);
+    queue_.push(id, tenant, deadline);
   }
   metrics_.counter("apps_submitted").add();
   metrics_.counter("tasks_submitted").add(static_cast<std::int64_t>(spec.tasks.size()));
@@ -444,13 +490,114 @@ void Grm::kick_scheduler(SimDuration delay) {
 }
 
 void Grm::scheduler_pass() {
-  const std::size_t budget = queue_.size();
+  // Tenants at their running quota sit out this pass; their queued tasks
+  // stay put and a completion report re-kicks the scheduler.
+  auto blocked = [this](const std::string& tenant) {
+    if (!sched_.enabled) return false;
+    const sched::TenantSpec quota = tenant_registry_.spec(tenant);
+    return quota.max_running > 0 &&
+           tenant_registry_.running(tenant) >= quota.max_running;
+  };
+
+  std::size_t budget = queue_.size();
+  if (sched_.enabled) {
+    // Fairness demands that a freed slot go to the stride-chosen task, not
+    // to whichever task's retry backoff happens to expire first — so the
+    // economy scheduler ignores per-task backoff and instead throttles the
+    // pass itself by the node hints: dispatch one wave per plausibly-free
+    // node, or a single probe wave when none look free (the probe is what
+    // reaches the no-candidate preemption path).
+    std::size_t free_hints = 0;
+    for (const auto& [_, record] : nodes_) {
+      if (record.status.shareable && record.status.exportable_cpu > 0.0) {
+        ++free_hints;
+      }
+    }
+    budget = std::max<std::size_t>(std::min(free_hints, budget), 1);
+    // Slot-aware dispatch. Stride order alone equalises long-run dispatch
+    // COUNTS, but fairness here is about concurrently-held slots: when a
+    // task completes, stride routinely hands the freed slot to a tenant
+    // other than the completer, pushing it over its entitlement — which the
+    // preemption sweep then undoes with a checkpoint migration. That is a
+    // migration per rebalance at steady state. Vetoing an over-entitlement
+    // tenant while an under-entitlement tenant has queued work keeps slot
+    // counts converged by construction, demoting preemption to the
+    // carve-out backstop it is meant to be. With no under-cap competitor
+    // queued the veto lifts entirely: dispatch stays work-conserving.
+    std::map<std::string, int> committed;
+    int committed_total = 0;
+    for (const auto& [_, task] : tasks_) {
+      if (task.state == TaskState::kRunning ||
+          task.state == TaskState::kNegotiating) {
+        ++committed[task.tenant];
+        ++committed_total;
+      }
+    }
+    const int capacity = committed_total + static_cast<int>(free_hints);
+    auto entitled = [&](const std::string& tenant) {
+      double total_weight = tenant_registry_.weight(tenant);
+      for (const auto& [name, count] : committed) {
+        if (count > 0 && name != tenant) {
+          total_weight += tenant_registry_.weight(name);
+        }
+      }
+      return total_weight > 0.0 ? static_cast<double>(capacity) *
+                                      tenant_registry_.weight(tenant) /
+                                      total_weight
+                                : static_cast<double>(capacity);
+    };
+    auto under_cap = [&](const std::string& tenant) {
+      const auto it = committed.find(tenant);
+      const int current = it == committed.end() ? 0 : it->second;
+      return static_cast<double>(current + 1) <= entitled(tenant);
+    };
+    auto sched_blocked = [&](const std::string& tenant) {
+      if (blocked(tenant)) return true;  // hard running quota
+      if (under_cap(tenant)) return false;
+      for (const auto& [name, head] : queue_.queued_heads()) {
+        if (name == tenant || blocked(name)) continue;
+        if (under_cap(name)) return true;  // competitor waits under cap
+      }
+      return false;  // nobody under cap wants the slot: work-conserving
+    };
+    for (std::size_t i = 0; i < budget && !queue_.empty(); ++i) {
+      const auto popped = queue_.pop(sched_blocked);
+      if (!popped) break;  // everything left is quota-blocked
+      auto it = tasks_.find(*popped);
+      if (it == tasks_.end() || it->second.state != TaskState::kPending) {
+        ++budget;  // stale entry: doesn't consume a dispatch slot
+        continue;
+      }
+      // Charge at dispatch so later pops in this same pass already see the
+      // advanced pass value — a big backlog interleaves instead of bursting.
+      queue_.account_dispatch(it->second.tenant, it->second.desc.work);
+      metrics_.counter("sched_dispatched").add();
+      ++committed[it->second.tenant];  // the wave now holds this slot
+      begin_wave(it->second);
+    }
+    // Preemption is a pass-level policy decision, not a wave-failure
+    // fallback: a hint that one node looks free must not hide that a
+    // queued tenant is still far below its entitlement while an incumbent
+    // hoards the rest of the grid. Sweep each queue head; maybe_preempt
+    // enforces the under-/over-share and in-flight-cap checks.
+    if (sched_.preemption) {
+      for (const auto& [tenant, head] : queue_.queued_heads()) {
+        auto it = tasks_.find(head);
+        if (it == tasks_.end() || it->second.state != TaskState::kPending) {
+          continue;
+        }
+        if (!maybe_preempt(it->second)) continue;
+      }
+    }
+    return;
+  }
+
   std::deque<TaskId> not_ready;
   SimTime next_eligible = kTimeNever;
-
   for (std::size_t i = 0; i < budget && !queue_.empty(); ++i) {
-    const TaskId id = queue_.front();
-    queue_.pop_front();
+    const auto popped = queue_.pop(blocked);
+    if (!popped) break;  // everything left is quota-blocked
+    const TaskId id = *popped;
     auto it = tasks_.find(id);
     if (it == tasks_.end() || it->second.state != TaskState::kPending) continue;
     TaskRecord& task = it->second;
@@ -461,7 +608,12 @@ void Grm::scheduler_pass() {
     }
     begin_wave(task);
   }
-  for (TaskId id : not_ready) queue_.push_back(id);
+  for (TaskId id : not_ready) {
+    auto it = tasks_.find(id);
+    if (it != tasks_.end()) {
+      queue_.push(id, it->second.tenant, it->second.deadline);
+    }
+  }
   if (next_eligible != kTimeNever) {
     kick_scheduler(std::max<SimDuration>(1, next_eligible - engine_.now()));
   }
@@ -597,6 +749,13 @@ std::vector<const services::ServiceOffer*> Grm::candidates_for(
 void Grm::begin_wave(TaskRecord& task) {
   auto offers = candidates_for(task);
   if (offers.empty()) {
+    if (sched_.enabled && sched_.preemption && maybe_preempt(task)) {
+      // A victim is checkpointing out. Requeue without advancing the
+      // backoff: the eviction report (or the freed node's heartbeat)
+      // re-kicks the scheduler and this task finds the slot.
+      requeue(task, 1 * kSecond);
+      return;
+    }
     ++task.waves;
     metrics_.counter("waves_no_candidates").add();
     if (task.waves >= options_.forward_after_waves &&
@@ -636,6 +795,18 @@ void Grm::continue_wave(const std::shared_ptr<Wave>& wave) {
   reserve.cpu_fraction = options_.cpu_request;
   reserve.ram = it->second.desc.ram_needed;
   reserve.hold = options_.reservation_hold;
+  if (sched_.enabled) {
+    // The bid rides the reservation so node owners can screen it (NCC
+    // bid_filter). Deadline travels as time remaining: absolute sim times
+    // mean nothing to the provider.
+    if (auto app_it = apps_.find(it->second.app); app_it != apps_.end()) {
+      reserve.tenant = it->second.tenant;
+      reserve.bid_budget = app_it->second.spec.bid_budget;
+      if (it->second.deadline > engine_.now()) {
+        reserve.bid_deadline = it->second.deadline - engine_.now();
+      }
+    }
+  }
 
   metrics_.counter("negotiation_rounds").add();
   ++inflight_[candidate.node];
@@ -696,6 +867,11 @@ void Grm::continue_wave(const std::shared_ptr<Wave>& wave) {
         execute.task = task_it->second.desc;
         execute.report_to = self_ref_;
         execute.restore_state = restore_state_for(task_it->second);
+        if (sched_.enabled) {
+          // Preempted task: tell the new node which peers hold its final
+          // checkpoint chunks so the restore starts from warm stores.
+          execute.ckpt_peers = task_it->second.ckpt_peers;
+        }
 
         obs::Tracer::ActiveSpan espan;
         if (tr != nullptr && tr->enabled()) {
@@ -761,6 +937,7 @@ void Grm::task_placed(TaskId id, const Placement& placement) {
   task.waves = 0;
   task.backoff = 0;  // success resets the retry schedule
   metrics_.counter("tasks_placed").add();
+  note_task_started(task);
 
   auto app_it = apps_.find(task.app);
   if (app_it == apps_.end()) return;
@@ -796,11 +973,134 @@ void Grm::task_placed(TaskId id, const Placement& placement) {
 void Grm::requeue(TaskRecord& task, SimDuration delay) {
   task.state = TaskState::kPending;
   task.eligible_at = engine_.now() + delay;
-  queue_.push_back(task.desc.id);
+  // push() deduplicates: a task already queued (e.g. a node-death sweep
+  // racing a duplicated eviction report) keeps exactly one queue entry.
+  queue_.push(task.desc.id, task.tenant, task.deadline);
   kick_scheduler(std::max<SimDuration>(delay, 1));
 }
 
+void Grm::credit_node_capacity(NodeId node) {
+  // Inverse of the placement-time decrement: a completion or eviction
+  // report frees the reporter's slot NOW, not at its next heartbeat. Left
+  // stale, the trader hides the freed node for a full heartbeat period;
+  // every queued task piles into requeue backoff, and dispatch order
+  // degrades from stride order to whoever's backoff happens to expire
+  // first — which is both unfair and deadline-hostile. The hint may
+  // overshoot the node's true capacity (an owner may have returned); the
+  // reservation protocol refuses and the next heartbeat trues it up.
+  auto node_it = nodes_.find(node);
+  if (node_it == nodes_.end()) return;
+  node_it->second.status.exportable_cpu += options_.cpu_request;
+  node_it->second.status.running_tasks =
+      std::max(0, node_it->second.status.running_tasks - 1);
+  node_it->second.status.shareable = true;
+  (void)trader_.refresh(
+      node_it->second.offer,
+      [&node_it](services::PropertySet& props) {
+        protocol::update_properties(node_it->second.status, props);
+      },
+      engine_.now());
+}
+
+bool Grm::maybe_preempt(const TaskRecord& requester) {
+  if (static_cast<int>(preempting_.size()) >= sched_.max_preemptions_per_wave) {
+    return false;
+  }
+  // Slot count includes waves still negotiating: the sweep runs from passes
+  // kicked by completion/eviction reports, which is precisely when running
+  // counts have transiently dipped and the replacement dispatches are not
+  // yet accepted. Judging entitlements against that dip systematically
+  // under-counts capacity at every decision point and stalls the carve.
+  int slots = tenant_registry_.total_running();
+  for (const auto& [_, task] : tasks_) {
+    if (task.state == TaskState::kNegotiating) ++slots;
+  }
+  if (slots <= 0) return false;
+  // Hysteresis keeps preemption convergent instead of oscillating. A naive
+  // "requester below entitlement, victim above" rule ping-pongs forever at
+  // fractional entitlements: evicting the victim pushes the requester just
+  // past its share, the ex-victim's queued task becomes the new requester,
+  // and the grid churns checkpoints at steady state doing no useful work.
+  // Both sides are therefore judged POST-move: the requester must still be
+  // at or under its entitlement after gaining a slot, the victim still at
+  // or over after losing one. Then neither side can immediately qualify
+  // for the reverse move, so every migration strictly shrinks the fairness
+  // gap.
+  if (static_cast<double>(tenant_registry_.running(requester.tenant) + 1) >
+      tenant_registry_.entitled_slots(requester.tenant, slots)) {
+    return false;
+  }
+  // In-flight preemptions have not hit the running counts yet; charge them
+  // to their victim tenants so concurrent waves cannot overshoot one
+  // tenant.
+  std::map<std::string, int> inflight;
+  for (const TaskId id : preempting_) {
+    auto it = tasks_.find(id);
+    if (it != tasks_.end()) ++inflight[it->second.tenant];
+  }
+  // Deterministic victim pick: among running sequential tasks of over-share
+  // tenants (other than the requester's), lowest (tenant name, task id).
+  const TaskRecord* victim = nullptr;
+  for (const auto& [id, task] : tasks_) {
+    if (task.state != TaskState::kRunning) continue;
+    if (task.tenant == requester.tenant) continue;
+    if (task.desc.kind == AppKind::kBsp) continue;  // residents migrate via BSP
+    if (preempting_.contains(id)) continue;
+    // Count the requester as active even with zero running tasks: its
+    // queued demand is what dilutes the incumbents' shares. Without this a
+    // tenant monopolizing the grid is always exactly at-entitlement and no
+    // preemption can ever fire.
+    const auto inflight_it = inflight.find(task.tenant);
+    const int effective_running =
+        tenant_registry_.running(task.tenant) -
+        (inflight_it == inflight.end() ? 0 : inflight_it->second);
+    if (static_cast<double>(effective_running - 1) <
+        tenant_registry_.entitled_slots(task.tenant, slots,
+                                        requester.tenant)) {
+      continue;
+    }
+    if (victim == nullptr || task.tenant < victim->tenant ||
+        (task.tenant == victim->tenant && id < victim->desc.id)) {
+      victim = &task;
+    }
+  }
+  if (victim == nullptr || !victim->placement.lrm.valid()) return false;
+
+  protocol::PreemptRequest preempt;
+  preempt.task = victim->desc.id;
+  preempt.peers = pick_ckpt_peers(victim->placement.node);
+  // Remember where the final image will land: the successor Execute carries
+  // these peers so the new node restores warm.
+  tasks_.at(victim->desc.id).ckpt_peers = preempt.peers;
+  preempting_.insert(victim->desc.id);
+  metrics_.counter("sched_preemptions").add();
+  orb::oneway(orb_, victim->placement.lrm, "preempt", preempt);
+  return true;
+}
+
+std::vector<orb::ObjectRef> Grm::pick_ckpt_peers(NodeId exclude) const {
+  // A couple of warm stores besides the repository is plenty: the restore
+  // path falls back to the repository for anything a peer is missing.
+  constexpr std::size_t kPreemptPeers = 2;
+  std::vector<orb::ObjectRef> peers;
+  for (const auto& [node, agent] : ckpt_agents_) {
+    if (node == exclude || !agent.valid()) continue;
+    peers.push_back(agent);
+    if (peers.size() >= kPreemptPeers) break;
+  }
+  return peers;
+}
+
 void Grm::requeue_backoff(TaskRecord& task) {
+  // Economy mode retries fast. The legacy 20-second base exists to spread
+  // retry storms against stale hints, but a refused reservation already
+  // piggy-backs the node's true capacity into the trader — and a tenant
+  // sitting out tens of seconds per collision reads as a fairness hole
+  // (whole-grid occupancy dips after synchronized completion bursts).
+  if (sched_.enabled) {
+    requeue(task, 1 * kSecond);
+    return;
+  }
   task.backoff = next_backoff(options_.backoff, task.backoff, backoff_rng_);
   requeue(task, task.backoff);
 }
@@ -847,11 +1147,28 @@ void Grm::handle_report(const protocol::TaskReport& report) {
         metrics_.counter("duplicate_reports_ignored").add();
         break;
       }
-      if (task.state == TaskState::kRunning) --app.running;
+      if (task.state == TaskState::kRunning) {
+        --app.running;
+        note_task_stopped(task);
+      }
       task.remote_timeout.cancel();
       task.remote_deadline = 0;
       task.state = TaskState::kCompleted;
       --app.outstanding;
+      preempting_.erase(report.task);
+      if (sched_.enabled && task.deadline > 0) {
+        metrics_.counter(engine_.now() <= task.deadline
+                             ? "sched_deadline_hits"
+                             : "sched_deadline_misses")
+            .add();
+      }
+      // A finished task frees a slot a quota-blocked tenant may be waiting
+      // on; FIFO mode never blocks, so the historical event stream is
+      // untouched.
+      if (sched_.enabled) {
+        credit_node_capacity(report.node);
+        if (!queue_.empty()) kick_scheduler();
+      }
       if (tr != nullptr && task.span.valid()) {
         // Close the lifetime span: its duration is the task's
         // submission→completion latency (E13's gated quantity).
@@ -878,6 +1195,8 @@ void Grm::handle_report(const protocol::TaskReport& report) {
         break;
       }
       --app.running;
+      note_task_stopped(task);
+      preempting_.erase(report.task);
       ++task.evictions;
       metrics_.counter(report.outcome == TaskOutcome::kEvicted
                            ? "tasks_evicted"
@@ -888,6 +1207,7 @@ void Grm::handle_report(const protocol::TaskReport& report) {
       if (app.spec.kind == AppKind::kBsp && bsp_lost_) {
         bsp_lost_(app.spec.id, task.desc.bsp_rank);
       }
+      if (sched_.enabled) credit_node_capacity(report.node);
       requeue(task, 1 * kSecond);
       notify(app, AppEventKind::kTaskRescheduled, report.task, NodeId(), "");
       break;
@@ -927,14 +1247,27 @@ void Grm::handle_cancel_app(AppId app_id) {
   auto it = apps_.find(app_id);
   if (it == apps_.end()) return;
   metrics_.counter("apps_cancelled").add();
-  for (auto& [task_id, task] : tasks_) {
-    if (task.app != app_id) continue;
-    if (task.state == TaskState::kRunning && task.placement.lrm.valid()) {
-      orb::oneway(orb_, task.placement.lrm, "cancel",
-                  protocol::CancelTask{task_id});
+  // Erase the task records outright — historically they lingered as kFailed
+  // tombstones carrying live backoff/remote-timeout state, so resubmitting
+  // the same task ids silently no-op'd the emplace and the "new" tasks
+  // inherited a dead app's retry schedule (or never ran at all).
+  for (auto task_it = tasks_.begin(); task_it != tasks_.end();) {
+    TaskRecord& task = task_it->second;
+    if (task.app != app_id) {
+      ++task_it;
+      continue;
+    }
+    if (task.state == TaskState::kRunning) {
+      if (task.placement.lrm.valid()) {
+        orb::oneway(orb_, task.placement.lrm, "cancel",
+                    protocol::CancelTask{task_it->first});
+      }
+      note_task_stopped(task);
     }
     task.remote_timeout.cancel();
-    task.state = TaskState::kFailed;
+    queue_.erase(task_it->first);
+    preempting_.erase(task_it->first);
+    task_it = tasks_.erase(task_it);
   }
   if (it->second.spec.kind == AppKind::kBsp && bsp_cancelled_) {
     bsp_cancelled_(app_id);
@@ -977,7 +1310,9 @@ void Grm::complete_bsp_app(AppId app_id) {
                     protocol::CancelTask{task_id});
       }
       --app.running;
+      note_task_stopped(task);
     }
+    preempting_.erase(task_id);
     task.state = TaskState::kCompleted;
   }
   app.outstanding = 0;
@@ -1113,6 +1448,14 @@ void Grm::handle_remote_submit(const protocol::RemoteSubmit& request) {
     TaskRecord task;
     task.desc = request.spec.tasks.front();
     task.app = request.spec.id;
+    if (sched_.enabled) {
+      // The bid crossed the cluster boundary on the RemoteSubmit frame;
+      // adopted fragments compete under the same economy as local work.
+      task.tenant = request.spec.tenant;
+      if (request.spec.bid_deadline > 0) {
+        task.deadline = engine_.now() + request.spec.bid_deadline;
+      }
+    }
     const TaskId id = task.desc.id;
     if (obs::Tracer* tr = orb_.tracer(); tr != nullptr && tr->enabled()) {
       // Adopted fragment: parent the local lifetime span on the origin
@@ -1122,8 +1465,10 @@ void Grm::handle_remote_submit(const protocol::RemoteSubmit& request) {
       task.span.app = request.spec.id.value;
       task.span.task = id.value;
     }
+    const std::string tenant = task.tenant;
+    const SimTime deadline = task.deadline;
     tasks_.emplace(id, std::move(task));
-    queue_.push_back(id);
+    queue_.push(id, tenant, deadline);
     kick_scheduler();
     metrics_.counter("remote_adoptions").add();
 
@@ -1197,9 +1542,17 @@ void Grm::save(cdr::Writer& w) const {
     w.write_i64(record.last_update);
   }
 
+  // encode_base: the spec's bid extension is a *wire* tail (detected via
+  // remaining()); in this nesting context the economy fields are written
+  // explicitly, version-gated, right after the base layout.
   w.write_u32(static_cast<std::uint32_t>(apps_.size()));
   for (const auto& [_, app] : apps_) {
-    cdr::Codec<protocol::ApplicationSpec>::encode(w, app.spec);
+    cdr::Codec<protocol::ApplicationSpec>::encode_base(w, app.spec);
+    if (sched_.enabled) {
+      w.write_string(app.spec.tenant);
+      w.write_f64(app.spec.bid_budget);
+      w.write_i64(app.spec.bid_deadline);
+    }
     w.write_bool(app.adopted_remote);
     cdr::Codec<orb::ObjectRef>::encode(w, app.origin);
     w.write_i32(app.outstanding);
@@ -1221,12 +1574,23 @@ void Grm::save(cdr::Writer& w) const {
     w.write_i64(task.eligible_at);
     w.write_i32(task.topology_segment);
     w.write_i64(task.remote_deadline);
+    if (sched_.enabled) {
+      w.write_string(task.tenant);
+      w.write_i64(task.deadline);
+    }
     // remote_timeout (event handle) and span (tracer state) are transients:
     // load() re-arms the former from remote_deadline; spans restart cold.
+    // ckpt_peers and the preempting set are transient too: an in-flight
+    // preemption resolves through the eviction report either way.
   }
 
-  w.write_u32(static_cast<std::uint32_t>(queue_.size()));
-  for (const TaskId id : queue_) w.write_id(id);
+  // Queue ids in FIFO (arrival) order — the version-1 layout; version 2
+  // appends the per-entry tenant/deadline metadata and the tenant passes so
+  // long-run fair shares survive a failover.
+  const std::vector<TaskId> fifo = queue_.fifo_order();
+  w.write_u32(static_cast<std::uint32_t>(fifo.size()));
+  for (const TaskId id : fifo) w.write_id(id);
+  if (sched_.enabled) queue_.save(w);
 
   std::vector<NodeId> inflight_ids;
   inflight_ids.reserve(inflight_.size());
@@ -1245,11 +1609,12 @@ void Grm::save(cdr::Writer& w) const {
 }
 
 Status Grm::load(std::uint32_t version, cdr::Reader& r) {
-  if (version != kSnapshotVersion) {
+  if (version < 1 || version > kSnapshotVersion) {
     return Status(ErrorCode::kInvalidArgument,
                   "grm snapshot version " + std::to_string(version) +
                       " unsupported");
   }
+  const bool has_sched = version >= 2;
 
   // Decode everything into scratch state first: a truncated or corrupt
   // section must leave the live GRM untouched.
@@ -1279,7 +1644,12 @@ Status Grm::load(std::uint32_t version, cdr::Reader& r) {
   const std::uint32_t n_apps = r.read_u32();
   for (std::uint32_t i = 0; i < n_apps && r.ok(); ++i) {
     AppRecord app;
-    app.spec = cdr::Codec<protocol::ApplicationSpec>::decode(r);
+    app.spec = cdr::Codec<protocol::ApplicationSpec>::decode_base(r);
+    if (has_sched) {
+      app.spec.tenant = r.read_string();
+      app.spec.bid_budget = r.read_f64();
+      app.spec.bid_deadline = r.read_i64();
+    }
     app.adopted_remote = r.read_bool();
     app.origin = cdr::Codec<orb::ObjectRef>::decode(r);
     app.outstanding = r.read_i32();
@@ -1309,15 +1679,22 @@ Status Grm::load(std::uint32_t version, cdr::Reader& r) {
     task.eligible_at = r.read_i64();
     task.topology_segment = r.read_i32();
     task.remote_deadline = r.read_i64();
+    if (has_sched) {
+      task.tenant = r.read_string();
+      task.deadline = r.read_i64();
+    }
     const TaskId id = task.desc.id;
     tasks.emplace(id, std::move(task));
   }
 
-  std::deque<TaskId> queue;
+  std::vector<TaskId> queue_ids;
   const std::uint32_t n_queue = r.read_u32();
   for (std::uint32_t i = 0; i < n_queue && r.ok(); ++i) {
-    queue.push_back(r.read_id<TaskTag>());
+    queue_ids.push_back(r.read_id<TaskTag>());
   }
+  sched::FairQueue queue;
+  queue.configure(sched_);
+  queue.load(queue_ids, r, has_sched);
 
   std::unordered_map<NodeId, int> inflight;
   const std::uint32_t n_inflight = r.read_u32();
@@ -1363,6 +1740,15 @@ Status Grm::load(std::uint32_t version, cdr::Reader& r) {
   queue_ = std::move(queue);
   inflight_ = std::move(inflight);
   child_summaries_ = std::move(child_summaries);
+  preempting_.clear();
+  tenant_registry_.clear_running();
+  if (sched_.enabled) {
+    for (const auto& [_, task] : tasks_) {
+      if (task.state == TaskState::kRunning) {
+        tenant_registry_.on_task_start(task.tenant);
+      }
+    }
+  }
 
   // The loaded state stays dormant — no timers armed, no scheduler kick —
   // until recover_in_flight() runs at promotion. A warm standby installs
@@ -1379,11 +1765,12 @@ void Grm::recover_in_flight() {
   // primary: every task frozen mid-negotiation goes back to pending so the
   // next scheduler pass (triggered by re-announced heartbeats) retries it.
   inflight_.clear();
+  preempting_.clear();
   int recovered = 0;
   for (auto& [id, task] : tasks_) {
     if (task.state == TaskState::kNegotiating) {
       task.state = TaskState::kPending;
-      queue_.push_back(id);
+      queue_.push(id, task.tenant, task.deadline);
       ++recovered;
       continue;
     }

@@ -20,6 +20,7 @@
 //     cluster hierarchy (RemoteSubmit) until some cluster adopts it.
 #pragma once
 
+#include <algorithm>
 #include <deque>
 #include <functional>
 #include <map>
@@ -37,6 +38,7 @@
 #include "orb/orb.hpp"
 #include "protocol/messages.hpp"
 #include "protocol/properties.hpp"
+#include "sched/sched.hpp"
 #include "services/trader.hpp"
 #include "sim/engine.hpp"
 #include "sim/network.hpp"
@@ -108,6 +110,18 @@ class Grm {
   void set_parent(const orb::ObjectRef& parent) { parent_ = parent; }
   void add_child(const orb::ObjectRef& child) { children_.push_back(child); }
 
+  /// Scheduling economy (tenants, quotas, fair-share, preemption). Call
+  /// before any submission; disabled (the default) keeps the historical
+  /// FIFO dispatch order byte-for-byte.
+  void set_sched(const sched::SchedOptions& options);
+  /// Checkpoint agents per provider node: the preemption path picks peers
+  /// from this list so a victim's final image lands near its successor.
+  void set_ckpt_agents(std::vector<std::pair<NodeId, orb::ObjectRef>> agents) {
+    ckpt_agents_ = std::move(agents);
+    std::sort(ckpt_agents_.begin(), ckpt_agents_.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+  }
+
   // ---- protocol entry points (servant ops; public for tests) ----
   void handle_update_status(const protocol::NodeStatus& status);
   void handle_update_status_batch(const protocol::NodeStatusBatch& batch);
@@ -148,11 +162,25 @@ class Grm {
   }
   [[nodiscard]] int pending_tasks() const;
   [[nodiscard]] int running_tasks() const;
+  [[nodiscard]] std::size_t queue_length() const { return queue_.size(); }
+  /// Read-only view of the tenant running-count registry (per-tenant slot
+  /// occupancy — what fair-share benchmarks sample).
+  [[nodiscard]] const sched::TenantRegistry& tenant_registry() const {
+    return tenant_registry_;
+  }
   [[nodiscard]] std::optional<protocol::NodeStatus> node_view(NodeId node) const;
 
   // ---- control-plane snapshots (see docs/snapshots.md) ----
-  /// Snapshot format version for the "grm" section.
-  static constexpr std::uint32_t kSnapshotVersion = 1;
+  /// Highest snapshot format version for the "grm" section. Version 2
+  /// appends the scheduling-economy state (per-app bids, per-task tenant
+  /// and deadline, fair-queue passes); version 1 is the pre-economy layout.
+  static constexpr std::uint32_t kSnapshotVersion = 2;
+  /// Version save() actually writes: 2 with the economy enabled, else 1 —
+  /// a sched-disabled GRM's snapshot stream stays byte-identical to the
+  /// pre-economy format.
+  [[nodiscard]] std::uint32_t snapshot_version() const {
+    return sched_.enabled ? 2 : 1;
+  }
   /// Serialize scheduler state: node records, apps, tasks, the pending
   /// queue, in-flight counts, child summaries, reservation counter, epoch
   /// guards, and both RNG streams. Engine-coupled transients (armed timers,
@@ -190,6 +218,12 @@ class Grm {
     int evictions = 0;
     SimDuration backoff = 0;  // last retry delay; 0 until the first failure
     SimTime eligible_at = 0;
+    /// Scheduling economy (sched enabled only; defaults otherwise).
+    std::string tenant;
+    SimTime deadline = 0;  // absolute bid deadline; 0 = none
+    /// Peers holding the task's latest preemption checkpoint: forwarded on
+    /// the next Execute so the successor node's restore starts warm.
+    std::vector<orb::ObjectRef> ckpt_peers;
     std::int32_t topology_segment = -1;  // pinned segment, -1 = anywhere
     sim::EventHandle remote_timeout;
     /// Absolute deadline of remote_timeout (kRemote tasks only): event
@@ -225,6 +259,15 @@ class Grm {
   void continue_wave(const std::shared_ptr<Wave>& wave);
   void wave_failed(const std::shared_ptr<Wave>& wave);
   void task_placed(TaskId task, const Placement& placement);
+  /// Preemption-by-migration: checkpoint an over-share tenant's running
+  /// task off its node so `requester` can take the slot. Returns true when
+  /// a victim was told to checkpoint out.
+  bool maybe_preempt(const TaskRecord& requester);
+  void credit_node_capacity(NodeId node);
+  [[nodiscard]] std::vector<orb::ObjectRef> pick_ckpt_peers(
+      NodeId exclude) const;
+  void note_task_started(const TaskRecord& task);
+  void note_task_stopped(const TaskRecord& task);
   void requeue(TaskRecord& task, SimDuration delay);
   /// Requeue after a fruitless wave, advancing the task's backoff delay.
   void requeue_backoff(TaskRecord& task);
@@ -269,7 +312,15 @@ class Grm {
   std::unordered_map<NodeId, NodeRecord> nodes_;
   std::map<AppId, AppRecord> apps_;
   std::map<TaskId, TaskRecord> tasks_;
-  std::deque<TaskId> queue_;
+  /// Ready queue. Disabled economy: strict FIFO, byte-identical dispatch to
+  /// the plain deque it replaced. Enabled: weighted stride across tenants,
+  /// EDF within each. Membership is deduplicated in both modes.
+  sched::FairQueue queue_;
+  sched::SchedOptions sched_;
+  sched::TenantRegistry tenant_registry_;
+  /// Tasks with a preempt request in flight (never re-victimised).
+  std::set<TaskId> preempting_;
+  std::vector<std::pair<NodeId, orb::ObjectRef>> ckpt_agents_;
   std::map<ClusterId, protocol::ClusterSummary> child_summaries_;
   /// Highest NodeStatusBatch epoch seen per segment: batches below it are
   /// stale traffic from a demoted primary's queues and are dropped. Epoch 0

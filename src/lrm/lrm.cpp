@@ -7,6 +7,7 @@
 #include "common/log.hpp"
 #include "protocol/properties.hpp"
 #include "protocol/trace_names.hpp"
+#include "services/constraint.hpp"
 
 namespace integrade::lrm {
 
@@ -18,6 +19,7 @@ namespace {
 constexpr const char* kOpReserve = "reserve";
 constexpr const char* kOpExecute = "execute";
 constexpr const char* kOpCancel = "cancel";
+constexpr const char* kOpPreempt = "preempt";
 constexpr const char* kOpBspCompute = "bsp_compute";
 constexpr const char* kOpGetStatus = "get_status";
 
@@ -38,6 +40,12 @@ class LrmServant final : public orb::SkeletonBase {
         kOpCancel,
         [&lrm](const protocol::CancelTask& req) -> Result<cdr::Empty> {
           lrm.handle_cancel(req.task);
+          return cdr::Empty{};
+        });
+    register_op<protocol::PreemptRequest, cdr::Empty>(
+        kOpPreempt,
+        [&lrm](const protocol::PreemptRequest& req) -> Result<cdr::Empty> {
+          lrm.handle_preempt(req);
           return cdr::Empty{};
         });
     register_op<protocol::BspComputeRequest, cdr::Empty>(
@@ -416,6 +424,26 @@ protocol::ReservationReply Lrm::handle_reserve(
     metrics_.counter("reservations_refused").add();
     return reply;
   }
+  // Owner's economic terms: a Trader-language filter over the bid riding the
+  // reservation. A bid-less request leaves the properties absent, so under
+  // three-valued semantics a non-empty filter refuses it; a malformed filter
+  // refuses everything (fail closed — the owner asked for *some* screen).
+  if (const std::string& filter = ncc_.policy().bid_filter; !filter.empty()) {
+    auto compiled = services::Constraint::parse(filter);
+    services::PropertySet bid;
+    if (req.has_bid()) {
+      bid.set("tenant", req.tenant);
+      bid.set("bid_budget", req.bid_budget);
+      bid.set("bid_deadline_s", to_seconds(req.bid_deadline));
+    }
+    if (!compiled.is_ok() || !compiled.value().matches(bid)) {
+      reply.granted = false;
+      reply.reason = "bid rejected by node policy";
+      metrics_.counter("reservations_bid_refused").add();
+      metrics_.counter("reservations_refused").add();
+      return reply;
+    }
+  }
   // Grant the clamped fraction rather than all-or-nothing: the owner's
   // background load means "1.0 of the CPU" is never strictly available, and
   // a 0.95-share grant is what a real nice-19 scheduler would deliver.
@@ -568,6 +596,14 @@ protocol::ExecuteReply Lrm::handle_execute(const protocol::ExecuteRequest& req) 
                              });
   }
 
+  // A preempted task's successor placement names the peers holding its
+  // final checkpoint chunks: prefetch the image into the local store so the
+  // restore (and any later save's dedup) starts warm.
+  if (!req.ckpt_peers.empty() && ckpt_agent_ != nullptr) {
+    ckpt_agent_->warm_restore(t.desc.app, std::max(0, t.desc.bsp_rank),
+                              req.ckpt_peers);
+  }
+
   // Input staging: bill the transfer from the submitting manager's node to
   // this node before compute begins (the reallocate() that grants CPU
   // happens either way; a staging task simply has work pending).
@@ -595,6 +631,28 @@ void Lrm::handle_cancel(TaskId id) {
   tasks_.erase(it);
   mark_duty();
   metrics_.counter("tasks_cancelled").add();
+  reallocate();
+}
+
+void Lrm::handle_preempt(const protocol::PreemptRequest& req) {
+  auto it = tasks_.find(req.task);
+  if (it == tasks_.end()) return;
+  RunningTask& task = *it->second;
+  settle_all();
+  // Final checkpoint before the slot is surrendered: the portable progress
+  // blob lands in the repository either way, and when the data plane is on
+  // the image chunks replicate to the GRM-chosen peers so the successor
+  // node's restore pulls from warm stores.
+  checkpoint_task(task, req.peers);
+  task.completion.cancel();
+  task.checkpoint_timer.stop();
+  if (obs::Tracer* tr = orb_.tracer(); tr != nullptr) {
+    tr->finish(task.run_span, engine_.now(), "preempted");
+  }
+  metrics_.counter("tasks_preempted").add();
+  report(task, TaskOutcome::kEvicted, "preempted");
+  tasks_.erase(it);
+  mark_duty();
   reallocate();
 }
 
@@ -814,7 +872,8 @@ void Lrm::report(const RunningTask& task, TaskOutcome outcome,
   orb::reliable_oneway(orb_, task.report_to, "report", report);
 }
 
-void Lrm::checkpoint_task(RunningTask& task) {
+void Lrm::checkpoint_task(RunningTask& task,
+                          const std::vector<orb::ObjectRef>& ckpt_peers) {
   settle(task);
   ckpt::Checkpoint checkpoint;
   checkpoint.app = task.desc.app;
@@ -829,9 +888,15 @@ void Lrm::checkpoint_task(RunningTask& task) {
   if (ckpt_agent_ != nullptr) {
     // Data plane: the image ships as content-addressed chunks — only what
     // the repository's store is missing crosses the wire, LZ-compressed.
+    // A preemption passes the successor node's peers so its restore starts
+    // warm. The agent's version doubles as the synthetic image model's
+    // content step (one dirty-page set per step, like a BSP superstep), so
+    // it must stay small: seconds of runtime, not microsecond ticks —
+    // tick-valued steps make every save and restore iterate millions of
+    // dirty sets. Monotonic across evict/restart cycles either way.
     ckpt_agent_->save_sequential(checkpoint.app, checkpoint.rank,
-                                 checkpoint.version,
-                                 task.desc.checkpoint_bytes);
+                                 engine_.now() / kSecond,
+                                 task.desc.checkpoint_bytes, ckpt_peers);
   } else if (task.desc.checkpoint_bytes > 0 && network_ != nullptr &&
              network_->attached(orb_.address()) &&
              network_->attached(checkpoint_service_.host)) {

@@ -151,6 +151,10 @@ class Lrm {
   protocol::ReservationReply handle_reserve(const protocol::ReservationRequest& req);
   protocol::ExecuteReply handle_execute(const protocol::ExecuteRequest& req);
   void handle_cancel(TaskId task);
+  /// Vacate a task by checkpoint migration (scheduling economy): settle,
+  /// save a final checkpoint replicated to `req.peers`, report kEvicted
+  /// ("preempted") so the GRM requeues it with its progress intact.
+  void handle_preempt(const protocol::PreemptRequest& req);
   void handle_bsp_compute(const protocol::BspComputeRequest& req);
 
   /// Force an immediate info update (tests; also used at start()).
@@ -211,7 +215,8 @@ class Lrm {
   /// Post-adoption resync: declare running tasks to the new GRM, rewrite
   /// their report routing away from `old_grm`, and replay the journal.
   void resync_with_grm(const orb::ObjectRef& old_grm);
-  void checkpoint_task(RunningTask& task);
+  void checkpoint_task(RunningTask& task,
+                       const std::vector<orb::ObjectRef>& ckpt_peers = {});
   void update_quiet_tracking();
   /// Fold the elapsed interval into the duty-cycle accumulators; call at
   /// every point where tasks_ flips between empty and non-empty.

@@ -51,6 +51,15 @@ struct SharingPolicy {
   bool require_owner_away = true;
 
   std::vector<BlackoutWindow> blackouts;
+
+  /// Scheduling economy: a Trader-language constraint over reservation bid
+  /// properties (`tenant`, `bid_budget`, `bid_deadline_s`). When non-empty,
+  /// the LRM evaluates it against each reservation's bid and refuses the
+  /// ones that do not match — the node owner's economic terms, enforced
+  /// locally at InteGrade's NCC/LRM split rather than by a central broker.
+  /// A bid-less reservation leaves the properties absent, so under the
+  /// language's three-valued semantics a non-empty filter refuses it.
+  std::string bid_filter;
 };
 
 /// Convenience: a policy that shares aggressively (dedicated-node style).

@@ -214,6 +214,14 @@ Result<SharingPolicy> parse_policy(const std::string& text) {
       if (!windows.is_ok()) return line_error(line_number, windows.status().message());
       policy.blackouts.insert(policy.blackouts.end(), windows.value().begin(),
                               windows.value().end());
+    } else if (key == "bid_filter") {
+      // The expression is validated where it is evaluated (the LRM compiles
+      // it with services::Constraint::parse and treats a malformed filter
+      // as refuse-all); the text is preserved verbatim, case intact.
+      if (value.empty()) {
+        return line_error(line_number, "bid_filter needs a constraint expression");
+      }
+      policy.bid_filter = value;
     } else {
       return line_error(line_number, "unknown directive '" + key + "'");
     }
@@ -229,6 +237,9 @@ std::string format_policy(const SharingPolicy& policy) {
   out << "ram_cap = " << policy.ram_export_cap * 100 << "%\n";
   out << "idle_threshold = " << policy.idle_cpu_threshold * 100 << "%\n";
   out << "grace = " << to_seconds(policy.idle_grace) << "s\n";
+  if (!policy.bid_filter.empty()) {
+    out << "bid_filter = " << policy.bid_filter << "\n";
+  }
   for (const auto& window : policy.blackouts) {
     const int day = window.from_slot / node::kSlotsPerDay;
     const int from = window.from_slot % node::kSlotsPerDay;

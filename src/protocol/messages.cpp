@@ -212,6 +212,13 @@ void Codec<ReservationRequest>::encode(Writer& w, const ReservationRequest& v) {
   w.write_f64(v.cpu_fraction);
   w.write_i64(v.ram);
   w.write_i64(v.hold);
+  // Trailing bid extension: written only when a bid is present, so a
+  // bid-less request is byte-identical to the pre-economy frame.
+  if (v.has_bid()) {
+    w.write_string(v.tenant);
+    w.write_f64(v.bid_budget);
+    w.write_i64(v.bid_deadline);
+  }
 }
 
 ReservationRequest Codec<ReservationRequest>::decode(Reader& r) {
@@ -221,6 +228,11 @@ ReservationRequest Codec<ReservationRequest>::decode(Reader& r) {
   v.cpu_fraction = r.read_f64();
   v.ram = r.read_i64();
   v.hold = r.read_i64();
+  if (r.ok() && r.remaining() > 0) {
+    v.tenant = r.read_string();
+    v.bid_budget = r.read_f64();
+    v.bid_deadline = r.read_i64();
+  }
   return v;
 }
 
@@ -247,6 +259,13 @@ void Codec<ExecuteRequest>::encode(Writer& w, const ExecuteRequest& v) {
   Codec<TaskDescriptor>::encode(w, v.task);
   Codec<orb::ObjectRef>::encode(w, v.report_to);
   w.write_octets(v.restore_state);
+  // Trailing warm-restore extension (preemption-by-migration): absent when
+  // there are no peer stores to prefetch from, keeping the frame identical
+  // to the pre-economy bytes.
+  if (!v.ckpt_peers.empty()) {
+    w.write_u32(static_cast<std::uint32_t>(v.ckpt_peers.size()));
+    for (const auto& peer : v.ckpt_peers) Codec<orb::ObjectRef>::encode(w, peer);
+  }
 }
 
 ExecuteRequest Codec<ExecuteRequest>::decode(Reader& r) {
@@ -255,6 +274,12 @@ ExecuteRequest Codec<ExecuteRequest>::decode(Reader& r) {
   v.task = Codec<TaskDescriptor>::decode(r);
   v.report_to = Codec<orb::ObjectRef>::decode(r);
   v.restore_state = r.read_octets();
+  if (r.ok() && r.remaining() > 0) {
+    const std::uint32_t n = r.read_u32();
+    for (std::uint32_t i = 0; i < n && r.ok(); ++i) {
+      v.ckpt_peers.push_back(Codec<orb::ObjectRef>::decode(r));
+    }
+  }
   return v;
 }
 
@@ -384,7 +409,7 @@ TopologySpec Codec<TopologySpec>::decode(Reader& r) {
   return v;
 }
 
-void Codec<ApplicationSpec>::encode(Writer& w, const ApplicationSpec& v) {
+void Codec<ApplicationSpec>::encode_base(Writer& w, const ApplicationSpec& v) {
   w.write_id(v.id);
   w.write_string(v.name);
   w.write_u8(static_cast<std::uint8_t>(v.kind));
@@ -395,7 +420,7 @@ void Codec<ApplicationSpec>::encode(Writer& w, const ApplicationSpec& v) {
   Codec<orb::ObjectRef>::encode(w, v.notify);
 }
 
-ApplicationSpec Codec<ApplicationSpec>::decode(Reader& r) {
+ApplicationSpec Codec<ApplicationSpec>::decode_base(Reader& r) {
   ApplicationSpec v;
   v.id = r.read_id<AppTag>();
   v.name = r.read_string();
@@ -405,6 +430,27 @@ ApplicationSpec Codec<ApplicationSpec>::decode(Reader& r) {
   v.topology = Codec<TopologySpec>::decode(r);
   v.estimated_duration = r.read_i64();
   v.notify = Codec<orb::ObjectRef>::decode(r);
+  return v;
+}
+
+void Codec<ApplicationSpec>::encode(Writer& w, const ApplicationSpec& v) {
+  encode_base(w, v);
+  // Trailing tenant/bid extension on the submit frame: a spec without a bid
+  // encodes to exactly the pre-economy bytes.
+  if (v.has_bid()) {
+    w.write_string(v.tenant);
+    w.write_f64(v.bid_budget);
+    w.write_i64(v.bid_deadline);
+  }
+}
+
+ApplicationSpec Codec<ApplicationSpec>::decode(Reader& r) {
+  ApplicationSpec v = decode_base(r);
+  if (r.ok() && r.remaining() > 0) {
+    v.tenant = r.read_string();
+    v.bid_budget = r.read_f64();
+    v.bid_deadline = r.read_i64();
+  }
   return v;
 }
 
@@ -485,22 +531,35 @@ ClusterSummary Codec<ClusterSummary>::decode(Reader& r) {
 }
 
 void Codec<RemoteSubmit>::encode(Writer& w, const RemoteSubmit& v) {
-  Codec<ApplicationSpec>::encode(w, v.spec);
+  // The nested spec uses the base (extension-free) layout; the bid rides a
+  // trailing extension on *this* frame, so the pre-economy wire bytes are
+  // reproduced exactly when no bid is present.
+  Codec<ApplicationSpec>::encode_base(w, v.spec);
   w.write_i32(v.ttl);
   w.write_u32(static_cast<std::uint32_t>(v.visited_clusters.size()));
   for (auto c : v.visited_clusters) w.write_u64(c);
   Codec<orb::ObjectRef>::encode(w, v.origin_grm);
+  if (v.spec.has_bid()) {
+    w.write_string(v.spec.tenant);
+    w.write_f64(v.spec.bid_budget);
+    w.write_i64(v.spec.bid_deadline);
+  }
 }
 
 RemoteSubmit Codec<RemoteSubmit>::decode(Reader& r) {
   RemoteSubmit v;
-  v.spec = Codec<ApplicationSpec>::decode(r);
+  v.spec = Codec<ApplicationSpec>::decode_base(r);
   v.ttl = r.read_i32();
   const std::uint32_t n = r.read_u32();
   for (std::uint32_t i = 0; i < n && r.ok(); ++i) {
     v.visited_clusters.push_back(r.read_u64());
   }
   v.origin_grm = Codec<orb::ObjectRef>::decode(r);
+  if (r.ok() && r.remaining() > 0) {
+    v.spec.tenant = r.read_string();
+    v.spec.bid_budget = r.read_f64();
+    v.spec.bid_deadline = r.read_i64();
+  }
   return v;
 }
 
@@ -695,6 +754,47 @@ CkptInstallReply Codec<CkptInstallReply>::decode(Reader& r) {
   CkptInstallReply v;
   v.accepted = r.read_bool();
   v.reason = r.read_string();
+  return v;
+}
+
+void Codec<PreemptRequest>::encode(Writer& w, const PreemptRequest& v) {
+  w.write_id(v.task);
+  w.write_u32(static_cast<std::uint32_t>(v.peers.size()));
+  for (const auto& peer : v.peers) Codec<orb::ObjectRef>::encode(w, peer);
+}
+
+PreemptRequest Codec<PreemptRequest>::decode(Reader& r) {
+  PreemptRequest v;
+  v.task = r.read_id<TaskTag>();
+  const std::uint32_t n = r.read_u32();
+  for (std::uint32_t i = 0; i < n && r.ok(); ++i) {
+    v.peers.push_back(Codec<orb::ObjectRef>::decode(r));
+  }
+  return v;
+}
+
+void Codec<CkptManifestQuery>::encode(Writer& w, const CkptManifestQuery& v) {
+  w.write_id(v.app);
+  w.write_i32(v.rank);
+}
+
+CkptManifestQuery Codec<CkptManifestQuery>::decode(Reader& r) {
+  CkptManifestQuery v;
+  v.app = r.read_id<AppTag>();
+  v.rank = r.read_i32();
+  return v;
+}
+
+void Codec<CkptManifestQueryReply>::encode(Writer& w,
+                                           const CkptManifestQueryReply& v) {
+  w.write_bool(v.found);
+  Codec<CkptManifest>::encode(w, v.manifest);
+}
+
+CkptManifestQueryReply Codec<CkptManifestQueryReply>::decode(Reader& r) {
+  CkptManifestQueryReply v;
+  v.found = r.read_bool();
+  v.manifest = Codec<CkptManifest>::decode(r);
   return v;
 }
 

@@ -160,6 +160,19 @@ struct ApplicationSpec {
   /// Where app events (scheduled/completed/evicted/done) are delivered.
   orb::ObjectRef notify;
 
+  // Scheduling economy (optional). The tenant this app bills to plus its
+  // bid: a budget (abstract currency, feeds fair-share weight resolution)
+  // and a completion deadline relative to submit time. All three ride a
+  // *trailing* extension on the wire — a spec with the defaults encodes to
+  // exactly the pre-economy bytes, and old peers ignore the extension.
+  std::string tenant;
+  double bid_budget = 0.0;
+  SimDuration bid_deadline = 0;  // 0 = no deadline bid
+
+  [[nodiscard]] bool has_bid() const {
+    return !tenant.empty() || bid_budget != 0.0 || bid_deadline != 0;
+  }
+
   bool operator==(const ApplicationSpec&) const = default;
 };
 
@@ -290,6 +303,18 @@ struct ReservationRequest {
   /// before reclaiming it.
   SimDuration hold = 30 * kSecond;
 
+  /// Scheduling economy (optional): the requesting tenant and its bid, so
+  /// node-local NCC policy (`bid_filter = <constraint>`) can accept or
+  /// refuse the reservation on economic terms. Trailing wire extension —
+  /// byte-invisible when all three hold their defaults.
+  std::string tenant;
+  double bid_budget = 0.0;
+  SimDuration bid_deadline = 0;  // remaining time to the app deadline
+
+  [[nodiscard]] bool has_bid() const {
+    return !tenant.empty() || bid_budget != 0.0 || bid_deadline != 0;
+  }
+
   bool operator==(const ReservationRequest&) const = default;
 };
 
@@ -315,6 +340,12 @@ struct ExecuteRequest {
   /// tasks this is a SequentialState carrying absolute progress, so a task
   /// evicted twice never re-does checkpointed work.
   std::vector<std::uint8_t> restore_state;
+
+  /// Checkpoint-data-plane peers holding this task's latest image chunks
+  /// (preemption-by-migration path): the executing node's agent prefetches
+  /// from these stores so the restore starts warm. Trailing wire extension,
+  /// byte-invisible when empty.
+  std::vector<orb::ObjectRef> ckpt_peers;
 
   bool operator==(const ExecuteRequest&) const = default;
 };
@@ -344,6 +375,19 @@ struct TaskReport {
   std::string detail;
 
   bool operator==(const TaskReport&) const = default;
+};
+
+/// GRM -> LRM (scheduling economy): vacate `task` via checkpoint migration,
+/// not kill. The LRM settles progress, saves a checkpoint through its
+/// CkptAgent with `peers` as replica destinations (so the next host restores
+/// warm from neighbors), then reports kEvicted; the GRM requeues and the
+/// restore_state/ckpt_peers of the next Execute resume the task elsewhere.
+/// Only sent when `ClusterConfig::sched` preemption is enabled.
+struct PreemptRequest {
+  TaskId task;
+  std::vector<orb::ObjectRef> peers;
+
+  bool operator==(const PreemptRequest&) const = default;
 };
 
 // ---------------------------------------------------------------------------
@@ -484,6 +528,23 @@ struct CkptChunkGetReply {
   std::vector<CkptChunkData> chunks;
 
   bool operator==(const CkptChunkGetReply&) const = default;
+};
+
+/// Ask a store for the newest manifest of an (app, rank) line — the warm
+/// prefetch of the preemption-by-migration path: the new host learns what
+/// image the victim checkpointed without the GRM shipping the manifest.
+struct CkptManifestQuery {
+  AppId app;
+  std::int32_t rank = 0;
+
+  bool operator==(const CkptManifestQuery&) const = default;
+};
+
+struct CkptManifestQueryReply {
+  bool found = false;
+  CkptManifest manifest;
+
+  bool operator==(const CkptManifestQueryReply&) const = default;
 };
 
 /// Release recovery lines older than keep_from on a peer/agent store after a
@@ -643,6 +704,18 @@ template <> struct Codec<protocol::TaskReport> {
   static void encode(Writer& w, const protocol::TaskReport& v);
   static protocol::TaskReport decode(Reader& r);
 };
+template <> struct Codec<protocol::PreemptRequest> {
+  static void encode(Writer& w, const protocol::PreemptRequest& v);
+  static protocol::PreemptRequest decode(Reader& r);
+};
+template <> struct Codec<protocol::CkptManifestQuery> {
+  static void encode(Writer& w, const protocol::CkptManifestQuery& v);
+  static protocol::CkptManifestQuery decode(Reader& r);
+};
+template <> struct Codec<protocol::CkptManifestQueryReply> {
+  static void encode(Writer& w, const protocol::CkptManifestQueryReply& v);
+  static protocol::CkptManifestQueryReply decode(Reader& r);
+};
 template <> struct Codec<protocol::UsageCategory> {
   static void encode(Writer& w, const protocol::UsageCategory& v);
   static protocol::UsageCategory decode(Reader& r);
@@ -674,6 +747,11 @@ template <> struct Codec<protocol::TopologySpec> {
 template <> struct Codec<protocol::ApplicationSpec> {
   static void encode(Writer& w, const protocol::ApplicationSpec& v);
   static protocol::ApplicationSpec decode(Reader& r);
+  /// Pre-economy field set only, no trailing bid extension. Nesting
+  /// contexts (RemoteSubmit, GRM snapshots) use these and append their own
+  /// extension, so the outer frame stays unambiguous to old decoders.
+  static void encode_base(Writer& w, const protocol::ApplicationSpec& v);
+  static protocol::ApplicationSpec decode_base(Reader& r);
 };
 template <> struct Codec<protocol::SubmitReply> {
   static void encode(Writer& w, const protocol::SubmitReply& v);

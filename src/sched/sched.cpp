@@ -1,0 +1,279 @@
+#include "sched/sched.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace integrade::sched {
+
+// ---------------------------------------------------------------------------
+// TenantRegistry
+// ---------------------------------------------------------------------------
+
+void TenantRegistry::configure(const SchedOptions& options) {
+  options_ = options;
+  specs_.clear();
+  for (const TenantSpec& spec : options.tenants) {
+    specs_[spec.name] = spec;
+  }
+}
+
+TenantSpec TenantRegistry::spec(const std::string& tenant) const {
+  auto it = specs_.find(tenant);
+  if (it != specs_.end()) return it->second;
+  TenantSpec fallback;
+  fallback.name = tenant;
+  fallback.weight = options_.default_weight;
+  fallback.max_running = options_.default_max_running;
+  fallback.max_queued = options_.default_max_queued;
+  return fallback;
+}
+
+double TenantRegistry::weight(const std::string& tenant) const {
+  const double w = spec(tenant).weight;
+  return (std::isfinite(w) && w > 0.0) ? w : 1.0;
+}
+
+void TenantRegistry::on_task_start(const std::string& tenant) {
+  ++running_[tenant];
+  ++total_running_;
+}
+
+void TenantRegistry::on_task_stop(const std::string& tenant) {
+  auto it = running_.find(tenant);
+  if (it == running_.end() || it->second <= 0) return;
+  if (--it->second == 0) running_.erase(it);
+  --total_running_;
+}
+
+int TenantRegistry::running(const std::string& tenant) const {
+  auto it = running_.find(tenant);
+  return it == running_.end() ? 0 : it->second;
+}
+
+int TenantRegistry::total_running() const { return total_running_; }
+
+double TenantRegistry::entitled_slots(const std::string& tenant, int slots,
+                                      const std::string& also_active) const {
+  double total_weight = weight(tenant);
+  if (!also_active.empty() && also_active != tenant &&
+      running_.find(also_active) == running_.end()) {
+    total_weight += weight(also_active);
+  }
+  for (const auto& [name, count] : running_) {
+    if (count > 0 && name != tenant) total_weight += weight(name);
+  }
+  if (total_weight <= 0.0) return static_cast<double>(slots);
+  return static_cast<double>(slots) * weight(tenant) / total_weight;
+}
+
+void TenantRegistry::clear_running() {
+  running_.clear();
+  total_running_ = 0;
+}
+
+// ---------------------------------------------------------------------------
+// FairQueue
+// ---------------------------------------------------------------------------
+
+void FairQueue::configure(const SchedOptions& options) {
+  options_ = options;
+  TenantRegistry registry;
+  registry.configure(options);
+  for (auto& [name, tenant] : tenants_) {
+    tenant.stride = static_cast<std::uint64_t>(
+        static_cast<double>(kStrideScale) / registry.weight(name));
+    if (tenant.stride == 0) tenant.stride = 1;
+  }
+}
+
+std::uint64_t FairQueue::stride_for(const std::string& tenant) const {
+  TenantRegistry registry;
+  registry.configure(options_);
+  const auto stride = static_cast<std::uint64_t>(
+      static_cast<double>(kStrideScale) / registry.weight(tenant));
+  return stride == 0 ? 1 : stride;
+}
+
+std::uint64_t FairQueue::min_active_pass() const {
+  std::uint64_t min_pass = 0;
+  bool any = false;
+  for (const auto& [name, tenant] : tenants_) {
+    if (tenant.entries.empty()) continue;
+    if (!any || tenant.pass < min_pass) {
+      min_pass = tenant.pass;
+      any = true;
+    }
+  }
+  return any ? min_pass : 0;
+}
+
+void FairQueue::insert_entry(Tenant& t, const Entry& entry) {
+  // EDF within the tenant: deadline 0 sorts as "never", ties FIFO by seq.
+  auto key = [](const Entry& e) {
+    return std::pair<SimTime, std::uint64_t>(
+        e.deadline == 0 ? kTimeNever : e.deadline, e.seq);
+  };
+  auto it = std::upper_bound(
+      t.entries.begin(), t.entries.end(), entry,
+      [&key](const Entry& a, const Entry& b) { return key(a) < key(b); });
+  t.entries.insert(it, entry);
+}
+
+bool FairQueue::push(TaskId task, const std::string& tenant, SimTime deadline) {
+  if (members_.contains(task)) return false;  // exactly-once membership
+  // Disabled: one anonymous tenant, no deadlines — EDF degenerates to the
+  // strict FIFO the deque this queue replaced implemented.
+  const std::string& name = options_.enabled ? tenant : std::string();
+  Entry entry;
+  entry.task = task;
+  entry.deadline = options_.enabled ? deadline : 0;
+  entry.seq = next_seq_++;
+  auto [it, inserted] = tenants_.try_emplace(name);
+  Tenant& t = it->second;
+  if (inserted) t.stride = stride_for(name);
+  if (t.entries.empty()) {
+    // A tenant joining (or returning after idling) starts at the current
+    // virtual time, not at zero — otherwise it would monopolise dispatch
+    // until its stale pass caught up.
+    t.pass = std::max(t.pass, min_active_pass());
+  }
+  insert_entry(t, entry);
+  members_.emplace(task, name);
+  return true;
+}
+
+bool FairQueue::erase(TaskId task) {
+  auto member = members_.find(task);
+  if (member == members_.end()) return false;
+  auto it = tenants_.find(member->second);
+  if (it != tenants_.end()) {
+    auto& entries = it->second.entries;
+    entries.erase(std::remove_if(entries.begin(), entries.end(),
+                                 [task](const Entry& e) { return e.task == task; }),
+                  entries.end());
+  }
+  members_.erase(member);
+  return true;
+}
+
+bool FairQueue::contains(TaskId task) const { return members_.contains(task); }
+
+std::size_t FairQueue::tenant_size(const std::string& tenant) const {
+  auto it = tenants_.find(options_.enabled ? tenant : std::string());
+  return it == tenants_.end() ? 0 : it->second.entries.size();
+}
+
+std::optional<TaskId> FairQueue::pop_fifo() {
+  auto it = tenants_.find(std::string());
+  if (it == tenants_.end() || it->second.entries.empty()) return std::nullopt;
+  const Entry entry = it->second.entries.front();
+  it->second.entries.pop_front();
+  members_.erase(entry.task);
+  return entry.task;
+}
+
+void FairQueue::account_dispatch(const std::string& tenant, MInstr work) {
+  if (!options_.enabled) return;
+  auto it = tenants_.find(tenant);
+  if (it == tenants_.end()) return;
+  const double work_units = work > 0 ? work / kWorkUnitMInstr : 0.0;
+  const auto units = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(work_units));
+  it->second.pass += it->second.stride * units;
+}
+
+std::string FairQueue::tenant_of(TaskId task) const {
+  auto it = members_.find(task);
+  return it == members_.end() ? std::string() : it->second;
+}
+
+std::vector<std::pair<std::string, TaskId>> FairQueue::queued_heads() const {
+  std::vector<std::pair<std::string, TaskId>> heads;
+  for (const auto& [name, tenant] : tenants_) {
+    if (!tenant.entries.empty()) {
+      heads.emplace_back(name, tenant.entries.front().task);
+    }
+  }
+  return heads;
+}
+
+std::vector<TaskId> FairQueue::fifo_order() const {
+  std::vector<Entry> all;
+  all.reserve(members_.size());
+  for (const auto& [name, tenant] : tenants_) {
+    all.insert(all.end(), tenant.entries.begin(), tenant.entries.end());
+  }
+  std::sort(all.begin(), all.end(),
+            [](const Entry& a, const Entry& b) { return a.seq < b.seq; });
+  std::vector<TaskId> out;
+  out.reserve(all.size());
+  for (const Entry& e : all) out.push_back(e.task);
+  return out;
+}
+
+std::uint64_t FairQueue::pass_of(const std::string& tenant) const {
+  auto it = tenants_.find(tenant);
+  return it == tenants_.end() ? 0 : it->second.pass;
+}
+
+void FairQueue::clear() {
+  tenants_.clear();
+  members_.clear();
+  next_seq_ = 0;
+}
+
+void FairQueue::save(cdr::Writer& w) const {
+  // Per-entry metadata, aligned with fifo_order(). Deadlines ride here;
+  // tenants ride here too so a restored queue keeps its sub-queue shape.
+  std::vector<Entry> all;
+  for (const auto& [name, tenant] : tenants_) {
+    all.insert(all.end(), tenant.entries.begin(), tenant.entries.end());
+  }
+  std::sort(all.begin(), all.end(),
+            [](const Entry& a, const Entry& b) { return a.seq < b.seq; });
+  w.write_u32(static_cast<std::uint32_t>(all.size()));
+  for (const Entry& e : all) {
+    w.write_string(tenant_of(e.task));
+    w.write_i64(e.deadline);
+  }
+  // Tenant stride state survives failover so long-run shares stay fair
+  // across a promotion.
+  w.write_u32(static_cast<std::uint32_t>(tenants_.size()));
+  for (const auto& [name, tenant] : tenants_) {
+    w.write_string(name);
+    w.write_u64(tenant.pass);
+  }
+}
+
+void FairQueue::load(const std::vector<TaskId>& ids, cdr::Reader& r,
+                     bool has_meta) {
+  clear();
+  std::vector<std::string> tenants(ids.size());
+  std::vector<SimTime> deadlines(ids.size(), 0);
+  if (has_meta) {
+    const std::uint32_t n = r.read_u32();
+    for (std::uint32_t i = 0; i < n && r.ok(); ++i) {
+      std::string tenant = r.read_string();
+      const SimTime deadline = r.read_i64();
+      if (i < ids.size()) {
+        tenants[i] = std::move(tenant);
+        deadlines[i] = deadline;
+      }
+    }
+  }
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    push(ids[i], tenants[i], deadlines[i]);
+  }
+  if (has_meta) {
+    const std::uint32_t n = r.read_u32();
+    for (std::uint32_t i = 0; i < n && r.ok(); ++i) {
+      const std::string name = r.read_string();
+      const std::uint64_t pass = r.read_u64();
+      auto [it, inserted] = tenants_.try_emplace(name);
+      if (inserted) it->second.stride = stride_for(name);
+      it->second.pass = pass;
+    }
+  }
+}
+
+}  // namespace integrade::sched

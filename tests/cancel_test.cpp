@@ -72,6 +72,48 @@ TEST(Cancel, BspAppTearsDownResidentsAndCheckpoints) {
   EXPECT_DOUBLE_EQ(cluster.total_work_done(), work_before);
 }
 
+TEST(Cancel, CancelThenResubmitRunsFresh) {
+  // Regression: handle_cancel_app used to leave kFailed task tombstones
+  // carrying live backoff/remote-timeout state. Resubmitting the same spec
+  // (same app and task ids) silently no-op'd the record emplace, so the
+  // "new" tasks inherited the dead app's retry schedule or never ran.
+  core::Grid grid(54);
+  auto& cluster = grid.add_cluster(core::quiet_cluster(3, 54));
+  grid.run_for(2 * kMinute);
+
+  AppBuilder app("phoenix");
+  app.kind(protocol::AppKind::kParametric).tasks(3, 400'000.0);
+  const auto spec = app.build(cluster.asct().ref());
+  const AppId id = cluster.asct().submit(cluster.grm_ref(), spec);
+  grid.run_for(2 * kMinute);
+  EXPECT_GT(cluster.grm().running_tasks(), 0);
+
+  // Owners stomp every node: the tasks bounce into requeue backoff, so the
+  // cancel lands while retry timers are armed — the buggy state.
+  node::OwnerLoad busy;
+  busy.present = true;
+  busy.cpu_fraction = 0.9;
+  for (std::size_t i = 0; i < cluster.size(); ++i) {
+    cluster.machine(i).set_owner_load(busy);
+  }
+  grid.run_for(2 * kMinute);
+  cluster.asct().cancel(cluster.grm_ref(), id);
+  grid.run_for(kMinute);
+  EXPECT_FALSE(cluster.grm().app_known(id));
+  EXPECT_EQ(cluster.grm().pending_tasks(), 0);  // erased, not tombstoned
+
+  // Owners leave; resubmit the identical spec. It must be admitted as a
+  // brand-new app and complete, proving no per-task state survived.
+  for (std::size_t i = 0; i < cluster.size(); ++i) {
+    cluster.machine(i).set_owner_load(node::OwnerLoad{});
+  }
+  const AppId again = cluster.asct().submit(cluster.grm_ref(), spec);
+  EXPECT_EQ(again, id);
+  ASSERT_TRUE(
+      grid.run_until_app_done(cluster, again, grid.engine().now() + 2 * kHour));
+  EXPECT_EQ(cluster.asct().progress(again)->completed, 3);
+}
+
 TEST(Cancel, UnknownAppIsHarmless) {
   core::Grid grid(53);
   auto& cluster = grid.add_cluster(core::quiet_cluster(2, 53));

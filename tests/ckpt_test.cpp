@@ -391,6 +391,54 @@ TEST(ChunkStore, PruneReclaimsUnreferencedChunks) {
   EXPECT_EQ(store.manifest_count(), 1u);
 }
 
+TEST(ChunkStore, PruneDoesNotReclaimPinnedRestoreChunks) {
+  // Regression: a keep-latest trim landing while a striped peer restore was
+  // in flight reclaimed chunks the restore had already counted as resident,
+  // so the reassembled image failed its hash check. In-flight restores pin
+  // their chunks; prune_line must leave pinned data alone.
+  ChunkStore store;
+  ChunkParams params;
+  params.chunk_size = 16 * 1024;
+  ImageModelParams mp;
+  mp.image_bytes = 1 * kMiB;
+  mp.dirty_permille = 300;  // v1 and v2 share little: v1-only chunks exist
+  mp.dirty_run_pages = 16;
+  ImageModel model(AppId(11), 0, mp);
+  const auto image1 = model.render(1);
+  auto m1 = manifest_for(image1, store, AppId(11), 0, 1, params);
+  ASSERT_TRUE(store.install(m1).is_ok());
+  const auto image2 = model.render(2);
+  auto m2 = manifest_for(image2, store, AppId(11), 0, 2, params);
+  ASSERT_TRUE(store.install(m2).is_ok());
+
+  // A restore of version 1 starts: it pins every stripe it will assemble.
+  for (const auto& c : m1.chunks) store.pin(c.hash);
+
+  // The trim lands mid-restore and drops the v1 manifest...
+  store.prune_line(AppId(11), 0, /*keep_from=*/2);
+  EXPECT_EQ(store.manifest(AppId(11), 0, 1), nullptr);
+
+  // ...but every pinned stripe is still resident and re-hashes to its
+  // declared content hash, so the restore completes with an intact image.
+  for (const auto& c : m1.chunks) {
+    const auto* stored = store.get(c.hash);
+    ASSERT_NE(stored, nullptr);
+    auto raw = unpack_chunk(stored->encoding, stored->raw_size, stored->payload);
+    ASSERT_TRUE(raw.is_ok());
+    EXPECT_EQ(security::Sha256::hash(raw.value()), c.hash);
+  }
+
+  // Restore finished: pins drop, and the now-unreferenced v1-only chunks
+  // are reclaimed on the spot.
+  const auto resident_before = store.chunk_count();
+  for (const auto& c : m1.chunks) store.unpin(c.hash);
+  EXPECT_LT(store.chunk_count(), resident_before);
+  // The surviving version is untouched throughout.
+  auto back = store.materialize(AppId(11), 0, 2);
+  ASSERT_TRUE(back.is_ok());
+  EXPECT_EQ(back.value(), image2);
+}
+
 TEST(ChunkStore, OrphanChunksNeedTwoSweeps) {
   // A chunk put without a manifest install (aborted save) survives the
   // first prune sweep and is reclaimed by the second.

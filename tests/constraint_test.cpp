@@ -2,6 +2,9 @@
 // (including OMG three-valued "undefined" semantics), and ranking.
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 #include "services/constraint.hpp"
 
 namespace integrade::services {
@@ -236,6 +239,61 @@ TEST(Preference, UndefinedScoresSortLast) {
 TEST(Preference, RejectsGarbage) {
   EXPECT_FALSE(Preference::parse("maximize cpu").is_ok());
   EXPECT_FALSE(Preference::parse("max ==").is_ok());
+}
+
+// --- bid properties (NCC bid_filter screening, scheduling economy) ---
+//
+// When an LRM screens a reservation with a node-owner bid_filter, the bid
+// PropertySet only carries tenant/bid_budget/bid_deadline_s if the submitter
+// actually attached a bid. OMG undefined semantics must make every filter
+// that references an absent property refuse — never crash, never admit.
+
+PropertySet bid_props(double budget = 12.5, double deadline_s = 3600.0) {
+  PropertySet props;
+  props.set("tenant", cdr::Value("alice"));
+  props.set("bid_budget", cdr::Value(budget));
+  props.set("bid_deadline_s", cdr::Value(deadline_s));
+  return props;
+}
+
+TEST(Eval, BidPropertiesMatch) {
+  EXPECT_TRUE(eval("tenant == 'alice' and bid_budget >= 10", bid_props()));
+  EXPECT_TRUE(eval("bid_deadline_s > 60", bid_props()));
+  EXPECT_FALSE(eval("bid_budget >= 100", bid_props()));
+}
+
+TEST(Eval, AbsentBidPropertiesNeverMatch) {
+  const PropertySet no_bid;  // reservation arrived without a bid extension
+  EXPECT_FALSE(eval("bid_budget >= 1", no_bid));
+  EXPECT_FALSE(eval("bid_budget < 1", no_bid));
+  EXPECT_FALSE(eval("tenant == 'alice'", no_bid));
+  // `not` over undefined is still undefined — a negated filter must not
+  // accidentally admit bid-less requests.
+  EXPECT_FALSE(eval("not (bid_budget >= 1)", no_bid));
+  // Only `exist` resolves absence to a definite boolean.
+  EXPECT_FALSE(eval("exist bid_budget", no_bid));
+  EXPECT_TRUE(eval("not exist bid_budget", no_bid));
+  EXPECT_TRUE(eval("exist bid_budget and bid_budget >= 1", bid_props()));
+}
+
+TEST(Eval, NaNBidComparisonsAreFalse) {
+  const PropertySet nan_bid = bid_props(std::nan(""), std::nan(""));
+  // IEEE: every ordering against NaN is false; the filter refuses cleanly.
+  EXPECT_FALSE(eval("bid_budget > 0", nan_bid));
+  EXPECT_FALSE(eval("bid_budget < 0", nan_bid));
+  EXPECT_FALSE(eval("bid_budget >= 0", nan_bid));
+  EXPECT_FALSE(eval("bid_budget <= 0", nan_bid));
+  EXPECT_FALSE(eval("bid_deadline_s > 0 and bid_deadline_s < 1e9", nan_bid));
+}
+
+TEST(Eval, ExtremeBidValuesCompareWithoutCrashing) {
+  const double huge = std::numeric_limits<double>::max();
+  EXPECT_TRUE(eval("bid_budget > 1e307", bid_props(huge)));
+  EXPECT_FALSE(eval("bid_budget < 0", bid_props(huge)));
+  EXPECT_TRUE(eval("bid_budget < -1e307", bid_props(-huge)));
+  // Arithmetic that overflows to +inf still yields a definite comparison.
+  EXPECT_TRUE(eval("bid_budget * 2 > bid_budget", bid_props(huge)));
+  EXPECT_FALSE(eval("bid_budget * 2 < bid_budget", bid_props(huge)));
 }
 
 TEST(ExprPrinting, RoundTripReadable) {

@@ -186,6 +186,56 @@ TEST_F(GrmFixture, EvictionRequeuesAndEventuallyCompletes) {
   EXPECT_EQ(progress->completed, 1);
 }
 
+TEST_F(GrmFixture, DuplicateEvictionReportsKeepOneQueueEntry) {
+  // Regression: a duplicated eviction frame (dying LRM retrying its last
+  // report) used to enqueue the requeued task twice; the double entry was
+  // masked by the pop-side state check until a later wave dispatched the
+  // ghost. Queue membership must be exactly once.
+  auto& cluster = grid.add_cluster(core::quiet_cluster(2, 15));
+  grid.run_for(90 * kSecond);
+
+  AppBuilder app("dup-evict");
+  app.tasks(1, 300'000.0);
+  auto spec = app.build(cluster.asct().ref());
+  const TaskId task = spec.tasks[0].id;
+  const AppId id = cluster.asct().submit(cluster.grm_ref(), spec);
+  grid.run_for(kMinute);
+  ASSERT_EQ(cluster.grm().running_tasks(), 1);
+
+  // Find the host and kill it silently — crash() reports nothing, so the
+  // forged frames below are the only word the GRM gets.
+  NodeId host;
+  for (std::size_t i = 0; i < cluster.size(); ++i) {
+    if (cluster.lrm(i).running_task_count() > 0) {
+      host = cluster.lrm(i).node_id();
+      cluster.lrm(i).crash();
+      break;
+    }
+  }
+  ASSERT_TRUE(host.valid());
+
+  protocol::TaskReport report;
+  report.task = task;
+  report.node = host;
+  report.outcome = protocol::TaskOutcome::kEvicted;
+  report.detail = "owner reclaim";
+  cluster.grm().handle_report(report);
+  EXPECT_EQ(cluster.grm().queue_length(), 1u);
+  // The duplicated frames: the task is no longer running on the reporter,
+  // so these must be ignored, not requeued a second time.
+  cluster.grm().handle_report(report);
+  cluster.grm().handle_report(report);
+  EXPECT_EQ(cluster.grm().queue_length(), 1u);
+  EXPECT_EQ(cluster.grm().pending_tasks(), 1);
+  EXPECT_GE(cluster.grm().metrics().counter_value("stale_reports_ignored"), 2);
+
+  // The survivor picks the task up and it completes exactly once.
+  ASSERT_TRUE(
+      grid.run_until_app_done(cluster, id, grid.engine().now() + 2 * kHour));
+  EXPECT_EQ(cluster.asct().progress(id)->completed, 1);
+  EXPECT_EQ(cluster.grm().queue_length(), 0u);
+}
+
 TEST_F(GrmFixture, TopologyPlanPinsGroupsToSegments) {
   auto& cluster = grid.add_cluster(core::segmented_cluster(2, 4, 9));
   grid.run_for(3 * kMinute);  // mostly_idle profiles + 10min grace? grace is default
@@ -297,6 +347,41 @@ TEST_F(GrmFixture, SummariesFlowUpTheHierarchy) {
   // Child pushed at least two summaries by now (60s cadence).
   // (No direct getter; verified by the parent adopting in integration_test.)
   SUCCEED();
+}
+
+TEST_F(GrmFixture, AdmissionRejectsOverQuotaSubmit) {
+  core::ClusterConfig config = core::quiet_cluster(3, 21);
+  config.sched.enabled = true;
+  config.sched.tenants = {{"capped", 1.0, /*max_running=*/0, /*max_queued=*/2}};
+  config.sched.max_total_queued = 10;
+  auto& cluster = grid.add_cluster(config);
+  grid.run_for(90 * kSecond);
+
+  // Three tasks against a two-deep tenant queue: refused outright, nothing
+  // queued, and the rejection is visible in the metrics.
+  AppBuilder over("over-quota");
+  over.kind(protocol::AppKind::kParametric).tasks(3, 1000.0).tenant("capped");
+  auto reply = cluster.grm().handle_submit(over.build(cluster.asct().ref()));
+  EXPECT_FALSE(reply.accepted);
+  EXPECT_EQ(cluster.grm().metrics().counter_value("sched_admission_rejected"),
+            1);
+  EXPECT_EQ(cluster.grm().queue_length(), 0u);
+
+  // The same tenant within quota is admitted and runs to completion.
+  AppBuilder fits("fits-quota");
+  fits.kind(protocol::AppKind::kParametric).tasks(2, 1000.0).tenant("capped");
+  const AppId ok =
+      cluster.asct().submit(cluster.grm_ref(), fits.build(cluster.asct().ref()));
+  ASSERT_TRUE(grid.run_until_app_done(cluster, ok, grid.engine().now() + kHour));
+
+  // The global cap refuses a burst that would overflow the whole grid queue.
+  AppBuilder flood("flood");
+  flood.kind(protocol::AppKind::kParametric).tasks(11, 1000.0).tenant("other");
+  auto flood_reply =
+      cluster.grm().handle_submit(flood.build(cluster.asct().ref()));
+  EXPECT_FALSE(flood_reply.accepted);
+  EXPECT_EQ(cluster.grm().metrics().counter_value("sched_admission_rejected"),
+            2);
 }
 
 }  // namespace

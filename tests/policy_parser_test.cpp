@@ -78,6 +78,30 @@ TEST(PolicyParser, RejectsMalformedValues) {
   EXPECT_FALSE(parse_policy("just words").is_ok());
 }
 
+TEST(PolicyParser, BidFilterPreservedVerbatim) {
+  // The expression is compiled at the LRM, not here: the parser must keep
+  // the text exactly as written (case, quotes, spacing after the '=').
+  auto policy = parse_policy(
+      "bid_filter = bid_budget >= 2.5 and tenant != 'Freeloader'");
+  ASSERT_TRUE(policy.is_ok()) << policy.status().to_string();
+  EXPECT_EQ(policy.value().bid_filter,
+            "bid_budget >= 2.5 and tenant != 'Freeloader'");
+
+  // Round-trips through format_policy.
+  auto reparsed = parse_policy(format_policy(policy.value()));
+  ASSERT_TRUE(reparsed.is_ok());
+  EXPECT_EQ(reparsed.value().bid_filter, policy.value().bid_filter);
+  // Absent by default — and absent from the formatted text.
+  EXPECT_TRUE(SharingPolicy{}.bid_filter.empty());
+  EXPECT_EQ(format_policy(SharingPolicy{}).find("bid_filter"),
+            std::string::npos);
+
+  // An empty value is a configuration error, reported with its line.
+  auto bad = parse_policy("\nbid_filter =\n");
+  EXPECT_FALSE(bad.is_ok());
+  EXPECT_NE(bad.status().to_string().find("line 2"), std::string::npos);
+}
+
 TEST(PolicyParser, FormatRoundTrips) {
   auto original = parse_policy(R"(
 sharing = on

@@ -218,7 +218,7 @@ TEST(SnapshotComponents, GrmRoundTripIsByteIdenticalWithTasksInFlight) {
                   .load(services::Trader::kSnapshotVersion, tr)
                   .is_ok());
   cdr::Reader gr(grm_bytes.data(), grm_bytes.size());
-  const Status loaded = standby.load(grm::Grm::kSnapshotVersion, gr);
+  const Status loaded = standby.load(cluster.grm().snapshot_version(), gr);
   ASSERT_TRUE(loaded.is_ok()) << loaded.to_string();
 
   cdr::Writer tw2;
@@ -262,7 +262,7 @@ TEST(SnapshotComponents, GrmLoadRejectsTruncatedAndWrongVersion) {
   for (const std::size_t len :
        {grm_bytes.size() / 4, grm_bytes.size() / 2, grm_bytes.size() - 1}) {
     cdr::Reader cut(grm_bytes.data(), len);
-    EXPECT_FALSE(standby.load(grm::Grm::kSnapshotVersion, cut).is_ok())
+    EXPECT_FALSE(standby.load(cluster.grm().snapshot_version(), cut).is_ok())
         << "accepted at " << len;
     EXPECT_EQ(standby.known_nodes(), 0u);
     EXPECT_EQ(standby.pending_tasks(), 0);

@@ -182,6 +182,57 @@ def validate_bsp_churn(path, doc):
     return 0
 
 
+# The economy file feeds CI's E18 gate (fair-share deviation, deadline
+# hit-rate vs the FIFO and load-only baselines, checkpoint-assisted
+# preemption with exactly-once execution); pin its fields so a rename
+# cannot silently turn the gate into a no-op.
+ECONOMY_TOP_KEYS = {
+    "nodes": int,
+    "small_tenants": int,
+    "tasks_per_small_tenant": int,
+    "fair_share_max_dev": (int, float),
+}
+ECONOMY_CELL_KEYS = {
+    "mode": str,
+    "deadline_hit_rate": (int, float),
+    "share_max_dev": (int, float),
+    "small_makespan_s": (int, float),
+    "preemptions": int,
+    "tasks_preempted": int,
+    "warm_restores": int,
+    "admission_rejected": int,
+    "lost_tasks": int,
+    "duplicate_executions": int,
+    "all_done": bool,
+}
+ECONOMY_MODES = {"economy", "fifo", "load-only"}
+
+
+def validate_economy(path, doc):
+    for key, kind in ECONOMY_TOP_KEYS.items():
+        value = doc.get(key)
+        if kind is not bool and isinstance(value, bool):
+            return fail(path, f'economy: "{key}" must not be a bool')
+        if not isinstance(value, kind):
+            return fail(path, f'economy: "{key}" missing or not {kind}')
+    cells = doc.get("cells")
+    if not isinstance(cells, list) or not cells:
+        return fail(path, 'economy: "cells" must be a non-empty list')
+    modes = set()
+    for i, cell in enumerate(cells):
+        for key, kind in ECONOMY_CELL_KEYS.items():
+            value = cell.get(key)
+            if kind is not bool and isinstance(value, bool):
+                return fail(path, f"economy: cells[{i}].{key} must not be a bool")
+            if not isinstance(value, kind):
+                return fail(path, f"economy: cells[{i}].{key} missing or not {kind}")
+        modes.add(cell["mode"])
+    if not ECONOMY_MODES <= modes:
+        return fail(path, "economy: cells must cover the economy, fifo, and "
+                          "load-only modes")
+    return 0
+
+
 def validate(path):
     try:
         with open(path, "r", encoding="utf-8") as handle:
@@ -220,6 +271,8 @@ def validate(path):
     if name == "failover" and validate_failover(path, doc):
         return 1
     if name == "bsp_churn" and validate_bsp_churn(path, doc):
+        return 1
+    if name == "economy" and validate_economy(path, doc):
         return 1
 
     print(f"{path}: ok ({name!r}, {payloads} payload key(s))")
